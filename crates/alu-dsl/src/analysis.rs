@@ -1,0 +1,281 @@
+//! Semantic analysis of parsed ALU specifications.
+//!
+//! Checks performed:
+//! - name sets (state variables, hole variables, packet fields) are disjoint
+//!   and contain no duplicates;
+//! - every variable reference resolves to a declared name;
+//! - assignment targets are declared state variables (so stateless ALUs,
+//!   which declare none, cannot write state);
+//! - stateless ALUs are guaranteed to `return` on every control path —
+//!   their PHV-visible output would otherwise be undefined;
+//! - stateful ALUs declare at least one state variable (otherwise they are
+//!   stateless and should say so);
+//! - hole local names are unique.
+
+use std::collections::HashSet;
+
+use druzhba_core::names::AluKind;
+use druzhba_core::{Error, Result};
+
+use crate::ast::{AluSpec, Expr, Stmt};
+
+/// Validate an [`AluSpec`]; returns the first violation found.
+pub fn analyze(spec: &AluSpec) -> Result<()> {
+    let err = |message: String| Error::AluParse { line: 0, message };
+
+    // Disjoint, duplicate-free name sets.
+    let mut seen: HashSet<&str> = HashSet::new();
+    for name in spec
+        .state_vars
+        .iter()
+        .chain(spec.packet_fields.iter())
+        .chain(spec.hole_vars.iter().map(|h| &h.name))
+    {
+        if !seen.insert(name.as_str()) {
+            return Err(err(format!(
+                "name `{name}` declared more than once across state variables, \
+                 hole variables, and packet fields"
+            )));
+        }
+    }
+
+    if spec.packet_fields.is_empty() {
+        return Err(err("ALU must declare at least one packet field".into()));
+    }
+
+    match spec.kind {
+        AluKind::Stateful => {
+            if spec.state_vars.is_empty() {
+                return Err(err(
+                    "stateful ALU must declare at least one state variable".into(),
+                ));
+            }
+        }
+        AluKind::Stateless => {
+            if !spec.state_vars.is_empty() {
+                return Err(err(
+                    "stateless ALU must not declare state variables".into(),
+                ));
+            }
+            if !guarantees_return(&spec.body) {
+                return Err(err(
+                    "stateless ALU must return a value on every control path".into(),
+                ));
+            }
+        }
+    }
+
+    // Unique hole names.
+    let mut hole_names = HashSet::new();
+    for h in &spec.holes {
+        if !hole_names.insert(h.local.as_str()) {
+            return Err(err(format!("duplicate hole name `{}`", h.local)));
+        }
+    }
+
+    check_stmts(spec, &spec.body)?;
+    Ok(())
+}
+
+/// True if every control path through `stmts` executes a `return`.
+pub fn guarantees_return(stmts: &[Stmt]) -> bool {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Return(_) => return true,
+            Stmt::If { arms, else_body } => {
+                // An if-chain guarantees a return only if every arm *and*
+                // the else body do; without an else the fall-through path
+                // escapes.
+                let all_arms = arms.iter().all(|(_, body)| guarantees_return(body));
+                if all_arms && !else_body.is_empty() && guarantees_return(else_body) {
+                    return true;
+                }
+            }
+            Stmt::Assign { .. } => {}
+        }
+    }
+    false
+}
+
+fn check_stmts(spec: &AluSpec, stmts: &[Stmt]) -> Result<()> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                if spec.state_var_index(target).is_none() {
+                    return Err(Error::AluParse {
+                        line: 0,
+                        message: format!(
+                            "assignment target `{target}` is not a declared state variable"
+                        ),
+                    });
+                }
+                check_expr(spec, value)?;
+            }
+            Stmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    check_expr(spec, cond)?;
+                    check_stmts(spec, body)?;
+                }
+                check_stmts(spec, else_body)?;
+            }
+            Stmt::Return(e) => check_expr(spec, e)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_expr(spec: &AluSpec, expr: &Expr) -> Result<()> {
+    let mut bad = None;
+    expr.visit(&mut |e| {
+        if bad.is_some() {
+            return;
+        }
+        if let Expr::Var(name) = e {
+            let known = spec.packet_field_index(name).is_some()
+                || spec.state_var_index(name).is_some()
+                || spec.hole_vars.iter().any(|h| &h.name == name);
+            if !known {
+                bad = Some(name.clone());
+            }
+        }
+    });
+    match bad {
+        Some(name) => Err(Error::AluParse {
+            line: 0,
+            message: format!("reference to undeclared variable `{name}`"),
+        }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<()> {
+        analyze(&parse(&lex(src).unwrap())?)
+    }
+
+    #[test]
+    fn valid_stateful_passes() {
+        check(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = s + p;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn valid_stateless_passes() {
+        check("type: stateless\npacket fields: {p}\nreturn p + 1;").unwrap();
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let err = check(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = s + q;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("undeclared variable `q`"));
+    }
+
+    #[test]
+    fn assignment_to_packet_field_rejected() {
+        let err = check(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             p = s;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not a declared state variable"));
+    }
+
+    #[test]
+    fn stateless_with_state_vars_rejected() {
+        let err = check(
+            "type: stateless\nstate variables: {s}\npacket fields: {p}\n\
+             return p;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must not declare state"));
+    }
+
+    #[test]
+    fn stateful_without_state_vars_rejected() {
+        let err = check("type: stateful\npacket fields: {p}\nreturn p;").unwrap_err();
+        assert!(err.to_string().contains("at least one state variable"));
+    }
+
+    #[test]
+    fn stateless_missing_return_rejected() {
+        let err = check(
+            "type: stateless\npacket fields: {p}\n\
+             if (p == 0) { return 1; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("every control path"));
+    }
+
+    #[test]
+    fn stateless_return_in_all_branches_passes() {
+        check(
+            "type: stateless\npacket fields: {p}\n\
+             if (p == 0) { return 1; } else { return 2; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn stateless_return_after_partial_if_passes() {
+        check(
+            "type: stateless\npacket fields: {p}\n\
+             if (p == 0) { return 1; }\nreturn 2;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_across_sets_rejected() {
+        let err = check(
+            "type: stateful\nstate variables: {x}\npacket fields: {x}\n\
+             x = 1;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn duplicate_packet_fields_rejected() {
+        let err = check("type: stateless\npacket fields: {p, p}\nreturn p;").unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn empty_packet_fields_rejected() {
+        let err = check("type: stateless\npacket fields: {}\nreturn 1;").unwrap_err();
+        assert!(err.to_string().contains("at least one packet field"));
+    }
+
+    #[test]
+    fn hole_variable_references_resolve() {
+        check(
+            "type: stateless\nhole variables: {opcode}\npacket fields: {p}\n\
+             if (opcode == 0) { return p; } else { return 0; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn guarantees_return_nested() {
+        // Nested ifs where every leaf returns.
+        check(
+            "type: stateless\npacket fields: {p, q}\n\
+             if (p == 0) {\n\
+               if (q == 0) { return 1; } else { return 2; }\n\
+             } else { return 3; }",
+        )
+        .unwrap();
+    }
+}

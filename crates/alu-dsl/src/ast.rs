@@ -1,0 +1,381 @@
+//! Abstract syntax for the ALU DSL.
+//!
+//! Paper §3.2: *"Abstract Syntax Trees (ASTs) are generated to represent the
+//! syntactic structures of the given ALU files."* These ASTs are what dgen
+//! traverses to build the pipeline description, and what the optimizer
+//! rewrites during sparse conditional constant propagation.
+
+use std::fmt;
+
+use druzhba_core::names::AluKind;
+use druzhba_core::value::Value;
+
+/// A fully parsed ALU specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AluSpec {
+    /// Name (from the `name:` header, or supplied by the caller).
+    pub name: String,
+    /// Stateful or stateless.
+    pub kind: AluKind,
+    /// Declared state variables (empty for stateless ALUs).
+    pub state_vars: Vec<String>,
+    /// Explicit hole variables with their domains.
+    pub hole_vars: Vec<HoleVar>,
+    /// Packet-field operands; operand `k` is fed by input mux `k`.
+    pub packet_fields: Vec<String>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+    /// Every machine-code hole the body consumes, in source order
+    /// (construct instances first, then explicit hole variables).
+    pub holes: Vec<HoleDecl>,
+}
+
+impl AluSpec {
+    /// Number of packet-field operands (each fed by one input mux).
+    pub fn operand_count(&self) -> usize {
+        self.packet_fields.len()
+    }
+
+    /// Find the hole with the given local name.
+    pub fn hole(&self, local: &str) -> Option<&HoleDecl> {
+        self.holes.iter().find(|h| h.local == local)
+    }
+
+    /// Index of a packet field by name.
+    pub fn packet_field_index(&self, name: &str) -> Option<usize> {
+        self.packet_fields.iter().position(|f| f == name)
+    }
+
+    /// Index of a state variable by name.
+    pub fn state_var_index(&self, name: &str) -> Option<usize> {
+        self.state_vars.iter().position(|s| s == name)
+    }
+}
+
+/// An explicit hole variable declaration (`hole variables: {opcode[2]}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoleVar {
+    /// Variable name.
+    pub name: String,
+    /// Bit width of the legal values (`[bits]` suffix; default 2).
+    pub bits: u32,
+}
+
+/// One machine-code hole consumed by the ALU body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoleDecl {
+    /// Local name within the ALU (e.g. `mux3_1`, `const_0`, `opcode`).
+    pub local: String,
+    /// Legal value domain.
+    pub domain: HoleDomain,
+}
+
+/// The domain of legal machine-code values for a hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoleDomain {
+    /// Exactly the values `0..limit` (multiplexer selectors and opcode
+    /// holes).
+    Choice(u32),
+    /// Any value representable in the given number of bits (immediate
+    /// operands and explicit hole variables).
+    Bits(u32),
+}
+
+impl HoleDomain {
+    /// Exclusive upper bound of the domain (saturating for 32-bit widths).
+    pub fn bound(self) -> u64 {
+        match self {
+            HoleDomain::Choice(n) => u64::from(n),
+            HoleDomain::Bits(b) => 1u64 << b.min(32),
+        }
+    }
+
+    /// True if `v` is a legal value for this hole.
+    pub fn contains(self, v: Value) -> bool {
+        u64::from(v) < self.bound()
+    }
+}
+
+/// Statements of the ALU body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `state_var = expr;`
+    Assign { target: String, value: Expr },
+    /// `if (cond) { … } else if (cond) { … } else { … }` — one entry in
+    /// `arms` per `if`/`else if`, plus the trailing `else` body (possibly
+    /// empty).
+    If {
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Vec<Stmt>,
+    },
+    /// `return expr;` — sets the ALU's PHV-visible output.
+    Return(Expr),
+}
+
+/// Binary operators. The paper's grammar lists relational
+/// (`>=`, `<=`, `==`, `!=`), arithmetic (`+`, `-`, `*`, `/`), and logical
+/// (`&&`, `||`) operators; `<`, `>`, and `%` are supported as natural
+/// extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for operators whose result is a 0/1 boolean.
+    pub fn is_boolean(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// Source-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators (`-x` from the paper's grammar; `!x` as an extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+impl UnOp {
+    /// Source-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+/// Expressions of the ALU body.
+///
+/// The hole-consuming constructs carry the local hole name assigned at parse
+/// time (`hole`), so evaluation and code emission need no separate counter
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(Value),
+    /// Reference to a packet field, state variable, or hole variable.
+    Var(String),
+    /// `C()` — an immediate machine-code constant.
+    CConst { hole: String },
+    /// `Opt(x)` — a 2-to-1 mux returning its argument (value 0) or zero
+    /// (value 1). Paper Fig. 4: *"Opt() indicates a 2-to-1 multiplexer that
+    /// either returns 0 or its argument."*
+    Opt { hole: String, arg: Box<Expr> },
+    /// `Mux2(a, b)` — 2-to-1 mux.
+    Mux2 {
+        hole: String,
+        a: Box<Expr>,
+        b: Box<Expr>,
+    },
+    /// `Mux3(a, b, c)` — 3-to-1 mux.
+    Mux3 {
+        hole: String,
+        a: Box<Expr>,
+        b: Box<Expr>,
+        c: Box<Expr>,
+    },
+    /// `rel_op(a, b)` — opcode-selected relational operator
+    /// (0 `>=`, 1 `<=`, 2 `==`, 3 `!=`).
+    RelOp {
+        hole: String,
+        a: Box<Expr>,
+        b: Box<Expr>,
+    },
+    /// `arith_op(a, b)` — opcode-selected arithmetic operator (0 `+`, 1 `-`).
+    ArithOp {
+        hole: String,
+        a: Box<Expr>,
+        b: Box<Expr>,
+    },
+    /// Fixed binary operator.
+    Binary {
+        op: BinOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
+    /// Fixed unary operator.
+    Unary { op: UnOp, x: Box<Expr> },
+}
+
+impl Expr {
+    /// Walk the expression tree, invoking `f` on every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::CConst { .. } => {}
+            Expr::Opt { arg, .. } => arg.visit(f),
+            Expr::Mux2 { a, b, .. } => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Mux3 { a, b, c, .. } => {
+                a.visit(f);
+                b.visit(f);
+                c.visit(f);
+            }
+            Expr::RelOp { a, b, .. } | Expr::ArithOp { a, b, .. } => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Binary { l, r, .. } => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Expr::Unary { x, .. } => x.visit(f),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::CConst { .. } => write!(f, "C()"),
+            Expr::Opt { arg, .. } => write!(f, "Opt({arg})"),
+            Expr::Mux2 { a, b, .. } => write!(f, "Mux2({a}, {b})"),
+            Expr::Mux3 { a, b, c, .. } => write!(f, "Mux3({a}, {b}, {c})"),
+            Expr::RelOp { a, b, .. } => write!(f, "rel_op({a}, {b})"),
+            Expr::ArithOp { a, b, .. } => write!(f, "arith_op({a}, {b})"),
+            Expr::Binary { op, l, r } => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Unary { op, x } => write!(f, "{}({x})", op.symbol()),
+        }
+    }
+}
+
+/// Walk a statement list, invoking `f` on every expression (pre-order).
+pub fn visit_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { value, .. } => value.visit(f),
+            Stmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    cond.visit(f);
+                    visit_stmts(body, f);
+                }
+                visit_stmts(else_body, f);
+            }
+            Stmt::Return(e) => e.visit(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    #[test]
+    fn hole_domain_bounds() {
+        assert_eq!(HoleDomain::Choice(3).bound(), 3);
+        assert_eq!(HoleDomain::Bits(2).bound(), 4);
+        assert!(HoleDomain::Choice(2).contains(1));
+        assert!(!HoleDomain::Choice(2).contains(2));
+        assert!(HoleDomain::Bits(10).contains(1023));
+        assert!(!HoleDomain::Bits(10).contains(1024));
+        assert!(HoleDomain::Bits(32).contains(u32::MAX));
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            l: Box::new(Expr::Opt {
+                hole: "opt_0".into(),
+                arg: Box::new(var("state_0")),
+            }),
+            r: Box::new(Expr::Mux3 {
+                hole: "mux3_0".into(),
+                a: Box::new(var("pkt_0")),
+                b: Box::new(var("pkt_1")),
+                c: Box::new(Expr::CConst {
+                    hole: "const_0".into(),
+                }),
+            }),
+        };
+        assert_eq!(e.to_string(), "(Opt(state_0) + Mux3(pkt_0, pkt_1, C()))");
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            l: Box::new(Expr::Unary {
+                op: UnOp::Not,
+                x: Box::new(var("a")),
+            }),
+            r: Box::new(Expr::Mux2 {
+                hole: "mux2_0".into(),
+                a: Box::new(var("b")),
+                b: Box::new(Expr::Const(3)),
+            }),
+        };
+        let mut count = 0;
+        e.visit(&mut |_| count += 1);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn boolean_op_classification() {
+        assert!(BinOp::Eq.is_boolean());
+        assert!(BinOp::And.is_boolean());
+        assert!(!BinOp::Add.is_boolean());
+        assert!(!BinOp::Div.is_boolean());
+    }
+
+    #[test]
+    fn visit_stmts_covers_branches() {
+        let stmts = vec![Stmt::If {
+            arms: vec![(var("c"), vec![Stmt::Return(var("x"))])],
+            else_body: vec![Stmt::Assign {
+                target: "s".into(),
+                value: var("y"),
+            }],
+        }];
+        let mut names = Vec::new();
+        visit_stmts(&stmts, &mut |e| {
+            if let Expr::Var(n) = e {
+                names.push(n.clone());
+            }
+        });
+        assert_eq!(names, vec!["c", "x", "y"]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Hand-written lexer for the ALU DSL.
+
+use druzhba_core::{Error, Result};
+
+/// Lexical tokens of the ALU DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(u32),
+    Colon,
+    Comma,
+    Semi,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    AndAnd,
+    OrOr,
+    Not,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize an ALU DSL source. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            tokens.push(Token { tok: $tok, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Tok::Slash);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n * 10 + u64::from(digit);
+                        if n > u64::from(u32::MAX) {
+                            return Err(Error::AluParse {
+                                line,
+                                message: "integer literal exceeds 32 bits".into(),
+                            });
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(n as u32));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(ident));
+            }
+            ':' => {
+                chars.next();
+                push!(Tok::Colon);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                push!(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push!(Tok::RBracket);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                push!(Tok::Minus);
+            }
+            '*' => {
+                chars.next();
+                push!(Tok::Star);
+            }
+            '%' => {
+                chars.next();
+                push!(Tok::Percent);
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::EqEq);
+                } else {
+                    push!(Tok::Assign);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::NotEq);
+                } else {
+                    push!(Tok::Not);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Le);
+                } else {
+                    push!(Tok::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ge);
+                } else {
+                    push!(Tok::Gt);
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(Tok::AndAnd);
+                } else {
+                    return Err(Error::AluParse {
+                        line,
+                        message: "single `&` is not an operator (did you mean `&&`?)".into(),
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(Tok::OrOr);
+                } else {
+                    return Err(Error::AluParse {
+                        line,
+                        message: "single `|` is not an operator (did you mean `||`?)".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(Error::AluParse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_header_line() {
+        assert_eq!(
+            toks("type: stateful"),
+            vec![
+                Tok::Ident("type".into()),
+                Tok::Colon,
+                Tok::Ident("stateful".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("== != <= >= < > && || ! = + - * / %"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Assign,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_integers_and_idents() {
+        assert_eq!(
+            toks("state_0 = 42;"),
+            vec![
+                Tok::Ident("state_0".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("a\nb\nc").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("4294967296").unwrap_err();
+        assert!(err.to_string().contains("32 bits"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn lexes_brackets_for_hole_widths() {
+        assert_eq!(
+            toks("opcode[2]"),
+            vec![
+                Tok::Ident("opcode".into()),
+                Tok::LBracket,
+                Tok::Int(2),
+                Tok::RBracket
+            ]
+        );
+    }
+}

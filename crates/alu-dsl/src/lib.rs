@@ -1,0 +1,58 @@
+//! # druzhba-alu-dsl
+//!
+//! The ALU domain-specific language of the paper's §3.1 (Fig. 3/4): a small
+//! language for *"express\[ing\] switching chip ALU capabilities"*. An ALU
+//! file declares whether the ALU is stateful or stateless, its state
+//! variables, explicit hole variables, and packet-field operands, followed
+//! by a body of assignments, conditionals, and returns over arithmetic,
+//! relational, and logical expressions.
+//!
+//! Configurable constructs — `C()` immediates, `Opt(x)`, `Mux2`/`Mux3`
+//! multiplexers, `rel_op`/`arith_op` opcode-selected operators, and explicit
+//! hole variables — each consume one *machine-code hole*; the analyser
+//! assigns every instance a stable local name (`const_0`, `mux3_1`,
+//! `rel_op_0`, …) in source order, which dgen combines with the grid
+//! position to form full machine-code names.
+//!
+//! ```
+//! use druzhba_alu_dsl::parse_alu;
+//!
+//! let spec = parse_alu(
+//!     "name: accumulate
+//!      type: stateful
+//!      state variables: {state_0}
+//!      hole variables: {}
+//!      packet fields: {pkt_0}
+//!      state_0 = state_0 + Mux2(pkt_0, C());",
+//! ).unwrap();
+//! assert_eq!(spec.holes.len(), 2); // mux2_0 and const_0
+//! ```
+//!
+//! The crate also ships the eleven ALU specifications used throughout the
+//! paper's evaluation — models of [Banzai](atoms) atoms (6 stateful,
+//! 5 stateless) — as embedded assets.
+
+pub mod analysis;
+pub mod ast;
+pub mod atoms;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use analysis::analyze;
+pub use ast::{AluSpec, BinOp, Expr, HoleDecl, HoleDomain, Stmt, UnOp};
+pub use pretty::unparse;
+pub use druzhba_core::names::AluKind;
+
+use druzhba_core::Result;
+
+/// Parse and semantically validate an ALU DSL source.
+///
+/// This is the crate's main entry point: lexing, parsing, hole enumeration,
+/// and semantic analysis in one call.
+pub fn parse_alu(source: &str) -> Result<AluSpec> {
+    let tokens = lexer::lex(source)?;
+    let spec = parser::parse(&tokens)?;
+    analysis::analyze(&spec)?;
+    Ok(spec)
+}

@@ -1,0 +1,732 @@
+//! Recursive-descent parser for the ALU DSL.
+//!
+//! Grammar (paper Fig. 3, with the extensions noted in [`crate::ast`]):
+//!
+//! ```text
+//! alu       := header* stmt*
+//! header    := "name" ":" IDENT
+//!            | "type" ":" ("stateful" | "stateless")
+//!            | "state" "variables" ":" "{" ident_list "}"
+//!            | "hole" "variables" ":" "{" holevar_list "}"
+//!            | "packet" "fields" ":" "{" ident_list "}"
+//! holevar   := IDENT ("[" INT "]")?
+//! stmt      := IDENT "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" "if" "(" expr ")" block)*
+//!              ("else" block)?
+//!            | "return" expr ";"
+//! block     := "{" stmt* "}"
+//! expr      := or-expr with C-like precedence:
+//!              ||  <  &&  <  (== != < > <= >=)  <  (+ -)  <  (* / %)
+//!              <  unary (- !)  <  primary
+//! primary   := INT | IDENT | "C" "(" ")" | "Opt" "(" expr ")"
+//!            | "Mux2" "(" expr "," expr ")"
+//!            | "Mux3" "(" expr "," expr "," expr ")"
+//!            | "rel_op" "(" expr "," expr ")"
+//!            | "arith_op" "(" expr "," expr ")"
+//!            | "(" expr ")"
+//! ```
+//!
+//! Every hole-consuming construct is assigned a local hole name during
+//! parsing (per-construct counters in source order), and the full hole list
+//! is recorded on the returned [`AluSpec`].
+
+use druzhba_core::names::AluKind;
+use druzhba_core::{Error, Result};
+
+use crate::ast::{AluSpec, BinOp, Expr, HoleDecl, HoleDomain, HoleVar, Stmt, UnOp};
+use crate::lexer::{Tok, Token};
+
+/// Parse a token stream into an [`AluSpec`]. Prefer [`crate::parse_alu`],
+/// which also runs semantic analysis.
+pub fn parse(tokens: &[Token]) -> Result<AluSpec> {
+    Parser::new(tokens).parse_alu()
+}
+
+/// Default bit width for explicit hole variables without a `[bits]` suffix.
+const DEFAULT_HOLE_VAR_BITS: u32 = 2;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    holes: Vec<HoleDecl>,
+    counters: HoleCounters,
+}
+
+#[derive(Default)]
+struct HoleCounters {
+    mux2: usize,
+    mux3: usize,
+    opt: usize,
+    rel_op: usize,
+    arith_op: usize,
+    konst: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            holes: Vec::new(),
+            counters: HoleCounters::default(),
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::AluParse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn peek_is_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == name)
+    }
+
+    fn fresh_hole(&mut self, prefix: &str, domain: HoleDomain) -> String {
+        let counter = match prefix {
+            "mux2" => &mut self.counters.mux2,
+            "mux3" => &mut self.counters.mux3,
+            "opt" => &mut self.counters.opt,
+            "rel_op" => &mut self.counters.rel_op,
+            "arith_op" => &mut self.counters.arith_op,
+            "const" => &mut self.counters.konst,
+            _ => unreachable!("unknown hole prefix {prefix}"),
+        };
+        let local = format!("{prefix}_{}", *counter);
+        *counter += 1;
+        self.holes.push(HoleDecl {
+            local: local.clone(),
+            domain,
+        });
+        local
+    }
+
+    fn parse_alu(mut self) -> Result<AluSpec> {
+        let mut name = None;
+        let mut kind = None;
+        let mut state_vars = Vec::new();
+        let mut hole_vars = Vec::new();
+        let mut packet_fields = None;
+
+        // Header lines: one or more identifiers followed by a colon.
+        while let Some(Tok::Ident(first)) = self.peek() {
+            // Look ahead for the colon that distinguishes a header line from
+            // the first body statement.
+            let mut idents = vec![first.clone()];
+            let mut offset = 1;
+            loop {
+                match self.peek_at(offset) {
+                    Some(Tok::Ident(s)) => {
+                        idents.push(s.clone());
+                        offset += 1;
+                    }
+                    Some(Tok::Colon) => break,
+                    _ => {
+                        idents.clear();
+                        break;
+                    }
+                }
+            }
+            if idents.is_empty() {
+                break; // body begins
+            }
+            self.pos += offset + 1; // consume idents and colon
+            let key = idents.join(" ");
+            match key.as_str() {
+                "name" => name = Some(self.expect_ident("ALU name")?),
+                "type" => {
+                    let ty = self.expect_ident("`stateful` or `stateless`")?;
+                    kind = Some(match ty.as_str() {
+                        "stateful" => AluKind::Stateful,
+                        "stateless" => AluKind::Stateless,
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown ALU type `{other}` (expected stateful/stateless)"
+                            )))
+                        }
+                    });
+                }
+                "state variables" => state_vars = self.parse_ident_set()?,
+                "hole variables" => hole_vars = self.parse_hole_var_set()?,
+                "packet fields" => packet_fields = Some(self.parse_ident_set()?),
+                other => return Err(self.err(format!("unknown header `{other}`"))),
+            }
+        }
+
+        let kind = kind.ok_or_else(|| self.err("missing `type:` header"))?;
+        let packet_fields =
+            packet_fields.ok_or_else(|| self.err("missing `packet fields:` header"))?;
+
+        let body = self.parse_stmts_until_eof()?;
+
+        // Explicit hole variables come after construct holes in the
+        // machine-code ordering.
+        for hv in &hole_vars {
+            self.holes.push(HoleDecl {
+                local: hv.name.clone(),
+                domain: HoleDomain::Bits(hv.bits),
+            });
+        }
+
+        Ok(AluSpec {
+            name: name.unwrap_or_else(|| "anonymous".to_string()),
+            kind,
+            state_vars,
+            hole_vars,
+            packet_fields,
+            body,
+            holes: self.holes,
+        })
+    }
+
+    fn parse_ident_set(&mut self) -> Result<Vec<String>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        if self.peek() == Some(&Tok::RBrace) {
+            self.pos += 1;
+            return Ok(items);
+        }
+        loop {
+            items.push(self.expect_ident("identifier")?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBrace) => break,
+                other => return Err(self.err(format!("expected `,` or `}}`, found {other:?}"))),
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_hole_var_set(&mut self) -> Result<Vec<HoleVar>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        if self.peek() == Some(&Tok::RBrace) {
+            self.pos += 1;
+            return Ok(items);
+        }
+        loop {
+            let name = self.expect_ident("hole variable name")?;
+            let bits = if self.peek() == Some(&Tok::LBracket) {
+                self.pos += 1;
+                let b = match self.next() {
+                    Some(Tok::Int(b)) if b >= 1 && b <= 32 => b,
+                    other => {
+                        return Err(
+                            self.err(format!("expected bit width in 1..=32, found {other:?}"))
+                        )
+                    }
+                };
+                self.expect(&Tok::RBracket, "`]`")?;
+                b
+            } else {
+                DEFAULT_HOLE_VAR_BITS
+            };
+            items.push(HoleVar { name, bits });
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBrace) => break,
+                other => return Err(self.err(format!("expected `,` or `}}`, found {other:?}"))),
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_stmts_until_eof(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    return Ok(stmts);
+                }
+                Some(_) => stmts.push(self.parse_stmt()?),
+                None => return Err(self.err("unterminated block (missing `}`)")),
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.peek_is_ident("if") {
+            return self.parse_if();
+        }
+        if self.peek_is_ident("return") {
+            self.pos += 1;
+            let e = self.parse_expr()?;
+            self.expect(&Tok::Semi, "`;` after return")?;
+            return Ok(Stmt::Return(e));
+        }
+        let target = self.expect_ident("assignment target")?;
+        self.expect(&Tok::Assign, "`=`")?;
+        let value = self.parse_expr()?;
+        self.expect(&Tok::Semi, "`;` after assignment")?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        let mut arms = Vec::new();
+        // First `if`.
+        self.pos += 1;
+        self.expect(&Tok::LParen, "`(` after if")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::RParen, "`)` after condition")?;
+        let body = self.parse_block()?;
+        arms.push((cond, body));
+
+        let mut else_body = Vec::new();
+        while self.peek_is_ident("else") {
+            self.pos += 1;
+            if self.peek_is_ident("if") {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "`(` after else if")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)` after condition")?;
+                let body = self.parse_block()?;
+                arms.push((cond, body));
+            } else {
+                else_body = self.parse_block()?;
+                break;
+            }
+        }
+        Ok(Stmt::If { arms, else_body })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut l = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let r = self.parse_and()?;
+            l = Expr::Binary {
+                op: BinOp::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut l = self.parse_rel()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let r = self.parse_rel()?;
+            l = Expr::Binary {
+                op: BinOp::And,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr> {
+        let mut l = self.parse_add()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::EqEq) => BinOp::Eq,
+                Some(Tok::NotEq) => BinOp::Ne,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Ge) => BinOp::Ge,
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Gt) => BinOp::Gt,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_add()?;
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut l = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_mul()?;
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut l = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_unary()?;
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let x = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    x: Box::new(x),
+                })
+            }
+            Some(Tok::Not) => {
+                self.pos += 1;
+                let x = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    x: Box::new(x),
+                })
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::Const(v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "C" => {
+                    self.expect(&Tok::LParen, "`(` after C")?;
+                    self.expect(&Tok::RParen, "`)` after C(")?;
+                    let hole = self.fresh_hole("const", HoleDomain::Bits(32));
+                    Ok(Expr::CConst { hole })
+                }
+                "Opt" => {
+                    let hole = self.fresh_hole("opt", HoleDomain::Choice(2));
+                    self.expect(&Tok::LParen, "`(` after Opt")?;
+                    let arg = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)` after Opt argument")?;
+                    Ok(Expr::Opt {
+                        hole,
+                        arg: Box::new(arg),
+                    })
+                }
+                "Mux2" => {
+                    let hole = self.fresh_hole("mux2", HoleDomain::Choice(2));
+                    self.expect(&Tok::LParen, "`(` after Mux2")?;
+                    let a = self.parse_expr()?;
+                    self.expect(&Tok::Comma, "`,` between Mux2 arguments")?;
+                    let b = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)` after Mux2 arguments")?;
+                    Ok(Expr::Mux2 {
+                        hole,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                    })
+                }
+                "Mux3" => {
+                    let hole = self.fresh_hole("mux3", HoleDomain::Choice(3));
+                    self.expect(&Tok::LParen, "`(` after Mux3")?;
+                    let a = self.parse_expr()?;
+                    self.expect(&Tok::Comma, "`,` between Mux3 arguments")?;
+                    let b = self.parse_expr()?;
+                    self.expect(&Tok::Comma, "`,` between Mux3 arguments")?;
+                    let c = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)` after Mux3 arguments")?;
+                    Ok(Expr::Mux3 {
+                        hole,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                        c: Box::new(c),
+                    })
+                }
+                "rel_op" => {
+                    let hole = self.fresh_hole("rel_op", HoleDomain::Choice(4));
+                    self.expect(&Tok::LParen, "`(` after rel_op")?;
+                    let a = self.parse_expr()?;
+                    self.expect(&Tok::Comma, "`,` between rel_op arguments")?;
+                    let b = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)` after rel_op arguments")?;
+                    Ok(Expr::RelOp {
+                        hole,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                    })
+                }
+                "arith_op" => {
+                    let hole = self.fresh_hole("arith_op", HoleDomain::Choice(2));
+                    self.expect(&Tok::LParen, "`(` after arith_op")?;
+                    let a = self.parse_expr()?;
+                    self.expect(&Tok::Comma, "`,` between arith_op arguments")?;
+                    let b = self.parse_expr()?;
+                    self.expect(&Tok::RParen, "`)` after arith_op arguments")?;
+                    Ok(Expr::ArithOp {
+                        hole,
+                        a: Box::new(a),
+                        b: Box::new(b),
+                    })
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> AluSpec {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    const MINIMAL: &str = "type: stateful\n\
+                           state variables: {state_0}\n\
+                           hole variables: {}\n\
+                           packet fields: {pkt_0, pkt_1}\n\
+                           state_0 = state_0 + pkt_0;";
+
+    #[test]
+    fn parses_headers() {
+        let spec = parse_src(MINIMAL);
+        assert_eq!(spec.kind, AluKind::Stateful);
+        assert_eq!(spec.state_vars, vec!["state_0"]);
+        assert!(spec.hole_vars.is_empty());
+        assert_eq!(spec.packet_fields, vec!["pkt_0", "pkt_1"]);
+        assert_eq!(spec.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_name_header() {
+        let spec = parse_src(&format!("name: my_alu\n{MINIMAL}"));
+        assert_eq!(spec.name, "my_alu");
+    }
+
+    #[test]
+    fn anonymous_when_no_name() {
+        assert_eq!(parse_src(MINIMAL).name, "anonymous");
+    }
+
+    #[test]
+    fn assigns_hole_names_in_source_order() {
+        let spec = parse_src(
+            "type: stateful\nstate variables: {s}\npacket fields: {pkt_0}\n\
+             s = Opt(s) + Mux3(pkt_0, pkt_0, C()) - Mux2(pkt_0, C());",
+        );
+        let locals: Vec<&str> = spec.holes.iter().map(|h| h.local.as_str()).collect();
+        assert_eq!(
+            locals,
+            vec!["opt_0", "mux3_0", "const_0", "mux2_0", "const_1"]
+        );
+    }
+
+    #[test]
+    fn hole_domains_are_correct() {
+        let spec = parse_src(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = arith_op(Mux2(p, C()), s);\nif (rel_op(s, p)) { s = 0; }",
+        );
+        let find = |name: &str| spec.hole(name).unwrap().domain;
+        assert_eq!(find("arith_op_0"), HoleDomain::Choice(2));
+        assert_eq!(find("mux2_0"), HoleDomain::Choice(2));
+        assert_eq!(find("const_0"), HoleDomain::Bits(32));
+        assert_eq!(find("rel_op_0"), HoleDomain::Choice(4));
+    }
+
+    #[test]
+    fn parses_if_else_chains() {
+        let spec = parse_src(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             if (p == 0) { s = 1; } else if (p == 1) { s = 2; } else { s = 3; }",
+        );
+        match &spec.body[0] {
+            Stmt::If { arms, else_body } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else() {
+        let spec = parse_src(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             if (p != 0) { s = s + 1; }",
+        );
+        match &spec.body[0] {
+            Stmt::If { arms, else_body } => {
+                assert_eq!(arms.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let spec = parse_src(
+            "type: stateless\npacket fields: {a, b}\n\
+             return a + b * 2;",
+        );
+        match &spec.body[0] {
+            Stmt::Return(Expr::Binary { op: BinOp::Add, r, .. }) => {
+                assert!(matches!(**r, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_rel_over_and() {
+        let spec = parse_src(
+            "type: stateless\npacket fields: {a, b}\n\
+             return a == 1 && b == 2;",
+        );
+        match &spec.body[0] {
+            Stmt::Return(Expr::Binary { op: BinOp::And, .. }) => {}
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let spec = parse_src(
+            "type: stateless\npacket fields: {a}\n\
+             return -a + !a;",
+        );
+        assert!(matches!(&spec.body[0], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn hole_variable_bit_widths() {
+        let spec = parse_src(
+            "type: stateless\nhole variables: {opcode[3], flag}\npacket fields: {a}\n\
+             return a;",
+        );
+        assert_eq!(spec.hole_vars.len(), 2);
+        assert_eq!(spec.hole_vars[0].bits, 3);
+        assert_eq!(spec.hole_vars[1].bits, DEFAULT_HOLE_VAR_BITS);
+        // Hole variables appear in the hole list after construct holes.
+        assert_eq!(spec.hole("opcode").unwrap().domain, HoleDomain::Bits(3));
+    }
+
+    #[test]
+    fn missing_type_is_error() {
+        let tokens = lex("packet fields: {a}\nreturn a;").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn missing_packet_fields_is_error() {
+        let tokens = lex("type: stateless\nreturn 1;").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn unknown_header_is_error() {
+        let tokens = lex("type: stateless\nweird header: {a}\nreturn 1;").unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn unterminated_block_is_error() {
+        let tokens =
+            lex("type: stateful\nstate variables: {s}\npacket fields: {p}\nif (p) { s = 1;")
+                .unwrap();
+        assert!(parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn parses_figure_4_if_else_raw() {
+        // The paper's Fig. 4 example, verbatim modulo whitespace.
+        let spec = parse_src(
+            "type: stateful
+             state variables: {state_0}
+             hole variables: {}
+             packet fields: {pkt_0, pkt_1}
+             if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+                 state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+             }
+             else {
+                 state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+             }",
+        );
+        assert_eq!(spec.kind, AluKind::Stateful);
+        // rel_op, 3 Opts, 3 Mux3s, 3 C()s
+        assert_eq!(spec.holes.len(), 10);
+    }
+}

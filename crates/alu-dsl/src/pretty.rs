@@ -1,0 +1,152 @@
+//! Pretty-printer (unparser) for ALU specifications.
+//!
+//! [`unparse`] renders an [`AluSpec`] back to DSL source that re-parses to
+//! an identical spec (hole names are assigned deterministically in source
+//! order, so the round trip is exact). Used for diagnostics — e.g. showing
+//! a specialized (dgen-style) ALU in DSL syntax — and round-trip
+//! tested against the shipped atoms and random programs.
+
+use std::fmt::Write as _;
+
+use druzhba_core::names::AluKind;
+
+use crate::ast::{AluSpec, Expr, Stmt};
+
+/// Render a spec as ALU DSL source.
+pub fn unparse(spec: &AluSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name: {}", spec.name);
+    let _ = writeln!(
+        out,
+        "type: {}",
+        match spec.kind {
+            AluKind::Stateful => "stateful",
+            AluKind::Stateless => "stateless",
+        }
+    );
+    if spec.kind == AluKind::Stateful || !spec.state_vars.is_empty() {
+        let _ = writeln!(out, "state variables: {{{}}}", spec.state_vars.join(", "));
+    }
+    let hole_vars: Vec<String> = spec
+        .hole_vars
+        .iter()
+        .map(|h| format!("{}[{}]", h.name, h.bits))
+        .collect();
+    let _ = writeln!(out, "hole variables: {{{}}}", hole_vars.join(", "));
+    let _ = writeln!(out, "packet fields: {{{}}}", spec.packet_fields.join(", "));
+    unparse_stmts(&mut out, &spec.body, 0);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn unparse_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                indent(out, depth);
+                let _ = writeln!(out, "{target} = {};", unparse_expr(value));
+            }
+            Stmt::Return(e) => {
+                indent(out, depth);
+                let _ = writeln!(out, "return {};", unparse_expr(e));
+            }
+            Stmt::If { arms, else_body } => {
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    indent(out, depth);
+                    let kw = if i == 0 { "if" } else { "else if" };
+                    let _ = writeln!(out, "{kw} ({}) {{", unparse_expr(cond));
+                    unparse_stmts(out, body, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+                if !else_body.is_empty() {
+                    indent(out, depth);
+                    out.push_str("else {\n");
+                    unparse_stmts(out, else_body, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+            }
+        }
+    }
+}
+
+/// Render an expression with explicit parentheses (the `Display` impl on
+/// [`Expr`] already parenthesizes binaries, which re-parses
+/// unambiguously).
+fn unparse_expr(e: &Expr) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::{atom, STATEFUL_ATOMS, STATELESS_ATOMS};
+    use crate::parse_alu;
+
+    #[test]
+    fn atoms_round_trip_exactly() {
+        for name in STATEFUL_ATOMS.iter().chain(STATELESS_ATOMS.iter()) {
+            let spec = atom(name).unwrap();
+            let text = unparse(&spec);
+            let back = parse_alu(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(spec, back, "{name} round trip\n{text}");
+        }
+    }
+
+    #[test]
+    fn else_if_chain_round_trips() {
+        let spec = parse_alu(
+            "name: chain\ntype: stateless\nhole variables: {op[2]}\npacket fields: {a}\n\
+             if (op == 0) { return a; }\n\
+             else if (op == 1) { return a + 1; }\n\
+             else { return 0; }",
+        )
+        .unwrap();
+        let back = parse_alu(&unparse(&spec)).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn nested_control_round_trips() {
+        let spec = parse_alu(
+            "name: nest\ntype: stateful\nstate variables: {s}\nhole variables: {}\n\
+             packet fields: {p, q}\n\
+             if (rel_op(Opt(s), Mux3(p, q, C()))) {\n\
+               if (p == q) { s = s + 1; } else { s = s - 1; }\n\
+             }",
+        )
+        .unwrap();
+        let back = parse_alu(&unparse(&spec)).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn specialized_specs_unparse() {
+        // A specialized spec (no holes) still renders valid DSL.
+        let spec = parse_alu(
+            "name: spec\ntype: stateful\nstate variables: {s}\nhole variables: {}\n\
+             packet fields: {p}\ns = (s + p) * 2;",
+        )
+        .unwrap();
+        let text = unparse(&spec);
+        assert!(text.contains("s = ((s + p) * 2);"));
+        assert_eq!(parse_alu(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn unary_and_logical_round_trip() {
+        let spec = parse_alu(
+            "name: u\ntype: stateless\nhole variables: {}\npacket fields: {a, b}\n\
+             return !(a >= b) && -(a) != b || 1;",
+        )
+        .unwrap();
+        let back = parse_alu(&unparse(&spec)).unwrap();
+        assert_eq!(spec, back);
+    }
+}

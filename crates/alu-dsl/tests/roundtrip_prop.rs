@@ -1,0 +1,180 @@
+//! Property test: randomly generated ALU specifications survive an
+//! unparse/parse round trip exactly, and their hole lists stay consistent.
+
+use druzhba_alu_dsl::ast::{AluSpec, BinOp, Expr, HoleDecl, HoleDomain, Stmt, UnOp};
+use druzhba_alu_dsl::{parse_alu, unparse, AluKind};
+use proptest::prelude::*;
+
+/// Hole-name bookkeeping mirroring the parser's per-construct counters.
+#[derive(Default, Clone, Debug)]
+struct Counters {
+    mux2: usize,
+    mux3: usize,
+    opt: usize,
+    rel_op: usize,
+    arith_op: usize,
+    konst: usize,
+    holes: Vec<HoleDecl>,
+}
+
+impl Counters {
+    fn fresh(&mut self, prefix: &str, domain: HoleDomain) -> String {
+        let c = match prefix {
+            "mux2" => &mut self.mux2,
+            "mux3" => &mut self.mux3,
+            "opt" => &mut self.opt,
+            "rel_op" => &mut self.rel_op,
+            "arith_op" => &mut self.arith_op,
+            _ => &mut self.konst,
+        };
+        let name = format!("{prefix}_{}", *c);
+        *c += 1;
+        self.holes.push(HoleDecl {
+            local: name.clone(),
+            domain,
+        });
+        name
+    }
+}
+
+/// Shape of a random expression; hole names are assigned afterwards in
+/// pre-order so they match what the parser would produce.
+#[derive(Debug, Clone)]
+enum Shape {
+    Const(u32),
+    Pkt(u8),
+    State,
+    CConst,
+    Opt(Box<Shape>),
+    Mux2(Box<Shape>, Box<Shape>),
+    Mux3(Box<Shape>, Box<Shape>, Box<Shape>),
+    RelOp(Box<Shape>, Box<Shape>),
+    ArithOp(Box<Shape>, Box<Shape>),
+    Bin(u8, Box<Shape>, Box<Shape>),
+    Un(bool, Box<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (0u32..100).prop_map(Shape::Const),
+        (0u8..2).prop_map(Shape::Pkt),
+        Just(Shape::State),
+        Just(Shape::CConst),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Shape::Opt(Box::new(x))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::Mux2(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Shape::Mux3(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::RelOp(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::ArithOp(Box::new(a), Box::new(b))),
+            (0u8..13, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Shape::Bin(op, Box::new(a), Box::new(b))),
+            (any::<bool>(), inner).prop_map(|(neg, x)| Shape::Un(neg, Box::new(x))),
+        ]
+    })
+}
+
+fn binop(i: u8) -> BinOp {
+    use BinOp::*;
+    [Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Gt, Le, Ge, And, Or][i as usize % 13]
+}
+
+fn build(shape: &Shape, c: &mut Counters) -> Expr {
+    match shape {
+        Shape::Const(v) => Expr::Const(*v),
+        Shape::Pkt(i) => Expr::Var(format!("pkt_{}", i % 2)),
+        Shape::State => Expr::Var("state_0".into()),
+        Shape::CConst => Expr::CConst {
+            hole: c.fresh("const", HoleDomain::Bits(32)),
+        },
+        Shape::Opt(x) => {
+            let hole = c.fresh("opt", HoleDomain::Choice(2));
+            Expr::Opt {
+                hole,
+                arg: Box::new(build(x, c)),
+            }
+        }
+        Shape::Mux2(a, b) => {
+            let hole = c.fresh("mux2", HoleDomain::Choice(2));
+            Expr::Mux2 {
+                hole,
+                a: Box::new(build(a, c)),
+                b: Box::new(build(b, c)),
+            }
+        }
+        Shape::Mux3(a, b, x) => {
+            let hole = c.fresh("mux3", HoleDomain::Choice(3));
+            Expr::Mux3 {
+                hole,
+                a: Box::new(build(a, c)),
+                b: Box::new(build(b, c)),
+                c: Box::new(build(x, c)),
+            }
+        }
+        Shape::RelOp(a, b) => {
+            let hole = c.fresh("rel_op", HoleDomain::Choice(4));
+            Expr::RelOp {
+                hole,
+                a: Box::new(build(a, c)),
+                b: Box::new(build(b, c)),
+            }
+        }
+        Shape::ArithOp(a, b) => {
+            let hole = c.fresh("arith_op", HoleDomain::Choice(2));
+            Expr::ArithOp {
+                hole,
+                a: Box::new(build(a, c)),
+                b: Box::new(build(b, c)),
+            }
+        }
+        Shape::Bin(op, a, b) => Expr::Binary {
+            op: binop(*op),
+            l: Box::new(build(a, c)),
+            r: Box::new(build(b, c)),
+        },
+        Shape::Un(neg, x) => Expr::Unary {
+            op: if *neg { UnOp::Neg } else { UnOp::Not },
+            x: Box::new(build(x, c)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated stateful spec unparses to source that parses back to
+    /// the *identical* AST and hole list.
+    #[test]
+    fn random_specs_round_trip(guard in shape_strategy(), update in shape_strategy()) {
+        let mut counters = Counters::default();
+        let cond = build(&guard, &mut counters);
+        let rhs = build(&update, &mut counters);
+        let spec = AluSpec {
+            name: "generated".into(),
+            kind: AluKind::Stateful,
+            state_vars: vec!["state_0".into()],
+            hole_vars: vec![],
+            packet_fields: vec!["pkt_0".into(), "pkt_1".into()],
+            body: vec![Stmt::If {
+                arms: vec![(
+                    cond,
+                    vec![Stmt::Assign {
+                        target: "state_0".into(),
+                        value: rhs,
+                    }],
+                )],
+                else_body: vec![],
+            }],
+            holes: counters.holes.clone(),
+        };
+        let text = unparse(&spec);
+        let back = parse_alu(&text)
+            .unwrap_or_else(|e| panic!("generated spec failed to parse: {e}\n{text}"));
+        prop_assert_eq!(back, spec);
+    }
+}

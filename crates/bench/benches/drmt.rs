@@ -1,0 +1,77 @@
+//! dRMT benches: scheduler solve time and packets/second of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use druzhba_drmt::schedule::{solve, solve_optimal, ScheduleConfig};
+use druzhba_drmt::{parse_entries, DrmtMachine, PacketGen};
+use druzhba_p4::deps::build_dag;
+use druzhba_p4::parse_p4;
+
+const PROGRAM: &str = r#"
+    header_type ipv4_t { fields { src : 32; dst : 32; ttl : 8; proto : 8; } }
+    header_type meta_t { fields { nhop : 32; port : 8; } }
+    header ipv4_t ipv4;
+    metadata meta_t meta;
+    parser start { extract(ipv4); return ingress; }
+    action set_nhop(nhop, port) {
+        modify_field(meta.nhop, nhop);
+        modify_field(meta.port, port);
+        subtract_from_field(ipv4.ttl, 1);
+    }
+    action permit() { no_op(); }
+    action deny() { drop(); }
+    action _nop() { no_op(); }
+    table routing { reads { ipv4.dst : lpm; } actions { set_nhop; _nop; } }
+    table acl {
+        reads { ipv4.proto : ternary; }
+        actions { permit; deny; }
+        default_action : permit;
+    }
+    control ingress { apply(routing); apply(acl); }
+"#;
+
+const ENTRIES: &str = "\
+    routing : ipv4.dst=0x0A000000/8 => set_nhop(1, 10)\n\
+    acl : ipv4.proto=17/0xff => deny()\n";
+
+fn bench_drmt(c: &mut Criterion) {
+    let hlir = parse_p4(PROGRAM).unwrap();
+    let dag = build_dag(&hlir);
+    let cfg = ScheduleConfig {
+        processors: 4,
+        ..Default::default()
+    };
+
+    c.bench_function("drmt/schedule_greedy", |b| {
+        b.iter(|| solve(&dag, &cfg).unwrap())
+    });
+    c.bench_function("drmt/schedule_exact", |b| {
+        b.iter(|| solve_optimal(&dag, &cfg, 100_000).unwrap())
+    });
+
+    let schedule = solve(&dag, &cfg).unwrap();
+    let entries = parse_entries(ENTRIES).unwrap();
+    const PACKETS: usize = 2_000;
+    let mut group = c.benchmark_group("drmt/simulate");
+    group.throughput(Throughput::Elements(PACKETS as u64));
+    group.bench_function("2000_packets_4_processors", |b| {
+        b.iter_batched(
+            || {
+                let packets = PacketGen::new(&hlir, 7).packets(PACKETS);
+                let machine = DrmtMachine::new(
+                    hlir.clone(),
+                    schedule.clone(),
+                    cfg,
+                    entries.clone(),
+                )
+                .unwrap();
+                (machine, packets)
+            },
+            |(mut machine, packets)| machine.run(packets),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drmt);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of dgen itself: specialization (SCC propagation),
+//! bytecode compilation (inlining), pipeline generation, and source
+//! emission — the ablation behind the Table 1 deltas.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use druzhba_alu_dsl::atoms::atom;
+use druzhba_core::{MachineCode, PipelineConfig};
+use druzhba_dgen::{
+    bytecode::BytecodeProgram, emit::emit_pipeline, expected_machine_code, opt::specialize,
+    OptLevel, Pipeline, PipelineSpec,
+};
+
+fn setup() -> (PipelineSpec, MachineCode) {
+    let spec = PipelineSpec::new(
+        PipelineConfig::new(4, 5),
+        atom("pred_raw").unwrap(),
+        atom("stateless_full").unwrap(),
+    )
+    .unwrap();
+    let mc = MachineCode::from_pairs(
+        expected_machine_code(&spec)
+            .into_iter()
+            .map(|(n, _)| (n, 0)),
+    );
+    (spec, mc)
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let (spec, mc) = setup();
+    let alu = atom("pred_raw").unwrap();
+    let holes: HashMap<String, u32> = alu.holes.iter().map(|h| (h.local.clone(), 0)).collect();
+
+    c.bench_function("dgen/scc_specialize_pred_raw", |b| {
+        b.iter(|| specialize(&alu, &holes))
+    });
+    let specialized = specialize(&alu, &holes);
+    c.bench_function("dgen/bytecode_compile_pred_raw", |b| {
+        b.iter(|| BytecodeProgram::compile(&specialized))
+    });
+    for opt in OptLevel::ALL {
+        c.bench_function(&format!("dgen/generate_4x5/{}", opt.label()), |b| {
+            b.iter(|| Pipeline::generate(&spec, &mc, opt).unwrap())
+        });
+        c.bench_function(&format!("dgen/emit_4x5/{}", opt.label()), |b| {
+            b.iter(|| emit_pipeline(&spec, &mc, opt).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion version of Table 1: per-program simulation throughput at each
+//! optimization level. Uses a reduced PHV count per iteration (Criterion
+//! samples repeatedly); the `table1` binary performs the paper's exact
+//! 50 000-PHV runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use druzhba_bench::BENCH_SEED;
+use druzhba_dgen::{OptLevel, Pipeline};
+use druzhba_dsim::{Simulator, TrafficGenerator};
+use druzhba_programs::PROGRAMS;
+
+const PHVS_PER_ITER: usize = 2_000;
+
+fn bench_table1(c: &mut Criterion) {
+    for def in &PROGRAMS {
+        let compiled = match def.compile_cached() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", def.name);
+                continue;
+            }
+        };
+        let mut group = c.benchmark_group(format!("table1/{}", def.name));
+        group.throughput(Throughput::Elements(PHVS_PER_ITER as u64));
+        for opt in OptLevel::ALL {
+            let input = TrafficGenerator::new(
+                BENCH_SEED,
+                compiled.pipeline_spec.config.phv_length,
+                10,
+            )
+            .trace(PHVS_PER_ITER);
+            group.bench_function(BenchmarkId::from_parameter(opt.label()), |b| {
+                b.iter_batched(
+                    || {
+                        Simulator::new(
+                            Pipeline::generate(
+                                &compiled.pipeline_spec,
+                                &compiled.machine_code,
+                                opt,
+                            )
+                            .unwrap(),
+                        )
+                    },
+                    |mut sim| sim.run(&input),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

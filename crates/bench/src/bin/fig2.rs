@@ -1,0 +1,72 @@
+//! Reproduce the paper's Fig. 2: the structure of a pipeline with depth 2,
+//! width 2, and PHV length 2 — stages of stateless + stateful ALUs wired to
+//! the PHV through input and output muxes.
+//!
+//! Usage: `cargo run -p druzhba-bench --bin fig2`
+
+use druzhba_alu_dsl::atoms::atom;
+use druzhba_core::{MachineCode, PipelineConfig};
+use druzhba_dgen::{expected_machine_code, OptLevel, Pipeline, PipelineSpec};
+
+fn main() {
+    let spec = PipelineSpec::new(
+        PipelineConfig::new(2, 2),
+        atom("if_else_raw").unwrap(),
+        atom("stateless_arith").unwrap(),
+    )
+    .unwrap();
+    // Pass-through machine code; the figure is about structure, not
+    // behaviour.
+    let mc = MachineCode::from_pairs(
+        expected_machine_code(&spec)
+            .into_iter()
+            .map(|(name, _)| (name, 0)),
+    );
+    let pipeline = Pipeline::generate(&spec, &mc, OptLevel::SccInline).unwrap();
+    let cfg = pipeline.config();
+    println!(
+        "Pipeline: depth {}, width {}, PHV length {} (paper Fig. 2)\n",
+        cfg.depth, cfg.width, cfg.phv_length
+    );
+    for (s, stage) in pipeline.stages().iter().enumerate() {
+        println!("Pipeline Stage {s}");
+        for alu in stage.stateless_alus() {
+            let (_, slot) = alu.position();
+            let sels: Vec<String> = (0..alu.spec().operand_count())
+                .map(|k| format!("PHV[{}]", alu.operand_selection(k)))
+                .collect();
+            println!(
+                "  stateless ALU {slot} `{}`  <- input muxes {}",
+                alu.spec().name,
+                sels.join(", ")
+            );
+        }
+        for alu in stage.stateful_alus() {
+            let (_, slot) = alu.position();
+            let sels: Vec<String> = (0..alu.spec().operand_count())
+                .map(|k| format!("PHV[{}]", alu.operand_selection(k)))
+                .collect();
+            println!(
+                "  stateful  ALU {slot} `{}`  <- input muxes {}  (state storage: {} vars)",
+                alu.spec().name,
+                sels.join(", "),
+                alu.state().len()
+            );
+        }
+        for c in 0..cfg.phv_length {
+            let sel = stage.output_selection(c);
+            let src = if sel == 0 {
+                "pass-through".to_string()
+            } else if sel <= cfg.width {
+                format!("stateless ALU {}", sel - 1)
+            } else {
+                format!("stateful ALU {}", sel - 1 - cfg.width)
+            };
+            println!("  output mux PHV[{c}] <- {src}");
+        }
+    }
+    println!(
+        "\nTotal machine code pairs programming this pipeline: {}",
+        mc.len()
+    );
+}

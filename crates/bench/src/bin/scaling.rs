@@ -1,0 +1,48 @@
+//! Ablation for the §5.1 scaling claim: *"programs … that showed the most
+//! significant improvements due to our optimizations were the ones with the
+//! highest number of pipeline depths and widths"*. Sweeps depth x width
+//! with a fixed ALU pair and reports the unoptimized/SCC speedup.
+//!
+//! Usage: `cargo run -p druzhba-bench --release --bin scaling [num_phvs]`
+
+use druzhba_alu_dsl::atoms::atom;
+use druzhba_bench::{time_simulation, BENCH_SEED};
+use druzhba_core::{MachineCode, PipelineConfig};
+use druzhba_dgen::{expected_machine_code, OptLevel, PipelineSpec};
+
+fn main() {
+    let num_phvs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("Speedup of SCC propagation vs unoptimized, {num_phvs} PHVs, pred_raw/stateless_full\n");
+    println!(
+        "{:>6} {:>6} {:>10} {:>14} {:>12} {:>9}",
+        "depth", "width", "mc pairs", "unopt (ms)", "scc (ms)", "speedup"
+    );
+    for depth in [1usize, 2, 4, 6] {
+        for width in [1usize, 2, 4, 6] {
+            let spec = PipelineSpec::new(
+                PipelineConfig::new(depth, width),
+                atom("pred_raw").unwrap(),
+                atom("stateless_full").unwrap(),
+            )
+            .unwrap();
+            let expected = expected_machine_code(&spec);
+            let pairs = expected.len();
+            let mc = MachineCode::from_pairs(expected.into_iter().map(|(n, _)| (n, 0)));
+            let unopt =
+                time_simulation(&spec, &mc, OptLevel::Unoptimized, num_phvs, BENCH_SEED).unwrap();
+            let scc = time_simulation(&spec, &mc, OptLevel::Scc, num_phvs, BENCH_SEED).unwrap();
+            println!(
+                "{:>6} {:>6} {:>10} {:>14.1} {:>12.1} {:>8.2}x",
+                depth,
+                width,
+                pairs,
+                unopt.as_secs_f64() * 1e3,
+                scc.as_secs_f64() * 1e3,
+                unopt.as_secs_f64() / scc.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduce the paper's Table 1: simulation runtime of the 12 benchmark
+//! programs at each optimization level, 50 000 PHVs each.
+//!
+//! Usage: `cargo run -p druzhba-bench --release --bin table1 [num_phvs]`
+
+use druzhba_bench::{format_table1, table1_row, PAPER_PHVS};
+use druzhba_programs::PROGRAMS;
+
+fn main() {
+    let num_phvs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_PHVS);
+    eprintln!("Compiling 12 programs and simulating {num_phvs} PHVs per backend...");
+    let mut rows = Vec::new();
+    for def in &PROGRAMS {
+        match table1_row(def, num_phvs) {
+            Ok(row) => {
+                eprintln!(
+                    "  {:<20} unopt {:>8.1} ms | scc {:>8.1} ms | inline {:>8.1} ms",
+                    def.table1_name,
+                    row.unoptimized.as_secs_f64() * 1e3,
+                    row.scc.as_secs_f64() * 1e3,
+                    row.scc_inline.as_secs_f64() * 1e3
+                );
+                rows.push(row);
+            }
+            Err(e) => eprintln!("  {:<20} FAILED: {e}", def.table1_name),
+        }
+    }
+    println!("\nTABLE 1: RMT runtimes with and without optimizations ({num_phvs} PHVs)\n");
+    println!("{}", format_table1(&rows));
+    let avg: f64 = rows.iter().map(|r| r.scc_speedup()).sum::<f64>() / rows.len() as f64;
+    println!("Mean SCC-propagation speedup over unoptimized: {avg:.2}x");
+}

@@ -1,0 +1,178 @@
+//! # druzhba-bench
+//!
+//! The benchmark and experiment harness reproducing every table and figure
+//! of the paper's evaluation (§5). Each artifact has a plain binary that
+//! prints the paper-style rows (see DESIGN.md §5 for the experiment
+//! index):
+//!
+//! | Binary | Artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — RMT runtimes for 12 programs × 3 optimization levels, 50 000 PHVs |
+//! | `case_study` | §5.2 — the compiler-testing campaign (120+ correct programs, injected failures) |
+//! | `fig6` | Fig. 6 — the three generated pipeline-description versions |
+//! | `fig2` | Fig. 2 — structural dump of a depth-2/width-2 pipeline |
+//! | `scaling` | §5.1 scaling claim — optimization speedup vs. pipeline size |
+//! | `drmt_schedule` | §4 — table DAG, schedules, and dRMT simulation stats |
+//!
+//! Criterion benches (`cargo bench`) cover the same measurements with
+//! statistical rigor on smaller PHV counts.
+
+use std::time::{Duration, Instant};
+
+use druzhba_chipmunk::CompiledProgram;
+use druzhba_core::{MachineCode, Result};
+use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
+use druzhba_dsim::{Simulator, TrafficGenerator};
+use druzhba_programs::ProgramDef;
+
+/// The PHV count of the paper's benchmarks (§5: *"Every RMT benchmark was
+/// executed by using 50000 PHVs generated from the traffic generator"*).
+pub const PAPER_PHVS: usize = 50_000;
+
+/// Traffic seed shared by all benchmark runs so every backend sees the
+/// identical PHV sequence.
+pub const BENCH_SEED: u64 = 0xD0_D1_D2;
+
+/// Build a pipeline and time a simulation of `num_phvs` random PHVs.
+///
+/// Returns the wall-clock duration of the simulation loop only (pipeline
+/// generation excluded, as in the paper: dgen runs ahead of dsim).
+pub fn time_simulation(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    opt: OptLevel,
+    num_phvs: usize,
+    seed: u64,
+) -> Result<Duration> {
+    let pipeline = Pipeline::generate(spec, mc, opt)?;
+    let mut traffic = TrafficGenerator::new(seed, spec.config.phv_length, 10);
+    let input = traffic.trace(num_phvs);
+    let mut sim = Simulator::new(pipeline);
+    let start = Instant::now();
+    let output = sim.run(&input);
+    let elapsed = start.elapsed();
+    // Keep the output alive so the run cannot be optimized away.
+    assert_eq!(output.phvs.len(), num_phvs);
+    Ok(elapsed)
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub program: &'static str,
+    pub depth: usize,
+    pub width: usize,
+    pub alu: &'static str,
+    pub unoptimized: Duration,
+    pub scc: Duration,
+    pub scc_inline: Duration,
+}
+
+impl Table1Row {
+    /// Speedup of SCC propagation over the unoptimized backend.
+    pub fn scc_speedup(&self) -> f64 {
+        self.unoptimized.as_secs_f64() / self.scc.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measure one Table 1 row (compiling the program first).
+pub fn table1_row(def: &ProgramDef, num_phvs: usize) -> Result<Table1Row> {
+    let compiled = def.compile_cached()?;
+    let timings: Vec<Duration> = OptLevel::ALL
+        .iter()
+        .map(|&opt| {
+            time_simulation(
+                &compiled.pipeline_spec,
+                &compiled.machine_code,
+                opt,
+                num_phvs,
+                BENCH_SEED,
+            )
+        })
+        .collect::<Result<_>>()?;
+    Ok(Table1Row {
+        program: def.table1_name,
+        depth: def.depth,
+        width: def.width,
+        alu: def.stateful_atom,
+        unoptimized: timings[0],
+        scc: timings[1],
+        scc_inline: timings[2],
+    })
+}
+
+/// Render rows in the paper's Table 1 layout.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>17} {:>21} {:>8}\n",
+        "Program", "depth,width", "ALU name", "Unoptimized (ms)", "SCC propagation (ms)", "+ FI (ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>17.1} {:>21.1} {:>8.1}\n",
+            r.program,
+            format!("{},{}", r.depth, r.width),
+            r.alu,
+            r.unoptimized.as_secs_f64() * 1e3,
+            r.scc.as_secs_f64() * 1e3,
+            r.scc_inline.as_secs_f64() * 1e3,
+        ));
+    }
+    out
+}
+
+/// Compile a program variant on an enlarged grid (the case-study campaign
+/// uses grid variants to generate many distinct machine-code programs).
+pub fn compile_variant(
+    def: &ProgramDef,
+    extra_depth: usize,
+    extra_width: usize,
+) -> Result<CompiledProgram> {
+    let mut cfg = def.compiler_config();
+    cfg.depth += extra_depth;
+    cfg.width += extra_width;
+    druzhba_chipmunk::compile(&def.parse(), &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_programs::PROGRAMS;
+
+    #[test]
+    fn timing_harness_runs_and_orders_levels() {
+        // Not a performance assertion (debug builds distort ratios); just
+        // that the harness produces sane, nonzero timings.
+        let def = &PROGRAMS[2]; // sampling, smallest grid
+        let row = table1_row(def, 2_000).unwrap();
+        assert!(row.unoptimized > Duration::ZERO);
+        assert!(row.scc > Duration::ZERO);
+        assert!(row.scc_inline > Duration::ZERO);
+    }
+
+    #[test]
+    fn grid_variants_compile() {
+        let def = druzhba_programs::by_name("sampling").unwrap();
+        let v = compile_variant(def, 1, 1).unwrap();
+        assert_eq!(v.pipeline_spec.config.depth, def.depth + 1);
+        assert_eq!(v.pipeline_spec.config.width, def.width + 1);
+    }
+
+    #[test]
+    fn format_table1_contains_all_programs() {
+        let rows = vec![Table1Row {
+            program: "BLUE (decrease)",
+            depth: 4,
+            width: 2,
+            alu: "sub",
+            unoptimized: Duration::from_millis(986),
+            scc: Duration::from_millis(576),
+            scc_inline: Duration::from_millis(576),
+        }];
+        let s = format_table1(&rows);
+        assert!(s.contains("BLUE (decrease)"));
+        assert!(s.contains("4,2"));
+        assert!(s.contains("sub"));
+    }
+}

@@ -1,0 +1,706 @@
+//! Lowering: from a symbolic transaction to atom tasks plus a stateless DAG.
+//!
+//! The Domino thesis this compiler follows: state updates must map onto
+//! *atoms* (one atomic stateful unit per state-variable group), and
+//! everything state-free becomes a feed-forward DAG of stateless
+//! operations. This module
+//!
+//! 1. partitions state variables into **groups** (each group = one stateful
+//!    atom instance; variables that reference each other cyclically *must*
+//!    share an atom because switch state is ALU-local);
+//! 2. **aligns** the per-variable guarded-update trees of a group into one
+//!    [`TargetTree`];
+//! 3. extracts the group's **operands** — the maximal state-free
+//!    subexpressions of its guards/updates, each of which arrives through
+//!    one of the atom's input muxes;
+//! 4. builds the **stateless DAG** computing those operands and every
+//!    written packet field, with hash-consing, unary lowering
+//!    (`-x` → `0 - x`, `!x` → `x == 0`), and arithmetic `Ite` lowering
+//!    (`c ? a : b` → `flag*a + (1-flag)*b`).
+
+use std::collections::HashMap;
+
+use druzhba_core::{Error, Result, Value};
+use druzhba_domino::ast::{BinOp, DominoProgram, UnOp};
+
+use crate::ir::{ite_lift, symbolic_execute, PExpr, SExpr, TExpr, TargetTree};
+
+/// One stateful atom instance to synthesize.
+#[derive(Debug, Clone)]
+pub struct AtomTask {
+    /// Program state-variable indices implemented by this atom, in
+    /// declaration order; element `k` maps to the atom's `state_k`.
+    pub group: Vec<usize>,
+    /// Operand expressions, in input-mux order.
+    pub operands: Vec<PExpr>,
+    /// The guarded-update semantics.
+    pub tree: TargetTree,
+}
+
+/// A stateless DAG node's operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DagOp {
+    /// Binary operation over the node's two inputs.
+    Bin(BinOp),
+    /// Materialize a constant (a mux arm selecting `C()`).
+    Const(Value),
+}
+
+/// Where a DAG node (or atom operand, or field sink) gets a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeInput {
+    /// Input packet field, by index into [`Lowered::input_fields`].
+    Field(usize),
+    /// Output of DAG node `i`.
+    Node(usize),
+    /// Output of atom `g` (its pre-update first state variable).
+    AtomOutput(usize),
+    /// Immediate constant (consumed through an ALU's `C()` hole).
+    Const(Value),
+}
+
+/// One stateless ALU's worth of work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DagNode {
+    pub op: DagOp,
+    pub a: NodeInput,
+    pub b: NodeInput,
+}
+
+/// The fully lowered program.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Input packet fields, sorted; field `i` lives in container `i`.
+    pub input_fields: Vec<String>,
+    /// Stateful atom tasks; atom operands are resolved to [`NodeInput`]s in
+    /// `atom_operand_inputs`.
+    pub atoms: Vec<AtomTask>,
+    /// Resolved operand sources per atom.
+    pub atom_operand_inputs: Vec<Vec<NodeInput>>,
+    /// Stateless DAG in creation (topological) order.
+    pub nodes: Vec<DagNode>,
+    /// Written packet fields and their sources, sorted by name.
+    pub field_sinks: Vec<(String, NodeInput)>,
+}
+
+/// Candidate partitions of the program's state variables into atom groups,
+/// most-merged first, each respecting `capacity` (the atom's state-variable
+/// count).
+pub fn groupings(program: &DominoProgram, capacity: usize) -> Result<Vec<Vec<Vec<usize>>>> {
+    let sym = symbolic_execute(program)?;
+    let n = program.state_vars.len();
+    // refs[i] = state variables j != i referenced by i's final value.
+    let mut adj = vec![vec![false; n]; n];
+    for (i, e) in sym.state_final.iter().enumerate() {
+        for j in e.state_refs() {
+            if j != i {
+                adj[i][j] = true;
+            }
+        }
+    }
+    // Transitive closure for SCC detection.
+    let mut reach = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+            }
+        }
+    }
+    // Minimal grouping: strongly connected components.
+    let minimal = components(n, |i, j| reach[i][j] && reach[j][i]);
+    // Merged grouping: weakly connected components.
+    let merged = components(n, |i, j| adj[i][j] || adj[j][i]);
+
+    let mut options = Vec::new();
+    for option in [merged, minimal] {
+        if option.iter().all(|g| g.len() <= capacity) && !options.contains(&option) {
+            options.push(option);
+        }
+    }
+    if options.is_empty() {
+        return Err(Error::DoesNotFit {
+            message: format!(
+                "state variables form a dependency group larger than the atom's \
+                 {capacity} state variable(s)"
+            ),
+        });
+    }
+    Ok(options)
+}
+
+/// Union variables related by `related` into sorted groups, ordered by
+/// smallest member.
+fn components(n: usize, related: impl Fn(usize, usize) -> bool) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if related(i, j) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Lower the program against one grouping.
+pub fn lower(program: &DominoProgram, groups: &[Vec<usize>]) -> Result<Lowered> {
+    let sym = symbolic_execute(program)?;
+    let input_fields = program.fields_read();
+
+    // group_of[state var] = atom index.
+    let n = program.state_vars.len();
+    let mut group_of = vec![usize::MAX; n];
+    for (g, vars) in groups.iter().enumerate() {
+        for &v in vars {
+            group_of[v] = g;
+        }
+    }
+
+    // Build atom tasks.
+    let mut atoms = Vec::new();
+    for vars in groups {
+        let trees: Vec<(usize, SExpr)> = vars
+            .iter()
+            .map(|&v| (v, ite_lift(&sym.state_final[v])))
+            .collect();
+        let raw = align(&trees)?;
+        let mut operands: Vec<PExpr> = Vec::new();
+        let tree = to_target_tree(&raw, vars, groups, &group_of, &mut operands)?;
+        atoms.push(AtomTask {
+            group: vars.clone(),
+            operands,
+            tree,
+        });
+    }
+
+    // Stateless DAG: atom operands first, then field writes.
+    let mut builder = DagBuilder {
+        input_fields: &input_fields,
+        nodes: Vec::new(),
+        memo: HashMap::new(),
+    };
+    let mut atom_operand_inputs = Vec::new();
+    for atom in &atoms {
+        let inputs: Result<Vec<NodeInput>> =
+            atom.operands.iter().map(|e| builder.build(e)).collect();
+        atom_operand_inputs.push(inputs?);
+    }
+    let mut field_sinks = Vec::new();
+    for (field, sexpr) in &sym.field_writes {
+        let p = sexpr_to_pexpr(sexpr, groups, &group_of)?;
+        let mut input = builder.build(&p)?;
+        // A constant sink still needs an ALU to materialize it.
+        if let NodeInput::Const(v) = input {
+            input = builder.push(DagNode {
+                op: DagOp::Const(v),
+                a: NodeInput::Const(v),
+                b: NodeInput::Const(0),
+            });
+        }
+        field_sinks.push((field.clone(), input));
+    }
+
+    let nodes = builder.nodes;
+    Ok(Lowered {
+        input_fields,
+        atoms,
+        atom_operand_inputs,
+        nodes,
+        field_sinks,
+    })
+}
+
+/// A guarded-update tree whose guards/updates are still symbolic.
+#[derive(Debug, Clone)]
+enum RawTree {
+    Leaf(Vec<(usize, SExpr)>),
+    Branch {
+        guard: SExpr,
+        then_tree: Box<RawTree>,
+        else_tree: Box<RawTree>,
+    },
+}
+
+/// Align the per-variable decision trees of one group into a single tree.
+/// All variables that branch at a level must branch on a *structurally
+/// identical* guard.
+fn align(trees: &[(usize, SExpr)]) -> Result<RawTree> {
+    // Find the first variable whose expression is an Ite; its condition
+    // becomes this level's guard.
+    let guard = trees.iter().find_map(|(_, e)| match e {
+        SExpr::Ite(c, _, _) => Some((**c).clone()),
+        _ => None,
+    });
+    let Some(guard) = guard else {
+        return Ok(RawTree::Leaf(trees.to_vec()));
+    };
+    let mut then_parts = Vec::with_capacity(trees.len());
+    let mut else_parts = Vec::with_capacity(trees.len());
+    for (v, e) in trees {
+        match e {
+            SExpr::Ite(c, t, el) if **c == guard => {
+                then_parts.push((*v, (**t).clone()));
+                else_parts.push((*v, (**el).clone()));
+            }
+            SExpr::Ite(c, _, _) => {
+                return Err(Error::DoesNotFit {
+                    message: format!(
+                        "state variables in one atom branch on different guards \
+                         (`{c}` vs `{guard}`)",
+                        c = format_args!("{:?}", c),
+                        guard = format_args!("{:?}", guard)
+                    ),
+                });
+            }
+            other => {
+                // Unconditional at this level: same on both sides.
+                then_parts.push((*v, other.clone()));
+                else_parts.push((*v, other.clone()));
+            }
+        }
+    }
+    Ok(RawTree::Branch {
+        guard,
+        then_tree: Box::new(align(&then_parts)?),
+        else_tree: Box::new(align(&else_parts)?),
+    })
+}
+
+/// Convert a raw tree into a [`TargetTree`], extracting operands.
+fn to_target_tree(
+    raw: &RawTree,
+    group: &[usize],
+    groups: &[Vec<usize>],
+    group_of: &[usize],
+    operands: &mut Vec<PExpr>,
+) -> Result<TargetTree> {
+    match raw {
+        RawTree::Leaf(entries) => {
+            let mut updates = vec![None; group.len()];
+            for (v, e) in entries {
+                let k = group.iter().position(|g| g == v).expect("var in group");
+                // Unchanged variables (`v = v0`) stay None.
+                if *e == SExpr::InitState(*v) {
+                    continue;
+                }
+                updates[k] = Some(to_texpr(e, group, groups, group_of, operands)?);
+            }
+            Ok(TargetTree::Leaf { updates })
+        }
+        RawTree::Branch {
+            guard,
+            then_tree,
+            else_tree,
+        } => Ok(TargetTree::Branch {
+            guard: to_texpr(guard, group, groups, group_of, operands)?,
+            then_tree: Box::new(to_target_tree(
+                then_tree, group, groups, group_of, operands,
+            )?),
+            else_tree: Box::new(to_target_tree(
+                else_tree, group, groups, group_of, operands,
+            )?),
+        }),
+    }
+}
+
+/// Rewrite a symbolic expression into a [`TExpr`] for one atom: own-group
+/// state references become [`TExpr::StateRef`]; maximal state-free
+/// subexpressions become operands.
+fn to_texpr(
+    e: &SExpr,
+    group: &[usize],
+    groups: &[Vec<usize>],
+    group_of: &[usize],
+    operands: &mut Vec<PExpr>,
+) -> Result<TExpr> {
+    // Is the expression free of *this group's* state?
+    let own_refs = e
+        .state_refs()
+        .into_iter()
+        .any(|r| group.contains(&r));
+    if !own_refs {
+        if let SExpr::Const(v) = e {
+            return Ok(TExpr::Const(*v));
+        }
+        let p = sexpr_to_pexpr(e, groups, group_of)?;
+        let idx = match operands.iter().position(|o| *o == p) {
+            Some(i) => i,
+            None => {
+                operands.push(p);
+                operands.len() - 1
+            }
+        };
+        return Ok(TExpr::Op(idx));
+    }
+    match e {
+        SExpr::InitState(v) => {
+            let k = group.iter().position(|g| g == v).expect("own ref");
+            Ok(TExpr::StateRef(k))
+        }
+        SExpr::Bin(op, l, r) => Ok(TExpr::Bin(
+            *op,
+            Box::new(to_texpr(l, group, groups, group_of, operands)?),
+            Box::new(to_texpr(r, group, groups, group_of, operands)?),
+        )),
+        SExpr::Un(op, x) => Ok(TExpr::Un(
+            *op,
+            Box::new(to_texpr(x, group, groups, group_of, operands)?),
+        )),
+        SExpr::Ite(..) => Err(Error::DoesNotFit {
+            message: "conditional nested inside an atom update after Ite lifting \
+                      (guards of guards are not expressible in an atom)"
+                .into(),
+        }),
+        SExpr::Const(_) | SExpr::Field(_) => unreachable!("state-free cases handled above"),
+    }
+}
+
+/// Rewrite a state-free-except-other-groups symbolic expression into a
+/// [`PExpr`]: other groups' first state variables become atom outputs.
+fn sexpr_to_pexpr(e: &SExpr, groups: &[Vec<usize>], group_of: &[usize]) -> Result<PExpr> {
+    Ok(match e {
+        SExpr::Const(v) => PExpr::Const(*v),
+        SExpr::Field(name) => PExpr::Field(name.clone()),
+        SExpr::InitState(v) => {
+            let g = group_of[*v];
+            if groups[g][0] != *v {
+                return Err(Error::DoesNotFit {
+                    message: format!(
+                        "state variable #{v} is read outside its atom but is not the \
+                         atom's first state variable (only the first variable's \
+                         pre-update value is visible as the atom output)"
+                    ),
+                });
+            }
+            PExpr::AtomOutput(g)
+        }
+        SExpr::Bin(op, l, r) => PExpr::Bin(
+            *op,
+            Box::new(sexpr_to_pexpr(l, groups, group_of)?),
+            Box::new(sexpr_to_pexpr(r, groups, group_of)?),
+        ),
+        SExpr::Un(op, x) => PExpr::Un(*op, Box::new(sexpr_to_pexpr(x, groups, group_of)?)),
+        SExpr::Ite(c, t, el) => PExpr::Ite(
+            Box::new(sexpr_to_pexpr(c, groups, group_of)?),
+            Box::new(sexpr_to_pexpr(t, groups, group_of)?),
+            Box::new(sexpr_to_pexpr(el, groups, group_of)?),
+        ),
+    })
+}
+
+struct DagBuilder<'a> {
+    input_fields: &'a [String],
+    nodes: Vec<DagNode>,
+    memo: HashMap<DagNode, NodeInput>,
+}
+
+impl DagBuilder<'_> {
+    fn push(&mut self, node: DagNode) -> NodeInput {
+        if let Some(&existing) = self.memo.get(&node) {
+            return existing;
+        }
+        let input = NodeInput::Node(self.nodes.len());
+        self.nodes.push(node.clone());
+        self.memo.insert(node, input);
+        input
+    }
+
+    fn build(&mut self, e: &PExpr) -> Result<NodeInput> {
+        Ok(match e {
+            PExpr::Const(v) => NodeInput::Const(*v),
+            PExpr::Field(name) => {
+                let idx = self
+                    .input_fields
+                    .iter()
+                    .position(|f| f == name)
+                    .ok_or_else(|| Error::Other {
+                        message: format!("unknown input field `{name}`"),
+                    })?;
+                NodeInput::Field(idx)
+            }
+            PExpr::AtomOutput(g) => NodeInput::AtomOutput(*g),
+            PExpr::Un(op, x) => {
+                // Lower unary to binary: -x = 0 - x; !x = (x == 0).
+                let x = self.build(x)?;
+                let (op, a, b) = match op {
+                    UnOp::Neg => (BinOp::Sub, NodeInput::Const(0), x),
+                    UnOp::Not => (BinOp::Eq, x, NodeInput::Const(0)),
+                };
+                self.fold_or_push(op, a, b)
+            }
+            PExpr::Bin(op, l, r) => {
+                let a = self.build(l)?;
+                let b = self.build(r)?;
+                self.fold_or_push(*op, a, b)
+            }
+            PExpr::Ite(c, t, el) => {
+                // flag = (c != 0); result = flag*t + (1-flag)*el.
+                let c = self.build(c)?;
+                let flag = self.fold_or_push(BinOp::Ne, c, NodeInput::Const(0));
+                let t = self.build(t)?;
+                let el = self.build(el)?;
+                let picked_t = self.fold_or_push(BinOp::Mul, flag, t);
+                let inv = self.fold_or_push(BinOp::Sub, NodeInput::Const(1), flag);
+                let picked_e = self.fold_or_push(BinOp::Mul, inv, el);
+                self.fold_or_push(BinOp::Add, picked_t, picked_e)
+            }
+        })
+    }
+
+    fn fold_or_push(&mut self, op: BinOp, a: NodeInput, b: NodeInput) -> NodeInput {
+        if let (NodeInput::Const(x), NodeInput::Const(y)) = (a, b) {
+            return NodeInput::Const(druzhba_domino::interp::apply_binop(op, x, y));
+        }
+        self.push(DagNode {
+            op: DagOp::Bin(op),
+            a,
+            b,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_domino::parse_program;
+
+    #[test]
+    fn sampling_lowers_to_one_atom_and_one_flag_node() {
+        let p = parse_program(
+            "state int count = 0;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+        )
+        .unwrap();
+        let groups = groupings(&p, 1).unwrap();
+        assert_eq!(groups, vec![vec![vec![0]]]);
+        let lowered = lower(&p, &groups[0]).unwrap();
+        assert_eq!(lowered.atoms.len(), 1);
+        // Guard compares own state against the constant 9: no operands.
+        assert!(lowered.atoms[0].operands.is_empty());
+        match &lowered.atoms[0].tree {
+            TargetTree::Branch { guard, .. } => {
+                assert_eq!(
+                    *guard,
+                    TExpr::Bin(
+                        BinOp::Eq,
+                        Box::new(TExpr::StateRef(0)),
+                        Box::new(TExpr::Const(9))
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // pkt.sample = (atom_out == 9): one stateless node.
+        assert_eq!(lowered.nodes.len(), 1);
+        assert_eq!(
+            lowered.nodes[0],
+            DagNode {
+                op: DagOp::Bin(BinOp::Eq),
+                a: NodeInput::AtomOutput(0),
+                b: NodeInput::Const(9),
+            }
+        );
+        assert_eq!(lowered.field_sinks, vec![("sample".into(), NodeInput::Node(0))]);
+    }
+
+    #[test]
+    fn cross_variable_reference_forces_merged_group() {
+        let p = parse_program(
+            "state int count = 0;\n\
+             state int heavy = 0;\n\
+             if (count >= 10) { heavy = 1; count = count + 1; }\n\
+             else { count = count + 1; }",
+        )
+        .unwrap();
+        // With a 2-variable atom, merged grouping comes first.
+        let options = groupings(&p, 2).unwrap();
+        assert_eq!(options[0], vec![vec![0, 1]]);
+        // With a 1-variable atom, only the minimal (separate) grouping fits.
+        let options = groupings(&p, 1).unwrap();
+        assert_eq!(options, vec![vec![vec![0], vec![1]]]);
+    }
+
+    #[test]
+    fn merged_group_aligns_shared_guard() {
+        let p = parse_program(
+            "state int count = 0;\n\
+             state int heavy = 0;\n\
+             if (count >= 10) { heavy = heavy + 1; count = count + 1; }\n\
+             else { count = count + 1; }",
+        )
+        .unwrap();
+        let lowered = lower(&p, &[vec![0, 1]]).unwrap();
+        assert_eq!(lowered.atoms.len(), 1);
+        match &lowered.atoms[0].tree {
+            TargetTree::Branch {
+                then_tree,
+                else_tree,
+                ..
+            } => {
+                match &**then_tree {
+                    TargetTree::Leaf { updates } => {
+                        assert!(updates[0].is_some(), "count updated");
+                        assert!(updates[1].is_some(), "heavy updated");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                match &**else_tree {
+                    TargetTree::Leaf { updates } => {
+                        assert!(updates[0].is_some(), "count updated");
+                        assert!(updates[1].is_none(), "heavy unchanged");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_free_guard_becomes_operand() {
+        let p = parse_program(
+            "state int hits = 0;\n\
+             if (pkt.port == 80) { hits = hits + 1; }",
+        )
+        .unwrap();
+        let lowered = lower(&p, &[vec![0]]).unwrap();
+        let atom = &lowered.atoms[0];
+        // The whole guard is one operand (a flag computed statelessly).
+        assert_eq!(atom.operands.len(), 1);
+        assert_eq!(
+            atom.operands[0],
+            PExpr::Bin(
+                BinOp::Eq,
+                Box::new(PExpr::Field("port".into())),
+                Box::new(PExpr::Const(80))
+            )
+        );
+        match &atom.tree {
+            TargetTree::Branch { guard, .. } => assert_eq!(*guard, TExpr::Op(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // One DAG node computes the flag; it feeds the atom.
+        assert_eq!(lowered.nodes.len(), 1);
+        assert_eq!(lowered.atom_operand_inputs[0], vec![NodeInput::Node(0)]);
+    }
+
+    #[test]
+    fn acyclic_state_read_becomes_atom_output_operand() {
+        let p = parse_program(
+            "state int last_seq = 0;\n\
+             state int nmo = 0;\n\
+             if (pkt.seq < last_seq) { nmo = nmo + 1; }\n\
+             if (last_seq <= pkt.seq) { last_seq = pkt.seq; }",
+        )
+        .unwrap();
+        // Minimal grouping keeps them separate.
+        let lowered = lower(&p, &[vec![0], vec![1]]).unwrap();
+        assert_eq!(lowered.atoms.len(), 2);
+        // nmo's guard (pkt.seq < last_seq) is state-free w.r.t. nmo: an
+        // operand referencing atom 0's output.
+        let nmo = &lowered.atoms[1];
+        assert_eq!(nmo.operands.len(), 1);
+        assert_eq!(
+            nmo.operands[0],
+            PExpr::Bin(
+                BinOp::Lt,
+                Box::new(PExpr::Field("seq".into())),
+                Box::new(PExpr::AtomOutput(0))
+            )
+        );
+    }
+
+    #[test]
+    fn non_first_state_read_rejected() {
+        let p = parse_program(
+            "state int a = 0;\n\
+             state int b = 0;\n\
+             if (a >= 10) { b = 1; a = a + 1; } else { a = a + 1; }\n\
+             pkt.out = b + 1;",
+        )
+        .unwrap();
+        // b is grouped with a (merged) but is not the first variable, so
+        // pkt.out cannot read it.
+        let err = lower(&p, &[vec![0, 1]]).unwrap_err();
+        assert!(err.to_string().contains("first state variable"));
+    }
+
+    #[test]
+    fn dag_hash_consing_dedupes() {
+        let p = parse_program(
+            "pkt.x = pkt.a + pkt.b;\n\
+             pkt.y = (pkt.a + pkt.b) * 2;",
+        )
+        .unwrap();
+        let lowered = lower(&p, &[]).unwrap();
+        // a+b appears once; the multiply references it.
+        assert_eq!(lowered.nodes.len(), 2);
+        assert_eq!(
+            lowered.nodes[1].a,
+            NodeInput::Node(0),
+            "shared subexpression reused"
+        );
+    }
+
+    #[test]
+    fn constant_sink_materialized() {
+        let p = parse_program("pkt.version = 7;").unwrap();
+        let lowered = lower(&p, &[]).unwrap();
+        assert_eq!(lowered.nodes.len(), 1);
+        assert_eq!(lowered.nodes[0].op, DagOp::Const(7));
+        assert_eq!(lowered.field_sinks[0].1, NodeInput::Node(0));
+    }
+
+    #[test]
+    fn ite_field_write_lowered_arithmetically() {
+        let p = parse_program(
+            "state int saved = 0;\n\
+             if (pkt.gap >= 5) { saved = pkt.hop; }\n\
+             pkt.choice = pkt.a + pkt.b * pkt.c;",
+        )
+        .unwrap();
+        let lowered = lower(&p, &[vec![0]]).unwrap();
+        // No Ite in this program's field write; just check it lowers.
+        assert!(!lowered.nodes.is_empty());
+        assert_eq!(lowered.field_sinks.len(), 1);
+    }
+
+    #[test]
+    fn unary_not_lowers_to_eq_zero() {
+        let p = parse_program("pkt.flag = !(pkt.a >= 3);").unwrap();
+        let lowered = lower(&p, &[]).unwrap();
+        assert_eq!(lowered.nodes.len(), 2);
+        assert_eq!(lowered.nodes[1].op, DagOp::Bin(BinOp::Eq));
+        assert_eq!(lowered.nodes[1].b, NodeInput::Const(0));
+    }
+
+    #[test]
+    fn constant_folding_in_dag() {
+        let p = parse_program("pkt.out = pkt.a + (2 * 3);").unwrap();
+        let lowered = lower(&p, &[]).unwrap();
+        assert_eq!(lowered.nodes.len(), 1);
+        assert_eq!(lowered.nodes[0].b, NodeInput::Const(6));
+    }
+}

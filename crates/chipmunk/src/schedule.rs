@@ -1,0 +1,297 @@
+//! Grid scheduling: placing DAG nodes and atoms onto the pipeline.
+//!
+//! The all-or-nothing property of §1 lives here: a program either fits
+//! within the pipeline's stages, per-stage ALUs, and PHV containers, or it
+//! is rejected with [`Error::DoesNotFit`].
+//!
+//! Placement is greedy in topological order: each unit's earliest stage is
+//! one past the stage of its latest-producing input (values written by a
+//! stage become readable in the *next* stage's PHV), and it is pushed later
+//! while its kind's slots are full. Every node and atom output gets a fresh
+//! PHV container; input packet fields occupy the first containers.
+
+use std::collections::BTreeMap;
+
+use druzhba_core::{Error, PipelineConfig, Result};
+
+use crate::lower::{Lowered, NodeInput};
+
+/// Where everything landed.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Pipeline dimensions, with the PHV length the program actually needs.
+    pub config: PipelineConfig,
+    /// `(stage, stateless slot)` per DAG node.
+    pub node_place: Vec<(usize, usize)>,
+    /// `(stage, stateful slot)` per atom.
+    pub atom_place: Vec<(usize, usize)>,
+    /// Output container per DAG node.
+    pub node_container: Vec<usize>,
+    /// Output container per atom.
+    pub atom_container: Vec<usize>,
+    /// Container of each input packet field (by index into
+    /// `Lowered::input_fields`).
+    pub field_container: Vec<usize>,
+    /// Final container of each written packet field.
+    pub sink_container: BTreeMap<String, usize>,
+}
+
+impl Placement {
+    /// The container carrying a [`NodeInput`] (constants have none).
+    pub fn container_of(&self, input: NodeInput) -> Option<usize> {
+        match input {
+            NodeInput::Field(i) => Some(self.field_container[i]),
+            NodeInput::Node(i) => Some(self.node_container[i]),
+            NodeInput::AtomOutput(g) => Some(self.atom_container[g]),
+            NodeInput::Const(_) => None,
+        }
+    }
+}
+
+/// Schedule the lowered program onto a `depth × width` grid.
+pub fn schedule(lowered: &Lowered, depth: usize, width: usize) -> Result<Placement> {
+    let n_nodes = lowered.nodes.len();
+    let n_atoms = lowered.atoms.len();
+
+    // Containers: input fields first, then one per node, then one per atom.
+    let field_container: Vec<usize> = (0..lowered.input_fields.len()).collect();
+    let mut next_container = lowered.input_fields.len();
+    let mut node_container = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        node_container.push(next_container);
+        next_container += 1;
+    }
+    let mut atom_container = Vec::with_capacity(n_atoms);
+    for _ in 0..n_atoms {
+        atom_container.push(next_container);
+        next_container += 1;
+    }
+    let phv_length = next_container.max(1);
+
+    // Dependency edges (unit -> units it consumes).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Unit {
+        Node(usize),
+        Atom(usize),
+    }
+    let deps_of = |u: Unit| -> Vec<Unit> {
+        let inputs: Vec<NodeInput> = match u {
+            Unit::Node(i) => vec![lowered.nodes[i].a, lowered.nodes[i].b],
+            Unit::Atom(g) => lowered.atom_operand_inputs[g].clone(),
+        };
+        inputs
+            .into_iter()
+            .filter_map(|inp| match inp {
+                NodeInput::Node(j) => Some(Unit::Node(j)),
+                NodeInput::AtomOutput(h) => Some(Unit::Atom(h)),
+                NodeInput::Field(_) | NodeInput::Const(_) => None,
+            })
+            .collect()
+    };
+
+    // Kahn's algorithm over nodes + atoms.
+    let total = n_nodes + n_atoms;
+    let unit_index = |u: Unit| match u {
+        Unit::Node(i) => i,
+        Unit::Atom(g) => n_nodes + g,
+    };
+    let all_units: Vec<Unit> = (0..n_nodes)
+        .map(Unit::Node)
+        .chain((0..n_atoms).map(Unit::Atom))
+        .collect();
+    let mut indegree = vec![0usize; total];
+    let mut dependents: Vec<Vec<Unit>> = vec![Vec::new(); total];
+    for &u in &all_units {
+        for d in deps_of(u) {
+            indegree[unit_index(u)] += 1;
+            dependents[unit_index(d)].push(u);
+        }
+    }
+    let mut ready: Vec<Unit> = all_units
+        .iter()
+        .copied()
+        .filter(|&u| indegree[unit_index(u)] == 0)
+        .collect();
+    let mut topo = Vec::with_capacity(total);
+    while let Some(u) = ready.pop() {
+        topo.push(u);
+        for &d in &dependents[unit_index(u)].clone() {
+            let idx = unit_index(d);
+            indegree[idx] -= 1;
+            if indegree[idx] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    if topo.len() != total {
+        return Err(Error::DoesNotFit {
+            message: "cyclic dependency between atoms (two atoms each read the other's \
+                      output); a feedforward pipeline cannot realize this"
+                .into(),
+        });
+    }
+
+    // Greedy placement.
+    let mut node_place = vec![(usize::MAX, usize::MAX); n_nodes];
+    let mut atom_place = vec![(usize::MAX, usize::MAX); n_atoms];
+    let mut stateless_used = vec![0usize; depth];
+    let mut stateful_used = vec![0usize; depth];
+    for u in topo {
+        let earliest = deps_of(u)
+            .into_iter()
+            .map(|d| {
+                let (stage, _) = match d {
+                    Unit::Node(i) => node_place[i],
+                    Unit::Atom(g) => atom_place[g],
+                };
+                stage + 1 // produced values are readable one stage later
+            })
+            .max()
+            .unwrap_or(0);
+        let used = match u {
+            Unit::Node(_) => &mut stateless_used,
+            Unit::Atom(_) => &mut stateful_used,
+        };
+        let mut stage = earliest;
+        while stage < depth && used[stage] >= width {
+            stage += 1;
+        }
+        if stage >= depth {
+            let kind = match u {
+                Unit::Node(_) => "stateless",
+                Unit::Atom(_) => "stateful",
+            };
+            return Err(Error::DoesNotFit {
+                message: format!(
+                    "no free {kind} ALU at or after stage {earliest} \
+                     (pipeline is {depth} stages x {width} ALUs)"
+                ),
+            });
+        }
+        let slot = used[stage];
+        used[stage] += 1;
+        match u {
+            Unit::Node(i) => node_place[i] = (stage, slot),
+            Unit::Atom(g) => atom_place[g] = (stage, slot),
+        }
+    }
+
+    // Sink containers.
+    let mut sink_container = BTreeMap::new();
+    for (field, input) in &lowered.field_sinks {
+        let container = match input {
+            NodeInput::Field(i) => field_container[*i],
+            NodeInput::Node(i) => node_container[*i],
+            NodeInput::AtomOutput(g) => atom_container[*g],
+            NodeInput::Const(_) => unreachable!("constant sinks are materialized in lowering"),
+        };
+        sink_container.insert(field.clone(), container);
+    }
+
+    Ok(Placement {
+        config: PipelineConfig::with_phv_length(depth, width, phv_length),
+        node_place,
+        atom_place,
+        node_container,
+        atom_container,
+        field_container,
+        sink_container,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{groupings, lower};
+    use druzhba_domino::parse_program;
+
+    fn lowered(src: &str, capacity: usize) -> Lowered {
+        let p = parse_program(src).unwrap();
+        let groups = groupings(&p, capacity).unwrap();
+        lower(&p, &groups[0]).unwrap()
+    }
+
+    #[test]
+    fn sampling_fits_2x1() {
+        let l = lowered(
+            "state int count = 0;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+            1,
+        );
+        let placement = schedule(&l, 2, 1).unwrap();
+        // Atom at stage 0; flag node needs the atom output, so stage 1.
+        assert_eq!(placement.atom_place[0].0, 0);
+        assert_eq!(placement.node_place[0].0, 1);
+        // sample's container is the flag node's.
+        assert_eq!(
+            placement.sink_container["sample"],
+            placement.node_container[0]
+        );
+    }
+
+    #[test]
+    fn chain_deeper_than_pipeline_rejected() {
+        // ((a+b)+c)+d needs 3 dependent stateless stages.
+        let l = lowered("pkt.o = ((pkt.a + pkt.b) + pkt.c) + pkt.d;", 1);
+        assert_eq!(l.nodes.len(), 3);
+        assert!(schedule(&l, 2, 4).is_err());
+        schedule(&l, 3, 4).unwrap();
+    }
+
+    #[test]
+    fn width_pressure_pushes_to_later_stage() {
+        // Two independent adds at width 1: second lands in stage 1.
+        let l = lowered("pkt.x = pkt.a + pkt.b;\npkt.y = pkt.c + pkt.d;", 1);
+        let placement = schedule(&l, 2, 1).unwrap();
+        let stages: Vec<usize> = placement.node_place.iter().map(|p| p.0).collect();
+        assert_eq!(stages.iter().filter(|&&s| s == 0).count(), 1);
+        assert_eq!(stages.iter().filter(|&&s| s == 1).count(), 1);
+    }
+
+    #[test]
+    fn width_capacity_rejected_when_exhausted() {
+        let l = lowered(
+            "pkt.x = pkt.a + pkt.b;\npkt.y = pkt.c + pkt.d;\npkt.z = pkt.e + pkt.f;",
+            1,
+        );
+        assert!(schedule(&l, 1, 2).is_err());
+        schedule(&l, 1, 3).unwrap();
+    }
+
+    #[test]
+    fn containers_are_distinct() {
+        let l = lowered(
+            "state int s = 0;\n\
+             s = s + pkt.a;\n\
+             pkt.x = pkt.a + pkt.b;\npkt.y = pkt.a * pkt.b;",
+            1,
+        );
+        let placement = schedule(&l, 2, 4).unwrap();
+        let mut all: Vec<usize> = placement
+            .field_container
+            .iter()
+            .chain(&placement.node_container)
+            .chain(&placement.atom_container)
+            .copied()
+            .collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+        assert_eq!(placement.config.phv_length, before);
+    }
+
+    #[test]
+    fn atom_after_its_flag() {
+        let l = lowered(
+            "state int hits = 0;\n\
+             if (pkt.port == 80) { hits = hits + 1; }",
+            1,
+        );
+        let placement = schedule(&l, 2, 1).unwrap();
+        // Flag at stage 0, atom at stage 1.
+        assert_eq!(placement.node_place[0].0, 0);
+        assert_eq!(placement.atom_place[0].0, 1);
+    }
+}

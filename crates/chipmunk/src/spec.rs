@@ -1,0 +1,143 @@
+//! Adapter exposing the Domino reference interpreter as a dsim
+//! [`Specification`], wired to a [`CompiledProgram`]'s container layout.
+//!
+//! This closes the Fig. 5 loop without hand-writing a Rust spec: the same
+//! Domino file that was compiled to machine code also *executes* as the
+//! high-level specification, and the fuzz harness asserts the two agree.
+
+use std::collections::HashMap;
+
+use druzhba_core::{Phv, Value};
+use druzhba_domino::{DominoProgram, Interpreter};
+use druzhba_dsim::testing::Specification;
+
+use crate::compile::CompiledProgram;
+
+/// A [`Specification`] that interprets the Domino program against the
+/// compiled container layout.
+pub struct CompiledSpec {
+    interp: Interpreter,
+    input_fields: Vec<String>,
+    output_fields: Vec<(String, usize)>,
+    phv_length: usize,
+}
+
+impl CompiledSpec {
+    /// Pair a program with its compilation result.
+    pub fn new(program: DominoProgram, compiled: &CompiledProgram) -> Self {
+        CompiledSpec {
+            interp: Interpreter::new(program),
+            input_fields: compiled.input_fields.clone(),
+            output_fields: compiled
+                .output_fields
+                .iter()
+                .map(|(f, &c)| (f.clone(), c))
+                .collect(),
+            phv_length: compiled.pipeline_spec.config.phv_length,
+        }
+    }
+
+    /// Expected state in `state_cells` order (declaration order — exactly
+    /// how [`CompiledProgram::state_cells`] is ordered).
+    pub fn expected_state(&self) -> Vec<Value> {
+        self.interp.state().to_vec()
+    }
+}
+
+impl Specification for CompiledSpec {
+    fn reset(&mut self) {
+        self.interp.reset();
+    }
+
+    fn process(&mut self, input: &Phv) -> Phv {
+        let fields: HashMap<String, Value> = self
+            .input_fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.clone(), input.get(i)))
+            .collect();
+        let written = self.interp.step(&fields);
+        let mut out = Phv::zeroed(self.phv_length);
+        for (field, container) in &self.output_fields {
+            out.set(*container, written.get(field).copied().unwrap_or(0));
+        }
+        out
+    }
+
+    fn state(&self) -> Vec<Value> {
+        self.interp.state().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompilerConfig};
+    use druzhba_dgen::OptLevel;
+    use druzhba_dsim::testing::{fuzz_test, FuzzConfig};
+    use druzhba_domino::parse_program;
+
+    /// The complete Fig. 5 workflow: compile, fuzz, assert equivalence.
+    fn fuzz_program(src: &str, cfg: CompilerConfig, num_phvs: usize) {
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &cfg).unwrap();
+        let mut spec = CompiledSpec::new(program, &compiled);
+        let fuzz_cfg = FuzzConfig {
+            num_phvs,
+            observable: Some(compiled.observable_containers()),
+            state_cells: compiled.state_cells.clone(),
+            ..FuzzConfig::default()
+        };
+        for level in OptLevel::ALL {
+            let report = fuzz_test(
+                &compiled.pipeline_spec,
+                &compiled.machine_code,
+                level,
+                &mut spec,
+                &fuzz_cfg,
+            );
+            assert!(report.passed(), "{level:?}: {:?}", report.verdict);
+        }
+    }
+
+    #[test]
+    fn end_to_end_accumulator() {
+        fuzz_program(
+            "state int sum = 0;\nsum = sum + pkt.x;\npkt.double = pkt.x * 2;",
+            CompilerConfig::new(1, 1, "raw"),
+            500,
+        );
+    }
+
+    #[test]
+    fn end_to_end_sampling() {
+        fuzz_program(
+            "state int count = 0;\n\
+             if (count == 9) { count = 0; pkt.sample = 1; }\n\
+             else { count = count + 1; pkt.sample = 0; }",
+            CompilerConfig::new(2, 1, "if_else_raw"),
+            500,
+        );
+    }
+
+    #[test]
+    fn end_to_end_port_counter() {
+        fuzz_program(
+            "state int hits = 0;\n\
+             if (pkt.port == 80) { hits = hits + 1; }",
+            CompilerConfig::new(2, 1, "pred_raw"),
+            500,
+        );
+    }
+
+    #[test]
+    fn end_to_end_pair_max_tracker() {
+        fuzz_program(
+            "state int best_util = 0;\n\
+             state int best_path = 0;\n\
+             if (best_util <= pkt.util) { best_util = pkt.util; best_path = pkt.path; }",
+            CompilerConfig::new(1, 1, "pair"),
+            500,
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! A typed machine-code assembler.
+//!
+//! Hand-writing machine code as raw `(String, Value)` pairs is error-prone
+//! precisely because *"it's essential that the machine code pairs provided
+//! by the user align with the proper naming conventions"* (paper §3.2).
+//! [`Assembler`] builds programs through the conventions of [`crate::names`]
+//! — grid positions and primitive kinds are typed, and the base program
+//! starts from an all-zero (pass-through) grid so the result is always
+//! complete.
+
+use crate::machine_code::MachineCode;
+use crate::names::{self, AluKind};
+use crate::value::Value;
+
+/// A builder for machine-code programs over a known grid.
+///
+/// ```
+/// use druzhba_core::asm::Assembler;
+/// use druzhba_core::names::AluKind;
+///
+/// let mc = Assembler::new()
+///     .stateful_hole(0, 0, "arith_op_0", 0)
+///     .operand_mux(AluKind::Stateful, 0, 0, 0, 1) // operand 0 <- PHV[1]
+///     .route_stateful(0, 1, 0, 2)                 // PHV[1] <- stateful ALU 0 (width 2)
+///     .build();
+/// assert_eq!(mc.get("stateful_alu_0_0_operand_mux_0").unwrap(), 1);
+/// assert_eq!(mc.get("output_mux_phv_0_1").unwrap(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    mc: MachineCode,
+}
+
+impl Assembler {
+    /// Start from an empty program. Combine with
+    /// [`Assembler::with_defaults`] or a pre-seeded [`MachineCode`] when a
+    /// complete grid is required.
+    pub fn new() -> Self {
+        Assembler {
+            mc: MachineCode::new(),
+        }
+    }
+
+    /// Start from an existing program (e.g. the all-zeros grid produced
+    /// from `expected_machine_code`).
+    pub fn with_defaults(mc: MachineCode) -> Self {
+        Assembler { mc }
+    }
+
+    /// Set an ALU-internal hole by local name.
+    pub fn alu_hole(
+        mut self,
+        kind: AluKind,
+        stage: usize,
+        slot: usize,
+        local: &str,
+        value: Value,
+    ) -> Self {
+        self.mc.set(names::alu_hole(kind, stage, slot, local), value);
+        self
+    }
+
+    /// Set a stateful ALU's hole.
+    pub fn stateful_hole(self, stage: usize, slot: usize, local: &str, value: Value) -> Self {
+        self.alu_hole(AluKind::Stateful, stage, slot, local, value)
+    }
+
+    /// Set a stateless ALU's hole.
+    pub fn stateless_hole(self, stage: usize, slot: usize, local: &str, value: Value) -> Self {
+        self.alu_hole(AluKind::Stateless, stage, slot, local, value)
+    }
+
+    /// Point operand `operand` of an ALU at a PHV container.
+    pub fn operand_mux(
+        mut self,
+        kind: AluKind,
+        stage: usize,
+        slot: usize,
+        operand: usize,
+        container: usize,
+    ) -> Self {
+        self.mc.set(
+            names::operand_mux(kind, stage, slot, operand),
+            container as Value,
+        );
+        self
+    }
+
+    /// Route a container's output mux to pass-through.
+    pub fn route_passthrough(mut self, stage: usize, container: usize) -> Self {
+        self.mc.set(names::output_mux(stage, container), 0);
+        self
+    }
+
+    /// Route a container from a stateless ALU's output (needs the
+    /// pipeline's `width` to compute the selector).
+    pub fn route_stateless(
+        mut self,
+        stage: usize,
+        container: usize,
+        slot: usize,
+    ) -> Self {
+        self.mc
+            .set(names::output_mux(stage, container), (1 + slot) as Value);
+        self
+    }
+
+    /// Route a container from a stateful ALU's output (needs the
+    /// pipeline's `width` to compute the selector).
+    pub fn route_stateful(
+        mut self,
+        stage: usize,
+        container: usize,
+        slot: usize,
+        width: usize,
+    ) -> Self {
+        self.mc.set(
+            names::output_mux(stage, container),
+            (1 + width + slot) as Value,
+        );
+        self
+    }
+
+    /// Finish, yielding the machine code.
+    pub fn build(self) -> MachineCode {
+        self.mc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_conventional_names() {
+        let mc = Assembler::new()
+            .stateful_hole(1, 2, "rel_op_0", 3)
+            .stateless_hole(0, 1, "opcode", 5)
+            .operand_mux(AluKind::Stateless, 0, 1, 1, 4)
+            .route_stateless(0, 2, 1)
+            .route_stateful(1, 3, 0, 5)
+            .route_passthrough(1, 0)
+            .build();
+        assert_eq!(mc.get("stateful_alu_1_2_rel_op_0").unwrap(), 3);
+        assert_eq!(mc.get("stateless_alu_0_1_opcode").unwrap(), 5);
+        assert_eq!(mc.get("stateless_alu_0_1_operand_mux_1").unwrap(), 4);
+        assert_eq!(mc.get("output_mux_phv_0_2").unwrap(), 2);
+        assert_eq!(mc.get("output_mux_phv_1_3").unwrap(), 6);
+        assert_eq!(mc.get("output_mux_phv_1_0").unwrap(), 0);
+    }
+
+    #[test]
+    fn with_defaults_overlays() {
+        let base = MachineCode::from_pairs([("output_mux_phv_0_0", 0), ("x", 9)]);
+        let mc = Assembler::with_defaults(base)
+            .route_stateful(0, 0, 0, 1)
+            .build();
+        assert_eq!(mc.get("output_mux_phv_0_0").unwrap(), 2);
+        assert_eq!(mc.get("x").unwrap(), 9, "unrelated pairs preserved");
+    }
+
+    #[test]
+    fn every_emitted_name_parses_back() {
+        let mc = Assembler::new()
+            .stateful_hole(0, 0, "mux3_1", 2)
+            .operand_mux(AluKind::Stateful, 0, 0, 0, 1)
+            .route_stateful(0, 1, 0, 2)
+            .build();
+        for (name, _) in mc.iter() {
+            assert!(
+                crate::names::parse_name(name).is_some(),
+                "assembler emitted unconventional name `{name}`"
+            );
+        }
+    }
+}

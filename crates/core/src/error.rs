@@ -1,0 +1,149 @@
+//! The common error type.
+//!
+//! Errors are structured so that the compiler-testing harness can *classify*
+//! failures the way the paper's case study does (§5.2): machine code that is
+//! incompatible with the pipeline (missing pairs) is distinguishable from
+//! behavioural mismatches discovered by fuzzing.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced across the Druzhba crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A machine-code pair required by the pipeline description is absent.
+    /// One of the two §5.2 failure classes ("missing machine code pairs from
+    /// the input file to program the behavior of the pipeline's output
+    /// multiplexers").
+    MissingMachineCode {
+        /// The absent pair's name.
+        name: String,
+    },
+    /// A machine-code value is outside the domain of the primitive it
+    /// programs (e.g. a 5 for a 3-to-1 mux).
+    MachineCodeOutOfRange {
+        /// Pair name.
+        name: String,
+        /// Provided value.
+        value: u32,
+        /// Exclusive upper bound of the primitive's domain.
+        limit: u32,
+    },
+    /// The textual machine-code format failed to parse.
+    MachineCodeParse { line: usize, message: String },
+    /// An ALU DSL source failed to lex/parse/analyse.
+    AluParse { line: usize, message: String },
+    /// A Domino-subset source failed to lex/parse/analyse.
+    DominoParse { line: usize, message: String },
+    /// A P4-subset source failed to lex/parse/analyse.
+    P4Parse { line: usize, message: String },
+    /// A pipeline configuration is not realizable.
+    InvalidConfig { message: String },
+    /// The compiler could not map a program onto the target pipeline
+    /// (the "all-or-nothing" property of §1: a program either fits within a
+    /// pipeline's resources or it doesn't run at all).
+    DoesNotFit { message: String },
+    /// Hole synthesis failed to find machine code implementing the required
+    /// semantics.
+    SynthesisFailed { message: String },
+    /// Simulation traces diverged (spec vs pipeline), with location.
+    TraceMismatch { message: String },
+    /// dRMT scheduling failed (infeasible constraints).
+    ScheduleInfeasible { message: String },
+    /// Anything else.
+    Other { message: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MissingMachineCode { name } => {
+                write!(f, "missing machine code pair `{name}`")
+            }
+            Error::MachineCodeOutOfRange { name, value, limit } => write!(
+                f,
+                "machine code pair `{name}` = {value} out of range (must be < {limit})"
+            ),
+            Error::MachineCodeParse { line, message } => {
+                write!(f, "machine code parse error at line {line}: {message}")
+            }
+            Error::AluParse { line, message } => {
+                write!(f, "ALU DSL parse error at line {line}: {message}")
+            }
+            Error::DominoParse { line, message } => {
+                write!(f, "Domino parse error at line {line}: {message}")
+            }
+            Error::P4Parse { line, message } => {
+                write!(f, "P4 parse error at line {line}: {message}")
+            }
+            Error::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            Error::DoesNotFit { message } => {
+                write!(f, "program does not fit the pipeline: {message}")
+            }
+            Error::SynthesisFailed { message } => write!(f, "synthesis failed: {message}"),
+            Error::TraceMismatch { message } => write!(f, "trace mismatch: {message}"),
+            Error::ScheduleInfeasible { message } => {
+                write!(f, "schedule infeasible: {message}")
+            }
+            Error::Other { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Convenience constructor for [`Error::Other`].
+    pub fn other(message: impl Into<String>) -> Self {
+        Error::Other {
+            message: message.into(),
+        }
+    }
+
+    /// True if this error means the machine code was *incompatible with the
+    /// pipeline* (rather than behaviourally wrong) — the paper's first
+    /// failure class.
+    pub fn is_incompatibility(&self) -> bool {
+        matches!(
+            self,
+            Error::MissingMachineCode { .. } | Error::MachineCodeOutOfRange { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::MissingMachineCode {
+            name: "output_mux_phv_0_0".into(),
+        };
+        assert!(e.to_string().contains("output_mux_phv_0_0"));
+        let e = Error::MachineCodeOutOfRange {
+            name: "m".into(),
+            value: 9,
+            limit: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn incompatibility_classification() {
+        assert!(Error::MissingMachineCode { name: "x".into() }.is_incompatibility());
+        assert!(Error::MachineCodeOutOfRange {
+            name: "x".into(),
+            value: 4,
+            limit: 2
+        }
+        .is_incompatibility());
+        assert!(!Error::other("nope").is_incompatibility());
+        assert!(!Error::TraceMismatch {
+            message: "tick 3".into()
+        }
+        .is_incompatibility());
+    }
+}

@@ -1,0 +1,226 @@
+//! Machine-code naming conventions.
+//!
+//! Paper §3.1: *"The strings are each given unique names that succinctly
+//! denote the primitive that the pair corresponds to and the primitive's
+//! location within the pipeline."* Because the pipeline description
+//! hard-codes these names, *"it's essential that the machine code pairs
+//! provided by the user align with the proper naming conventions"* — this
+//! module is the single source of truth for them.
+//!
+//! Conventions (also documented in DESIGN.md §3):
+//!
+//! - `stateless_alu_{stage}_{slot}_operand_mux_{k}` — input mux feeding
+//!   operand `k` of the stateless ALU at (stage, slot); the value selects a
+//!   PHV container.
+//! - `stateful_alu_{stage}_{slot}_operand_mux_{k}` — likewise for stateful
+//!   ALUs.
+//! - `output_mux_phv_{stage}_{container}` — the output mux that drives a PHV
+//!   container after a stage: value 0 passes the container through
+//!   unchanged, values `1..=width` select a stateless ALU output, values
+//!   `width+1..=2*width` select a stateful ALU output.
+//! - `stateless_alu_{stage}_{slot}_{local}` / `stateful_alu_{stage}_{slot}_{local}`
+//!   — ALU-internal holes, where `local` is the instance name assigned by
+//!   the ALU DSL analyser (e.g. `mux3_1`, `rel_op_0`, `const_2`, or an
+//!   explicit hole variable name).
+
+use std::fmt;
+
+/// Which of the two ALU families a primitive belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Operates only on PHV container operands.
+    Stateless,
+    /// Owns local state storage that persists across PHVs.
+    Stateful,
+}
+
+impl AluKind {
+    /// The name prefix used in machine-code strings.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            AluKind::Stateless => "stateless_alu",
+            AluKind::Stateful => "stateful_alu",
+        }
+    }
+}
+
+impl fmt::Display for AluKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// Name of the input mux feeding operand `operand` of the ALU at
+/// (`stage`, `slot`).
+pub fn operand_mux(kind: AluKind, stage: usize, slot: usize, operand: usize) -> String {
+    format!("{}_{stage}_{slot}_operand_mux_{operand}", kind.prefix())
+}
+
+/// Name of the output mux that drives PHV container `container` at the end
+/// of `stage`.
+pub fn output_mux(stage: usize, container: usize) -> String {
+    format!("output_mux_phv_{stage}_{container}")
+}
+
+/// Name of an ALU-internal hole (`local` is the DSL-assigned instance name).
+pub fn alu_hole(kind: AluKind, stage: usize, slot: usize, local: &str) -> String {
+    format!("{}_{stage}_{slot}_{local}", kind.prefix())
+}
+
+/// A parsed machine-code name: which primitive a pair programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// Input mux for one ALU operand.
+    OperandMux {
+        kind: AluKind,
+        stage: usize,
+        slot: usize,
+        operand: usize,
+    },
+    /// Output mux for one PHV container.
+    OutputMux { stage: usize, container: usize },
+    /// ALU-internal hole.
+    AluHole {
+        kind: AluKind,
+        stage: usize,
+        slot: usize,
+        local: String,
+    },
+}
+
+impl Primitive {
+    /// The pipeline stage this primitive lives in.
+    pub fn stage(&self) -> usize {
+        match self {
+            Primitive::OperandMux { stage, .. }
+            | Primitive::OutputMux { stage, .. }
+            | Primitive::AluHole { stage, .. } => *stage,
+        }
+    }
+}
+
+/// Parse a machine-code name back into the primitive it addresses.
+///
+/// Returns `None` for names that do not follow the conventions; callers use
+/// this to produce "unknown machine code pair" diagnostics.
+pub fn parse_name(name: &str) -> Option<Primitive> {
+    if let Some(rest) = name.strip_prefix("output_mux_phv_") {
+        let (stage, container) = parse_two_indices(rest)?;
+        return Some(Primitive::OutputMux { stage, container });
+    }
+    for kind in [AluKind::Stateless, AluKind::Stateful] {
+        let prefix = format!("{}_", kind.prefix());
+        if let Some(rest) = name.strip_prefix(&prefix) {
+            // rest = "{stage}_{slot}_{local...}"
+            let mut parts = rest.splitn(3, '_');
+            let stage = parts.next()?.parse().ok()?;
+            let slot = parts.next()?.parse().ok()?;
+            let local = parts.next()?;
+            if local.is_empty() {
+                return None;
+            }
+            if let Some(op) = local.strip_prefix("operand_mux_") {
+                if let Ok(operand) = op.parse() {
+                    return Some(Primitive::OperandMux {
+                        kind,
+                        stage,
+                        slot,
+                        operand,
+                    });
+                }
+            }
+            return Some(Primitive::AluHole {
+                kind,
+                stage,
+                slot,
+                local: local.to_string(),
+            });
+        }
+    }
+    None
+}
+
+fn parse_two_indices(s: &str) -> Option<(usize, usize)> {
+    let (a, b) = s.split_once('_')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_mux_name_round_trips() {
+        let name = operand_mux(AluKind::Stateful, 2, 1, 0);
+        assert_eq!(name, "stateful_alu_2_1_operand_mux_0");
+        assert_eq!(
+            parse_name(&name),
+            Some(Primitive::OperandMux {
+                kind: AluKind::Stateful,
+                stage: 2,
+                slot: 1,
+                operand: 0
+            })
+        );
+    }
+
+    #[test]
+    fn output_mux_name_round_trips() {
+        let name = output_mux(3, 4);
+        assert_eq!(name, "output_mux_phv_3_4");
+        assert_eq!(
+            parse_name(&name),
+            Some(Primitive::OutputMux {
+                stage: 3,
+                container: 4
+            })
+        );
+    }
+
+    #[test]
+    fn alu_hole_name_round_trips() {
+        let name = alu_hole(AluKind::Stateless, 0, 2, "mux3_1");
+        assert_eq!(name, "stateless_alu_0_2_mux3_1");
+        assert_eq!(
+            parse_name(&name),
+            Some(Primitive::AluHole {
+                kind: AluKind::Stateless,
+                stage: 0,
+                slot: 2,
+                local: "mux3_1".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn hole_with_underscored_local_name() {
+        let name = alu_hole(AluKind::Stateful, 1, 0, "rel_op_0");
+        assert_eq!(
+            parse_name(&name),
+            Some(Primitive::AluHole {
+                kind: AluKind::Stateful,
+                stage: 1,
+                slot: 0,
+                local: "rel_op_0".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert_eq!(parse_name("bogus_name"), None);
+        assert_eq!(parse_name("stateful_alu_x_0_thing"), None);
+        assert_eq!(parse_name("output_mux_phv_1"), None);
+    }
+
+    #[test]
+    fn stage_accessor() {
+        assert_eq!(parse_name(&output_mux(7, 0)).unwrap().stage(), 7);
+        assert_eq!(
+            parse_name(&operand_mux(AluKind::Stateless, 5, 0, 1))
+                .unwrap()
+                .stage(),
+            5
+        );
+    }
+}

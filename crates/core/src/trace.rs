@@ -1,0 +1,217 @@
+//! Simulation traces.
+//!
+//! Paper §3.3: *"Following simulation, an output trace shows the modified
+//! PHVs and the state vectors. … Assertions check the equivalence of the
+//! output traces to determine if the behaviors of the Druzhba pipeline and
+//! the specification match."*
+
+use std::fmt;
+
+use crate::phv::Phv;
+use crate::value::Value;
+
+/// Final switch-state snapshot: `state[stage][slot]` is the state-variable
+/// vector of the stateful ALU at that grid position.
+pub type StateSnapshot = Vec<Vec<Vec<Value>>>;
+
+/// A sequence of PHVs, used both as pipeline input (from the traffic
+/// generator) and as output (after simulation), optionally with the final
+/// state snapshot attached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// PHVs in entry (or exit) order.
+    pub phvs: Vec<Phv>,
+    /// Final state of every stateful ALU, if recorded.
+    pub state: Option<StateSnapshot>,
+}
+
+impl Trace {
+    /// A trace of PHVs with no state snapshot.
+    pub fn from_phvs(phvs: Vec<Phv>) -> Self {
+        Trace { phvs, state: None }
+    }
+
+    /// Number of PHVs.
+    pub fn len(&self) -> usize {
+        self.phvs.len()
+    }
+
+    /// True if the trace holds no PHVs.
+    pub fn is_empty(&self) -> bool {
+        self.phvs.is_empty()
+    }
+
+    /// Compare against another trace on the given container indices only.
+    ///
+    /// The compiler allocates a subset of PHV containers to program-visible
+    /// packet fields; scratch containers are free to differ, so equivalence
+    /// is asserted only on the observable ones. Passing `None` compares all
+    /// containers.
+    ///
+    /// Returns the first mismatch found, or `None` if equivalent.
+    pub fn first_mismatch(
+        &self,
+        other: &Trace,
+        observable: Option<&[usize]>,
+    ) -> Option<TraceMismatch> {
+        if self.phvs.len() != other.phvs.len() {
+            return Some(TraceMismatch::LengthMismatch {
+                expected: self.phvs.len(),
+                actual: other.phvs.len(),
+            });
+        }
+        for (tick, (a, b)) in self.phvs.iter().zip(&other.phvs).enumerate() {
+            let indices: Vec<usize> = match observable {
+                Some(idx) => idx.to_vec(),
+                None => (0..a.len().max(b.len())).collect(),
+            };
+            for &c in &indices {
+                let va = a.try_get(c);
+                let vb = b.try_get(c);
+                if va != vb {
+                    return Some(TraceMismatch::ContainerMismatch {
+                        tick,
+                        container: c,
+                        expected: va,
+                        actual: vb,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A divergence between an expected and an actual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceMismatch {
+    /// The traces hold different numbers of PHVs.
+    LengthMismatch { expected: usize, actual: usize },
+    /// A container value differs at a given tick.
+    ContainerMismatch {
+        /// Index of the diverging PHV within the trace.
+        tick: usize,
+        /// Diverging container index.
+        container: usize,
+        /// Expected value (`None` if the container does not exist).
+        expected: Option<Value>,
+        /// Actual value (`None` if the container does not exist).
+        actual: Option<Value>,
+    },
+    /// Final state differs at a given stateful ALU.
+    StateMismatch {
+        stage: usize,
+        slot: usize,
+        expected: Vec<Value>,
+        actual: Vec<Value>,
+    },
+}
+
+impl fmt::Display for TraceMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceMismatch::LengthMismatch { expected, actual } => {
+                write!(f, "trace lengths differ: expected {expected}, got {actual}")
+            }
+            TraceMismatch::ContainerMismatch {
+                tick,
+                container,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "PHV {tick} container {container}: expected {expected:?}, got {actual:?}"
+            ),
+            TraceMismatch::StateMismatch {
+                stage,
+                slot,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "stateful ALU ({stage},{slot}) final state: expected {expected:?}, got {actual:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rows: &[&[Value]]) -> Trace {
+        Trace::from_phvs(rows.iter().map(|r| Phv::new(r.to_vec())).collect())
+    }
+
+    #[test]
+    fn identical_traces_match() {
+        let a = trace(&[&[1, 2], &[3, 4]]);
+        let b = trace(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.first_mismatch(&b, None), None);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = trace(&[&[1]]);
+        let b = trace(&[&[1], &[2]]);
+        assert_eq!(
+            a.first_mismatch(&b, None),
+            Some(TraceMismatch::LengthMismatch {
+                expected: 1,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn container_mismatch_reports_location() {
+        let a = trace(&[&[1, 2], &[3, 4]]);
+        let b = trace(&[&[1, 2], &[3, 9]]);
+        assert_eq!(
+            a.first_mismatch(&b, None),
+            Some(TraceMismatch::ContainerMismatch {
+                tick: 1,
+                container: 1,
+                expected: Some(4),
+                actual: Some(9)
+            })
+        );
+    }
+
+    #[test]
+    fn observable_subset_ignores_scratch_containers() {
+        let a = trace(&[&[1, 100]]);
+        let b = trace(&[&[1, 200]]);
+        // Container 1 is scratch; only container 0 is observable.
+        assert_eq!(a.first_mismatch(&b, Some(&[0])), None);
+        assert!(a.first_mismatch(&b, Some(&[1])).is_some());
+    }
+
+    #[test]
+    fn differing_phv_lengths_detected_when_compared() {
+        let a = trace(&[&[1, 2]]);
+        let b = trace(&[&[1]]);
+        assert_eq!(
+            a.first_mismatch(&b, None),
+            Some(TraceMismatch::ContainerMismatch {
+                tick: 0,
+                container: 1,
+                expected: Some(2),
+                actual: None
+            })
+        );
+    }
+
+    #[test]
+    fn mismatch_display_is_readable() {
+        let m = TraceMismatch::ContainerMismatch {
+            tick: 5,
+            container: 2,
+            expected: Some(7),
+            actual: Some(8),
+        };
+        let s = m.to_string();
+        assert!(s.contains("PHV 5"));
+        assert!(s.contains("container 2"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The machine value domain and its total arithmetic.
+//!
+//! Druzhba models PHV containers, switch state, and machine-code immediates
+//! as unsigned integers (the paper: "immediate values that are unsigned
+//! integer constants", "every PHV consists of random unsigned integers").
+//! All arithmetic is *total*: additions/subtractions/multiplications wrap
+//! modulo 2^32 and division/modulo by zero yield zero, so that every machine
+//! code assignment produces a defined simulation result (the convention used
+//! by sketch-style synthesis tools, which the case-study compiler relies
+//! on).
+
+/// The value carried by PHV containers, state variables, and machine-code
+/// pairs: a 32-bit unsigned integer with wrapping semantics.
+pub type Value = u32;
+
+/// Wrapping addition.
+#[inline]
+pub fn wadd(a: Value, b: Value) -> Value {
+    a.wrapping_add(b)
+}
+
+/// Wrapping subtraction.
+#[inline]
+pub fn wsub(a: Value, b: Value) -> Value {
+    a.wrapping_sub(b)
+}
+
+/// Wrapping multiplication.
+#[inline]
+pub fn wmul(a: Value, b: Value) -> Value {
+    a.wrapping_mul(b)
+}
+
+/// Total division: `a / 0 == 0`.
+#[inline]
+pub fn wdiv(a: Value, b: Value) -> Value {
+    if b == 0 {
+        0
+    } else {
+        a / b
+    }
+}
+
+/// Total modulo: `a % 0 == 0`.
+#[inline]
+pub fn wmod(a: Value, b: Value) -> Value {
+    if b == 0 {
+        0
+    } else {
+        a % b
+    }
+}
+
+/// Unary minus in the wrapping domain (two's-complement negation).
+#[inline]
+pub fn wneg(a: Value) -> Value {
+    a.wrapping_neg()
+}
+
+/// Encode a boolean as a machine value (1 for true, 0 for false).
+#[inline]
+pub fn from_bool(b: bool) -> Value {
+    u32::from(b)
+}
+
+/// Interpret a machine value as a boolean (non-zero is true), matching the
+/// C-like semantics of the ALU DSL's logical operators.
+#[inline]
+pub fn truthy(v: Value) -> bool {
+    v != 0
+}
+
+/// The largest value representable in `bits` bits (saturating at 32 bits).
+#[inline]
+pub fn max_for_bits(bits: u32) -> Value {
+    if bits >= 32 {
+        Value::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_addition_wraps() {
+        assert_eq!(wadd(Value::MAX, 1), 0);
+        assert_eq!(wadd(2, 3), 5);
+    }
+
+    #[test]
+    fn wrapping_subtraction_wraps() {
+        assert_eq!(wsub(0, 1), Value::MAX);
+        assert_eq!(wsub(10, 3), 7);
+    }
+
+    #[test]
+    fn wrapping_multiplication_wraps() {
+        assert_eq!(wmul(1 << 31, 2), 0);
+        assert_eq!(wmul(6, 7), 42);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(wdiv(42, 0), 0);
+        assert_eq!(wdiv(42, 7), 6);
+    }
+
+    #[test]
+    fn modulo_by_zero_is_zero() {
+        assert_eq!(wmod(42, 0), 0);
+        assert_eq!(wmod(42, 5), 2);
+    }
+
+    #[test]
+    fn negation_is_twos_complement() {
+        assert_eq!(wneg(1), Value::MAX);
+        assert_eq!(wneg(0), 0);
+        assert_eq!(wadd(wneg(5), 5), 0);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(from_bool(true), 1);
+        assert_eq!(from_bool(false), 0);
+        assert!(truthy(7));
+        assert!(!truthy(0));
+    }
+
+    #[test]
+    fn max_for_bits_bounds() {
+        assert_eq!(max_for_bits(0), 0);
+        assert_eq!(max_for_bits(1), 1);
+        assert_eq!(max_for_bits(2), 3);
+        assert_eq!(max_for_bits(10), 1023);
+        assert_eq!(max_for_bits(32), Value::MAX);
+        assert_eq!(max_for_bits(64), Value::MAX);
+    }
+}

@@ -1,0 +1,385 @@
+//! Function inlining: flattening the specialized AST into straight-line
+//! bytecode (the paper's §3.4 second optimization).
+//!
+//! After SCC propagation each helper function body is a single simplified
+//! expression; the paper then inlines those bodies into their call sites so
+//! that the pipeline description contains no helper indirection at all
+//! (Fig. 6 version 3). The in-process analogue is this compiler: the
+//! specialized AST — which the version-2 backend still *walks* node by node
+//! — is flattened into one linear instruction sequence per ALU, executed by
+//! a small stack machine with no recursion or dispatch on expression shape.
+
+use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt, UnOp};
+use druzhba_core::value::{self, Value};
+
+use crate::eval::{apply_binop, apply_unop};
+
+/// One stack-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an immediate.
+    Const(Value),
+    /// Push operand `i` (post-input-mux packet field).
+    Operand(u8),
+    /// Push state variable `i`.
+    State(u8),
+    /// Pop two, apply the operator, push the result.
+    Bin(BinOp),
+    /// Pop one, apply the operator, push the result.
+    Un(UnOp),
+    /// Pop the top of stack into state variable `i`.
+    StoreState(u8),
+    /// Pop the top of stack; if zero, jump to the absolute target.
+    JumpIfZero(u32),
+    /// Unconditional jump to the absolute target.
+    Jump(u32),
+    /// Pop the top of stack into the output register and halt.
+    ReturnValue,
+    /// Halt with the default output (pre-update first state variable).
+    Halt,
+}
+
+/// A compiled ALU body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BytecodeProgram {
+    instrs: Vec<Instr>,
+    /// Maximum operand-stack depth, precomputed so execution can use a
+    /// fixed-size stack without bounds growth checks.
+    max_stack: usize,
+}
+
+impl BytecodeProgram {
+    /// Compile a (typically [specialized](crate::opt::specialize)) ALU body.
+    ///
+    /// Hole-bearing expressions are still supported — they compile to their
+    /// runtime-dispatch equivalent using the provided constant defaults of
+    /// zero — but the intended use is to compile hole-free specialized
+    /// specs, mirroring the paper's pipeline of SCC propagation *then*
+    /// inlining.
+    pub fn compile(spec: &AluSpec) -> Self {
+        let mut c = Compiler {
+            spec,
+            instrs: Vec::new(),
+        };
+        c.compile_stmts(&spec.body);
+        c.instrs.push(Instr::Halt);
+        let max_stack = compute_max_stack(&c.instrs);
+        BytecodeProgram {
+            instrs: c.instrs,
+            max_stack,
+        }
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Execute against the given operands and state. Returns the ALU
+    /// output (explicit return value, or the pre-update first state
+    /// variable).
+    pub fn run(&self, operands: &[Value], state: &mut [Value]) -> Value {
+        let default_output = state.first().copied().unwrap_or(0);
+        let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
+        let mut pc = 0usize;
+        loop {
+            match self.instrs[pc] {
+                Instr::Const(v) => stack.push(v),
+                Instr::Operand(i) => stack.push(operands.get(i as usize).copied().unwrap_or(0)),
+                Instr::State(i) => stack.push(state.get(i as usize).copied().unwrap_or(0)),
+                Instr::Bin(op) => {
+                    let r = stack.pop().expect("stack underflow");
+                    let l = stack.pop().expect("stack underflow");
+                    stack.push(apply_binop(op, l, r));
+                }
+                Instr::Un(op) => {
+                    let x = stack.pop().expect("stack underflow");
+                    stack.push(apply_unop(op, x));
+                }
+                Instr::StoreState(i) => {
+                    let v = stack.pop().expect("stack underflow");
+                    state[i as usize] = v;
+                }
+                Instr::JumpIfZero(target) => {
+                    let v = stack.pop().expect("stack underflow");
+                    if !value::truthy(v) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Instr::Jump(target) => {
+                    pc = target as usize;
+                    continue;
+                }
+                Instr::ReturnValue => {
+                    return stack.pop().expect("stack underflow");
+                }
+                Instr::Halt => return default_output,
+            }
+            pc += 1;
+        }
+    }
+}
+
+struct Compiler<'a> {
+    spec: &'a AluSpec,
+    instrs: Vec<Instr>,
+}
+
+impl Compiler<'_> {
+    fn compile_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    self.compile_expr(value);
+                    let idx = self
+                        .spec
+                        .state_var_index(target)
+                        .expect("analysis guarantees assignment targets are state variables");
+                    self.instrs.push(Instr::StoreState(idx as u8));
+                }
+                Stmt::If { arms, else_body } => {
+                    // Chain: each arm tests and jumps past its body on
+                    // false; bodies jump to the common end.
+                    let mut end_jumps = Vec::new();
+                    let mut next_patch: Option<usize> = None;
+                    for (cond, body) in arms {
+                        if let Some(at) = next_patch.take() {
+                            let here = self.instrs.len() as u32;
+                            self.instrs[at] = Instr::JumpIfZero(here);
+                        }
+                        self.compile_expr(cond);
+                        next_patch = Some(self.instrs.len());
+                        self.instrs.push(Instr::JumpIfZero(0)); // patched below
+                        self.compile_stmts(body);
+                        end_jumps.push(self.instrs.len());
+                        self.instrs.push(Instr::Jump(0)); // patched below
+                    }
+                    if let Some(at) = next_patch.take() {
+                        let here = self.instrs.len() as u32;
+                        self.instrs[at] = Instr::JumpIfZero(here);
+                    }
+                    self.compile_stmts(else_body);
+                    let end = self.instrs.len() as u32;
+                    for at in end_jumps {
+                        self.instrs[at] = Instr::Jump(end);
+                    }
+                }
+                Stmt::Return(e) => {
+                    self.compile_expr(e);
+                    self.instrs.push(Instr::ReturnValue);
+                }
+            }
+        }
+    }
+
+    fn compile_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Const(v) => self.instrs.push(Instr::Const(*v)),
+            Expr::Var(name) => {
+                if let Some(i) = self.spec.packet_field_index(name) {
+                    self.instrs.push(Instr::Operand(i as u8));
+                } else if let Some(i) = self.spec.state_var_index(name) {
+                    self.instrs.push(Instr::State(i as u8));
+                } else {
+                    // Unresolved hole variable compiled without
+                    // specialization: defaults to zero.
+                    self.instrs.push(Instr::Const(0));
+                }
+            }
+            // Hole-bearing constructs appear only when compiling an
+            // unspecialized spec; they take their default (zero) selections.
+            Expr::CConst { .. } => self.instrs.push(Instr::Const(0)),
+            Expr::Opt { arg, .. } => self.compile_expr(arg),
+            Expr::Mux2 { a, .. } => self.compile_expr(a),
+            Expr::Mux3 { a, .. } => self.compile_expr(a),
+            Expr::RelOp { a, b, .. } => {
+                self.compile_expr(a);
+                self.compile_expr(b);
+                self.instrs.push(Instr::Bin(BinOp::Ge));
+            }
+            Expr::ArithOp { a, b, .. } => {
+                self.compile_expr(a);
+                self.compile_expr(b);
+                self.instrs.push(Instr::Bin(BinOp::Add));
+            }
+            Expr::Binary { op, l, r } => {
+                self.compile_expr(l);
+                self.compile_expr(r);
+                self.instrs.push(Instr::Bin(*op));
+            }
+            Expr::Unary { op, x } => {
+                self.compile_expr(x);
+                self.instrs.push(Instr::Un(*op));
+            }
+        }
+    }
+}
+
+/// Compute the worst-case operand-stack depth by abstract interpretation
+/// over the instruction list (jumps only ever move within one statement's
+/// compiled region, so a linear scan upper-bounds the depth).
+fn compute_max_stack(instrs: &[Instr]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for i in instrs {
+        match i {
+            Instr::Const(_) | Instr::Operand(_) | Instr::State(_) => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Instr::Bin(_) => depth = depth.saturating_sub(1),
+            Instr::Un(_) => {}
+            Instr::StoreState(_)
+            | Instr::JumpIfZero(_)
+            | Instr::ReturnValue => depth = depth.saturating_sub(1),
+            Instr::Jump(_) | Instr::Halt => {}
+        }
+    }
+    max.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::specialize;
+    use druzhba_alu_dsl::parse_alu;
+    use std::collections::HashMap;
+
+    fn holes(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn straight_line_assignment() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p, q}\n\
+             s = s + p * q;",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        let mut state = vec![10];
+        let out = prog.run(&[3, 4], &mut state);
+        assert_eq!(state[0], 22);
+        assert_eq!(out, 10, "default output is pre-update state");
+    }
+
+    #[test]
+    fn explicit_return() {
+        let spec = parse_alu("type: stateless\npacket fields: {p}\nreturn p * 2 + 1;").unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        assert_eq!(prog.run(&[20], &mut []), 41);
+    }
+
+    #[test]
+    fn if_else_chain_branches() {
+        let spec = parse_alu(
+            "type: stateless\npacket fields: {p}\n\
+             if (p == 0) { return 100; } else if (p == 1) { return 200; } else { return 300; }",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        assert_eq!(prog.run(&[0], &mut []), 100);
+        assert_eq!(prog.run(&[1], &mut []), 200);
+        assert_eq!(prog.run(&[7], &mut []), 300);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             if (p >= 10) { s = s + 1; }",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        let mut state = vec![0];
+        prog.run(&[5], &mut state);
+        assert_eq!(state[0], 0);
+        prog.run(&[10], &mut state);
+        assert_eq!(state[0], 1);
+    }
+
+    #[test]
+    fn statements_after_if_execute() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s, t}\npacket fields: {p}\n\
+             if (p == 0) { s = 1; } else { s = 2; }\nt = 9;",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        let mut state = vec![0, 0];
+        prog.run(&[0], &mut state);
+        assert_eq!(state, vec![1, 9]);
+        let mut state = vec![0, 0];
+        prog.run(&[5], &mut state);
+        assert_eq!(state, vec![2, 9]);
+    }
+
+    #[test]
+    fn equivalent_to_specialized_interpreter_on_atom() {
+        let spec = druzhba_alu_dsl::atoms::atom("nested_ifs").unwrap();
+        // Arbitrary but in-domain machine code.
+        let mut h = HashMap::new();
+        for hole in &spec.holes {
+            let v = match hole.domain {
+                druzhba_alu_dsl::HoleDomain::Choice(n) => (hole.local.len() as u32) % n,
+                druzhba_alu_dsl::HoleDomain::Bits(_) => 7,
+            };
+            h.insert(hole.local.clone(), v);
+        }
+        let specialized = specialize(&spec, &h);
+        let prog = BytecodeProgram::compile(&specialized);
+        let empty = HashMap::new();
+        for s0 in [0u32, 3, 8, 20] {
+            for p0 in [0u32, 5, 11] {
+                for p1 in [2u32, 9] {
+                    let mut st_a = vec![s0];
+                    let mut st_b = vec![s0];
+                    let a =
+                        crate::eval::eval_unoptimized(&specialized, &empty, &[p0, p1], &mut st_a);
+                    let b = prog.run(&[p0, p1], &mut st_b);
+                    assert_eq!(a.output, b);
+                    assert_eq!(st_a, st_b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_version3_shape() {
+        // After specialization the Fig. 6 body compiles to four
+        // instructions: two pushes, one add, one store (plus halt).
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {state_0}\npacket fields: {phv_0, phv_1}\n\
+             state_0 = arith_op(Mux2(phv_0, phv_1), Mux2(phv_0, phv_1));",
+        )
+        .unwrap();
+        let specialized = specialize(
+            &spec,
+            &holes(&[("arith_op_0", 0), ("mux2_0", 0), ("mux2_1", 1)]),
+        );
+        let prog = BytecodeProgram::compile(&specialized);
+        assert_eq!(
+            prog.instrs(),
+            &[
+                Instr::Operand(0),
+                Instr::Operand(1),
+                Instr::Bin(BinOp::Add),
+                Instr::StoreState(0),
+                Instr::Halt
+            ]
+        );
+    }
+
+    #[test]
+    fn max_stack_is_bounded_by_expression_depth() {
+        let spec = parse_alu(
+            "type: stateless\npacket fields: {a, b}\n\
+             return ((a + b) * (a - b)) + ((a / b) % (a * b));",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        assert!(prog.max_stack >= 3);
+        assert_eq!(prog.run(&[10, 2], &mut []), (12 * 8) + (5 % 20));
+    }
+}

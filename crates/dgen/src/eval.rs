@@ -1,0 +1,371 @@
+//! The unoptimized AST evaluator (the paper's "version 1" behaviour).
+//!
+//! Machine-code values are fetched from a hash map *at every access*, and
+//! every multiplexer arm and opcode dispatch is evaluated at runtime — just
+//! like the generated helper functions of Fig. 6 version 1, which receive
+//! opcode arguments and branch on them for each PHV.
+
+use std::collections::HashMap;
+
+use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt, UnOp};
+use druzhba_core::value::{self, Value};
+
+/// Result of executing an ALU body once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluOutcome {
+    /// The ALU's PHV-visible output: the value of the executed `return`, or
+    /// — for stateful ALUs with no explicit return — the *pre-update* value
+    /// of the first state variable (Banzai's convention).
+    pub output: Value,
+}
+
+/// Decode a `rel_op` opcode (0 `>=`, 1 `<=`, 2 `==`, 3 `!=`).
+#[inline]
+pub fn rel_op(opcode: Value, a: Value, b: Value) -> Value {
+    match opcode & 3 {
+        0 => value::from_bool(a >= b),
+        1 => value::from_bool(a <= b),
+        2 => value::from_bool(a == b),
+        _ => value::from_bool(a != b),
+    }
+}
+
+/// Decode an `arith_op` opcode (0 `+`, 1 `-`).
+#[inline]
+pub fn arith_op(opcode: Value, a: Value, b: Value) -> Value {
+    if opcode & 1 == 0 {
+        value::wadd(a, b)
+    } else {
+        value::wsub(a, b)
+    }
+}
+
+/// `Opt(x)`: 0 selects the argument, 1 selects zero.
+#[inline]
+pub fn opt(opcode: Value, x: Value) -> Value {
+    if opcode == 0 {
+        x
+    } else {
+        0
+    }
+}
+
+/// `Mux2(a, b)`.
+#[inline]
+pub fn mux2(opcode: Value, a: Value, b: Value) -> Value {
+    if opcode == 0 {
+        a
+    } else {
+        b
+    }
+}
+
+/// `Mux3(a, b, c)`.
+#[inline]
+pub fn mux3(opcode: Value, a: Value, b: Value, c: Value) -> Value {
+    match opcode {
+        0 => a,
+        1 => b,
+        _ => c,
+    }
+}
+
+/// Apply a fixed binary operator with the total wrapping semantics.
+#[inline]
+pub fn apply_binop(op: BinOp, a: Value, b: Value) -> Value {
+    match op {
+        BinOp::Add => value::wadd(a, b),
+        BinOp::Sub => value::wsub(a, b),
+        BinOp::Mul => value::wmul(a, b),
+        BinOp::Div => value::wdiv(a, b),
+        BinOp::Mod => value::wmod(a, b),
+        BinOp::Eq => value::from_bool(a == b),
+        BinOp::Ne => value::from_bool(a != b),
+        BinOp::Lt => value::from_bool(a < b),
+        BinOp::Gt => value::from_bool(a > b),
+        BinOp::Le => value::from_bool(a <= b),
+        BinOp::Ge => value::from_bool(a >= b),
+        BinOp::And => value::from_bool(value::truthy(a) && value::truthy(b)),
+        BinOp::Or => value::from_bool(value::truthy(a) || value::truthy(b)),
+    }
+}
+
+/// Apply a fixed unary operator.
+#[inline]
+pub fn apply_unop(op: UnOp, x: Value) -> Value {
+    match op {
+        UnOp::Neg => value::wneg(x),
+        UnOp::Not => value::from_bool(!value::truthy(x)),
+    }
+}
+
+/// Execute an ALU body with per-access hash-map hole lookups.
+///
+/// `holes` maps *local* hole names (as recorded on the spec) to machine-code
+/// values; pipeline construction guarantees completeness, so a missing entry
+/// here is a programming error and evaluates as 0.
+pub fn eval_unoptimized(
+    spec: &AluSpec,
+    holes: &HashMap<String, Value>,
+    operands: &[Value],
+    state: &mut [Value],
+) -> AluOutcome {
+    let default_output = state.first().copied().unwrap_or(0);
+    let mut ev = Evaluator {
+        spec,
+        holes,
+        operands,
+        state,
+    };
+    let output = ev.run_stmts(&spec.body).unwrap_or(default_output);
+    AluOutcome { output }
+}
+
+struct Evaluator<'a> {
+    spec: &'a AluSpec,
+    holes: &'a HashMap<String, Value>,
+    operands: &'a [Value],
+    state: &'a mut [Value],
+}
+
+impl Evaluator<'_> {
+    fn hole(&self, name: &str) -> Value {
+        // Version-1 semantics: one hash lookup per access.
+        self.holes.get(name).copied().unwrap_or(0)
+    }
+
+    fn var(&self, name: &str) -> Value {
+        if let Some(i) = self.spec.packet_field_index(name) {
+            return self.operands.get(i).copied().unwrap_or(0);
+        }
+        if let Some(i) = self.spec.state_var_index(name) {
+            return self.state.get(i).copied().unwrap_or(0);
+        }
+        // Hole variables are machine-code values read at runtime.
+        self.hole(name)
+    }
+
+    /// Run statements; `Some(v)` means a `return v` executed.
+    fn run_stmts(&mut self, stmts: &[Stmt]) -> Option<Value> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    let v = self.eval(value);
+                    if let Some(i) = self.spec.state_var_index(target) {
+                        self.state[i] = v;
+                    }
+                }
+                Stmt::If { arms, else_body } => {
+                    let mut taken = false;
+                    for (cond, body) in arms {
+                        if value::truthy(self.eval(cond)) {
+                            taken = true;
+                            if let Some(v) = self.run_stmts(body) {
+                                return Some(v);
+                            }
+                            break;
+                        }
+                    }
+                    if !taken {
+                        if let Some(v) = self.run_stmts(else_body) {
+                            return Some(v);
+                        }
+                    }
+                }
+                Stmt::Return(e) => return Some(self.eval(e)),
+            }
+        }
+        None
+    }
+
+    /// Evaluate an expression. Mux arms are evaluated eagerly (the generated
+    /// helper functions of version 1 take all operands by value).
+    fn eval(&mut self, expr: &Expr) -> Value {
+        match expr {
+            Expr::Const(v) => *v,
+            Expr::Var(name) => self.var(name),
+            Expr::CConst { hole } => self.hole(hole),
+            Expr::Opt { hole, arg } => {
+                let x = self.eval(arg);
+                opt(self.hole(hole), x)
+            }
+            Expr::Mux2 { hole, a, b } => {
+                let (a, b) = (self.eval(a), self.eval(b));
+                mux2(self.hole(hole), a, b)
+            }
+            Expr::Mux3 { hole, a, b, c } => {
+                let (a, b, c) = (self.eval(a), self.eval(b), self.eval(c));
+                mux3(self.hole(hole), a, b, c)
+            }
+            Expr::RelOp { hole, a, b } => {
+                let (a, b) = (self.eval(a), self.eval(b));
+                rel_op(self.hole(hole), a, b)
+            }
+            Expr::ArithOp { hole, a, b } => {
+                let (a, b) = (self.eval(a), self.eval(b));
+                arith_op(self.hole(hole), a, b)
+            }
+            Expr::Binary { op, l, r } => {
+                let (l, r) = (self.eval(l), self.eval(r));
+                apply_binop(*op, l, r)
+            }
+            Expr::Unary { op, x } => {
+                let x = self.eval(x);
+                apply_unop(*op, x)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_alu_dsl::parse_alu;
+
+    fn holes(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn rel_op_decodings() {
+        assert_eq!(rel_op(0, 5, 3), 1); // >=
+        assert_eq!(rel_op(0, 3, 5), 0);
+        assert_eq!(rel_op(1, 3, 5), 1); // <=
+        assert_eq!(rel_op(2, 4, 4), 1); // ==
+        assert_eq!(rel_op(3, 4, 4), 0); // !=
+        assert_eq!(rel_op(3, 4, 5), 1);
+    }
+
+    #[test]
+    fn arith_op_decodings() {
+        assert_eq!(arith_op(0, 2, 3), 5);
+        assert_eq!(arith_op(1, 2, 3), value::wsub(2, 3));
+    }
+
+    #[test]
+    fn mux_decodings() {
+        assert_eq!(mux2(0, 10, 20), 10);
+        assert_eq!(mux2(1, 10, 20), 20);
+        assert_eq!(mux3(0, 1, 2, 3), 1);
+        assert_eq!(mux3(1, 1, 2, 3), 2);
+        assert_eq!(mux3(2, 1, 2, 3), 3);
+        assert_eq!(opt(0, 9), 9);
+        assert_eq!(opt(1, 9), 0);
+    }
+
+    #[test]
+    fn raw_accumulates() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {state_0}\npacket fields: {pkt_0, pkt_1}\n\
+             state_0 = arith_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()));",
+        )
+        .unwrap();
+        // state += pkt_0 : arith=add, opt=keep, mux3=pkt_0
+        let h = holes(&[
+            ("arith_op_0", 0),
+            ("opt_0", 0),
+            ("mux3_0", 0),
+            ("const_0", 0),
+        ]);
+        let mut state = vec![10];
+        let out = eval_unoptimized(&spec, &h, &[5, 99], &mut state);
+        assert_eq!(state[0], 15);
+        // No explicit return: output is the pre-update state value.
+        assert_eq!(out.output, 10);
+    }
+
+    #[test]
+    fn stateless_returns_value() {
+        let spec = parse_alu(
+            "type: stateless\npacket fields: {pkt_0, pkt_1}\n\
+             return Mux3(pkt_0, pkt_1, C());",
+        )
+        .unwrap();
+        let h = holes(&[("mux3_0", 2), ("const_0", 42)]);
+        let mut state = vec![];
+        assert_eq!(eval_unoptimized(&spec, &h, &[1, 2], &mut state).output, 42);
+    }
+
+    #[test]
+    fn if_else_takes_correct_branch() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p, q}\n\
+             if (rel_op(s, C())) { s = s + p; } else { s = s + q; }",
+        )
+        .unwrap();
+        // rel_op 2 is ==; C = 0. s == 0 initially -> then branch adds p.
+        let h = holes(&[("rel_op_0", 2), ("const_0", 0)]);
+        let mut state = vec![0];
+        eval_unoptimized(&spec, &h, &[7, 100], &mut state);
+        assert_eq!(state[0], 7);
+        // Now s == 7 != 0 -> else branch adds q.
+        eval_unoptimized(&spec, &h, &[7, 100], &mut state);
+        assert_eq!(state[0], 107);
+    }
+
+    #[test]
+    fn explicit_return_in_stateful_overrides_default() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = s + p;\nreturn s;",
+        )
+        .unwrap();
+        let mut state = vec![1];
+        let out = eval_unoptimized(&spec, &HashMap::new(), &[4], &mut state);
+        // Return after the update observes the new value.
+        assert_eq!(out.output, 5);
+    }
+
+    #[test]
+    fn return_halts_execution() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             if (p == 1) { return 111; }\ns = 99;",
+        )
+        .unwrap();
+        let mut state = vec![0];
+        let out = eval_unoptimized(&spec, &HashMap::new(), &[1], &mut state);
+        assert_eq!(out.output, 111);
+        assert_eq!(state[0], 0, "assignment after return must not run");
+    }
+
+    #[test]
+    fn logical_and_or_not() {
+        let spec = parse_alu(
+            "type: stateless\npacket fields: {a, b}\n\
+             return (a && b) || !a;",
+        )
+        .unwrap();
+        let mut st = vec![];
+        assert_eq!(
+            eval_unoptimized(&spec, &HashMap::new(), &[0, 5], &mut st).output,
+            1
+        );
+        assert_eq!(
+            eval_unoptimized(&spec, &HashMap::new(), &[3, 0], &mut st).output,
+            0
+        );
+        assert_eq!(
+            eval_unoptimized(&spec, &HashMap::new(), &[3, 4], &mut st).output,
+            1
+        );
+    }
+
+    #[test]
+    fn hole_variables_read_from_machine_code() {
+        let spec = parse_alu(
+            "type: stateless\nhole variables: {opcode}\npacket fields: {a}\n\
+             if (opcode == 0) { return a; } else { return a + 1; }",
+        )
+        .unwrap();
+        let mut st = vec![];
+        assert_eq!(
+            eval_unoptimized(&spec, &holes(&[("opcode", 0)]), &[9], &mut st).output,
+            9
+        );
+        assert_eq!(
+            eval_unoptimized(&spec, &holes(&[("opcode", 1)]), &[9], &mut st).output,
+            10
+        );
+    }
+}

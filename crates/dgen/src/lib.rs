@@ -1,0 +1,58 @@
+//! # druzhba-dgen
+//!
+//! The pipeline code generator of the paper's §3.2–§3.4. dgen takes
+//! (1) the depth and width of the pipeline, (2) a high-level representation
+//! of the ALU structure (an [ALU DSL](druzhba_alu_dsl) specification), and
+//! (3) machine code determining the switch's behaviour, and produces an
+//! executable *pipeline description* — effectively *"a family of simulators,
+//! one for each possible pipeline configuration"*.
+//!
+//! Three backends mirror the paper's three optimization levels (Fig. 6):
+//!
+//! | Backend | Paper version | Behaviour |
+//! |---------|---------------|-----------|
+//! | [`OptLevel::Unoptimized`] | version 1 | machine-code values are looked up in a hash map at every access, and every mux arm / opcode dispatch is evaluated at runtime |
+//! | [`OptLevel::Scc`] | version 2 | *sparse conditional constant propagation*: hole values are substituted as constants, constant expressions are folded, and dead control paths are eliminated |
+//! | [`OptLevel::SccInline`] | version 3 | *function inlining*: the specialized AST is flattened into a linear bytecode program with no interpretive helper indirection |
+//!
+//! [`emit`] additionally renders the pipeline description as Rust source
+//! text at each optimization level, reproducing the paper's Fig. 6 samples
+//! (the real Druzhba compiles this generated source together with dsim; as a
+//! library we both emit the source and execute semantically identical
+//! in-process backends).
+
+pub mod bytecode;
+pub mod emit;
+pub mod eval;
+pub mod opt;
+pub mod pipeline;
+
+pub use bytecode::BytecodeProgram;
+pub use opt::specialize;
+pub use pipeline::{expected_machine_code, AluUnit, Pipeline, PipelineSpec, Stage};
+
+/// The optimization level applied by dgen when generating a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Version 1: runtime hash-map lookups and full dispatch.
+    Unoptimized,
+    /// Version 2: sparse conditional constant propagation.
+    Scc,
+    /// Version 3: SCC propagation plus function inlining.
+    #[default]
+    SccInline,
+}
+
+impl OptLevel {
+    /// All levels, in the order benchmarked by the paper's Table 1.
+    pub const ALL: [OptLevel; 3] = [OptLevel::Unoptimized, OptLevel::Scc, OptLevel::SccInline];
+
+    /// Human-readable label matching Table 1's column headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::Unoptimized => "Unoptimized",
+            OptLevel::Scc => "SCC propagation",
+            OptLevel::SccInline => "+ Function inlining",
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Sparse conditional constant propagation (the paper's §3.4 first
+//! optimization).
+//!
+//! Because machine code is supplied to dgen rather than to dsim, every hole
+//! value is known at generation time. This pass (1) replaces every hole
+//! reference with its constant value, (2) folds constant expressions —
+//! resolving `Mux`/`Opt` selections and `rel_op`/`arith_op` opcodes into
+//! their selected arm or concrete operator, and (3) abstractly interprets
+//! control flow, deleting branches whose conditions are constant (*"This
+//! results in dead code elimination from unused control paths and solely
+//! emitting single simplified expressions in place of the previous function
+//! bodies."*).
+
+use std::collections::HashMap;
+
+use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt};
+use druzhba_core::value::{self, Value};
+
+use crate::eval::{apply_binop, apply_unop};
+
+/// Specialize `spec` against concrete hole values (keyed by local hole
+/// name), producing an equivalent spec whose body contains no holes and no
+/// dead control paths. Holes absent from the map are treated as zero (the
+/// pipeline generator always supplies a complete map).
+pub fn specialize(spec: &AluSpec, holes: &HashMap<String, Value>) -> AluSpec {
+    specialize_inner(spec, holes, false)
+}
+
+/// Partially specialize `spec`: holes present in the map are substituted
+/// and folded exactly as in [`specialize`], while absent holes are *kept
+/// symbolic*. The returned spec's hole list contains only the unresolved
+/// holes. Used by the synthesis engine to enumerate control holes first and
+/// then work on the (much smaller) residual program.
+pub fn specialize_partial(spec: &AluSpec, holes: &HashMap<String, Value>) -> AluSpec {
+    specialize_inner(spec, holes, true)
+}
+
+fn specialize_inner(spec: &AluSpec, holes: &HashMap<String, Value>, partial: bool) -> AluSpec {
+    let ctx = Ctx {
+        spec,
+        holes,
+        partial,
+    };
+    let body = specialize_stmts(&ctx, &spec.body);
+    // Surviving holes: those not substituted, restricted to ones still
+    // referenced by the residual body.
+    let (residual_holes, residual_hole_vars) = if partial {
+        let mut referenced = std::collections::HashSet::new();
+        druzhba_alu_dsl::ast::visit_stmts(&body, &mut |e| match e {
+            Expr::CConst { hole }
+            | Expr::Opt { hole, .. }
+            | Expr::Mux2 { hole, .. }
+            | Expr::Mux3 { hole, .. }
+            | Expr::RelOp { hole, .. }
+            | Expr::ArithOp { hole, .. } => {
+                referenced.insert(hole.clone());
+            }
+            Expr::Var(name) => {
+                if spec.hole_vars.iter().any(|h| &h.name == name) {
+                    referenced.insert(name.clone());
+                }
+            }
+            _ => {}
+        });
+        (
+            spec.holes
+                .iter()
+                .filter(|h| !holes.contains_key(&h.local) && referenced.contains(&h.local))
+                .cloned()
+                .collect(),
+            spec.hole_vars
+                .iter()
+                .filter(|h| !holes.contains_key(&h.name) && referenced.contains(&h.name))
+                .cloned()
+                .collect(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    AluSpec {
+        name: spec.name.clone(),
+        kind: spec.kind,
+        state_vars: spec.state_vars.clone(),
+        hole_vars: residual_hole_vars,
+        packet_fields: spec.packet_fields.clone(),
+        body,
+        holes: residual_holes,
+    }
+}
+
+struct Ctx<'a> {
+    spec: &'a AluSpec,
+    holes: &'a HashMap<String, Value>,
+    /// Partial mode: holes missing from the map stay symbolic instead of
+    /// defaulting to zero.
+    partial: bool,
+}
+
+impl Ctx<'_> {
+    fn hole(&self, name: &str) -> Option<Value> {
+        match self.holes.get(name) {
+            Some(v) => Some(*v),
+            None if self.partial => None,
+            None => Some(0),
+        }
+    }
+
+    fn is_hole_var(&self, name: &str) -> bool {
+        self.spec.hole_vars.iter().any(|h| h.name == name)
+    }
+}
+
+fn specialize_stmts(ctx: &Ctx<'_>, stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                let value = specialize_expr(ctx, value);
+                // `s = s` after specialization is a no-op; drop it.
+                if let Expr::Var(v) = &value {
+                    if v == target {
+                        continue;
+                    }
+                }
+                out.push(Stmt::Assign {
+                    target: target.clone(),
+                    value,
+                });
+            }
+            Stmt::If { arms, else_body } => {
+                let mut live_arms: Vec<(Expr, Vec<Stmt>)> = Vec::new();
+                let mut resolved = false;
+                for (cond, body) in arms {
+                    let cond = specialize_expr(ctx, cond);
+                    match cond {
+                        Expr::Const(c) if value::truthy(c) => {
+                            // This arm always runs (when reached): it
+                            // becomes the else of any remaining live arms,
+                            // or replaces the whole statement.
+                            let body = specialize_stmts(ctx, body);
+                            if live_arms.is_empty() {
+                                out.extend(body);
+                            } else {
+                                out.push(Stmt::If {
+                                    arms: std::mem::take(&mut live_arms),
+                                    else_body: body,
+                                });
+                            }
+                            resolved = true;
+                            break;
+                        }
+                        Expr::Const(_) => {
+                            // Statically false: drop the arm.
+                        }
+                        cond => live_arms.push((cond, specialize_stmts(ctx, body))),
+                    }
+                }
+                if !resolved {
+                    let else_body = specialize_stmts(ctx, else_body);
+                    if live_arms.is_empty() {
+                        out.extend(else_body);
+                    } else if live_arms.iter().all(|(_, b)| b.is_empty()) && else_body.is_empty() {
+                        // Entirely empty conditional: dead code.
+                    } else {
+                        out.push(Stmt::If {
+                            arms: live_arms,
+                            else_body,
+                        });
+                    }
+                }
+            }
+            Stmt::Return(e) => {
+                out.push(Stmt::Return(specialize_expr(ctx, e)));
+                // Anything after an unconditional return is dead.
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn specialize_expr(ctx: &Ctx<'_>, expr: &Expr) -> Expr {
+    match expr {
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Var(name) => {
+            if ctx.is_hole_var(name) {
+                match ctx.hole(name) {
+                    Some(v) => Expr::Const(v),
+                    None => Expr::Var(name.clone()),
+                }
+            } else {
+                Expr::Var(name.clone())
+            }
+        }
+        Expr::CConst { hole } => match ctx.hole(hole) {
+            Some(v) => Expr::Const(v),
+            None => Expr::CConst { hole: hole.clone() },
+        },
+        Expr::Opt { hole, arg } => match ctx.hole(hole) {
+            Some(0) => specialize_expr(ctx, arg),
+            Some(_) => Expr::Const(0),
+            None => Expr::Opt {
+                hole: hole.clone(),
+                arg: Box::new(specialize_expr(ctx, arg)),
+            },
+        },
+        Expr::Mux2 { hole, a, b } => match ctx.hole(hole) {
+            Some(v) => specialize_expr(ctx, if v == 0 { a } else { b }),
+            None => Expr::Mux2 {
+                hole: hole.clone(),
+                a: Box::new(specialize_expr(ctx, a)),
+                b: Box::new(specialize_expr(ctx, b)),
+            },
+        },
+        Expr::Mux3 { hole, a, b, c } => match ctx.hole(hole) {
+            Some(v) => {
+                let sel = match v {
+                    0 => a,
+                    1 => b,
+                    _ => c,
+                };
+                specialize_expr(ctx, sel)
+            }
+            None => Expr::Mux3 {
+                hole: hole.clone(),
+                a: Box::new(specialize_expr(ctx, a)),
+                b: Box::new(specialize_expr(ctx, b)),
+                c: Box::new(specialize_expr(ctx, c)),
+            },
+        },
+        Expr::RelOp { hole, a, b } => match ctx.hole(hole) {
+            Some(v) => {
+                let op = match v & 3 {
+                    0 => BinOp::Ge,
+                    1 => BinOp::Le,
+                    2 => BinOp::Eq,
+                    _ => BinOp::Ne,
+                };
+                fold_binary(op, specialize_expr(ctx, a), specialize_expr(ctx, b))
+            }
+            None => Expr::RelOp {
+                hole: hole.clone(),
+                a: Box::new(specialize_expr(ctx, a)),
+                b: Box::new(specialize_expr(ctx, b)),
+            },
+        },
+        Expr::ArithOp { hole, a, b } => match ctx.hole(hole) {
+            Some(v) => {
+                let op = if v & 1 == 0 { BinOp::Add } else { BinOp::Sub };
+                fold_binary(op, specialize_expr(ctx, a), specialize_expr(ctx, b))
+            }
+            None => Expr::ArithOp {
+                hole: hole.clone(),
+                a: Box::new(specialize_expr(ctx, a)),
+                b: Box::new(specialize_expr(ctx, b)),
+            },
+        },
+        Expr::Binary { op, l, r } => {
+            fold_binary(*op, specialize_expr(ctx, l), specialize_expr(ctx, r))
+        }
+        Expr::Unary { op, x } => {
+            let x = specialize_expr(ctx, x);
+            if let Expr::Const(v) = x {
+                Expr::Const(apply_unop(*op, v))
+            } else {
+                Expr::Unary {
+                    op: *op,
+                    x: Box::new(x),
+                }
+            }
+        }
+    }
+}
+
+/// Constant-fold a binary operation, applying the algebraic identities that
+/// the specialized mux selections commonly expose (`x + 0`, `x - 0`,
+/// `x * 1`, `x * 0`, …).
+fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    if let (Expr::Const(a), Expr::Const(b)) = (&l, &r) {
+        return Expr::Const(apply_binop(op, *a, *b));
+    }
+    match (op, &l, &r) {
+        // Additive identities.
+        (BinOp::Add, Expr::Const(0), _) => return r,
+        (BinOp::Add, _, Expr::Const(0)) => return l,
+        (BinOp::Sub, _, Expr::Const(0)) => return l,
+        // Multiplicative identities and annihilators.
+        (BinOp::Mul, Expr::Const(1), _) => return r,
+        (BinOp::Mul, _, Expr::Const(1)) => return l,
+        (BinOp::Mul, Expr::Const(0), _) | (BinOp::Mul, _, Expr::Const(0)) => {
+            return Expr::Const(0)
+        }
+        (BinOp::Div, _, Expr::Const(1)) => return l,
+        // Division/modulo by the constant zero are total: always 0.
+        (BinOp::Div, _, Expr::Const(0)) | (BinOp::Mod, _, Expr::Const(0)) => {
+            return Expr::Const(0)
+        }
+        // Logical annihilators (operands are pure, so dropping them is
+        // sound).
+        (BinOp::And, Expr::Const(0), _) | (BinOp::And, _, Expr::Const(0)) => {
+            return Expr::Const(0)
+        }
+        (BinOp::Or, Expr::Const(c), _) if value::truthy(*c) => return Expr::Const(1),
+        (BinOp::Or, _, Expr::Const(c)) if value::truthy(*c) => return Expr::Const(1),
+        _ => {}
+    }
+    Expr::Binary {
+        op,
+        l: Box::new(l),
+        r: Box::new(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_unoptimized;
+    use druzhba_alu_dsl::parse_alu;
+
+    fn holes(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// The paper's Fig. 6 example: mux-selected operands feeding an
+    /// arith_op, specialized with {arith=0 (add), mux0=0, mux1=1}.
+    #[test]
+    fn figure_6_specialization() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {state_0}\npacket fields: {phv_0, phv_1}\n\
+             state_0 = arith_op(Mux2(phv_0, phv_1), Mux2(phv_0, phv_1));",
+        )
+        .unwrap();
+        let h = holes(&[("arith_op_0", 0), ("mux2_0", 0), ("mux2_1", 1)]);
+        let specialized = specialize(&spec, &h);
+        assert_eq!(specialized.body.len(), 1);
+        match &specialized.body[0] {
+            Stmt::Assign { target, value } => {
+                assert_eq!(target, "state_0");
+                // Exactly `phv_0 + phv_1`, as in Fig. 6 version 3.
+                assert_eq!(value.to_string(), "(phv_0 + phv_1)");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_branch_elimination() {
+        let spec = parse_alu(
+            "type: stateless\nhole variables: {opcode}\npacket fields: {a}\n\
+             if (opcode == 0) { return a; } else { return a + C(); }",
+        )
+        .unwrap();
+        let s0 = specialize(&spec, &holes(&[("opcode", 0), ("const_0", 5)]));
+        assert_eq!(s0.body, vec![Stmt::Return(Expr::Var("a".into()))]);
+        let s1 = specialize(&spec, &holes(&[("opcode", 1), ("const_0", 5)]));
+        assert_eq!(s1.body.len(), 1);
+        match &s1.body[0] {
+            Stmt::Return(e) => assert_eq!(e.to_string(), "(a + 5)"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt_zero_keeps_argument_one_yields_zero() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = Opt(s) + p;",
+        )
+        .unwrap();
+        let keep = specialize(&spec, &holes(&[("opt_0", 0)]));
+        match &keep.body[0] {
+            Stmt::Assign { value, .. } => assert_eq!(value.to_string(), "(s + p)"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let drop = specialize(&spec, &holes(&[("opt_0", 1)]));
+        match &drop.body[0] {
+            // 0 + p folds to p.
+            Stmt::Assign { value, .. } => assert_eq!(value.to_string(), "p"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_assignment_dropped() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = Mux2(s, p);",
+        )
+        .unwrap();
+        let specialized = specialize(&spec, &holes(&[("mux2_0", 0)]));
+        assert!(specialized.body.is_empty(), "s = s should be eliminated");
+    }
+
+    #[test]
+    fn constant_condition_collapses_if_chain() {
+        let spec = parse_alu(
+            "type: stateless\nhole variables: {op}\npacket fields: {a}\n\
+             if (op == 0) { return 1; } else if (op == 1) { return 2; } else { return 3; }",
+        )
+        .unwrap();
+        for (v, expected) in [(0, 1), (1, 2), (2, 3), (3, 3)] {
+            let s = specialize(&spec, &holes(&[("op", v)]));
+            assert_eq!(
+                s.body,
+                vec![Stmt::Return(Expr::Const(expected))],
+                "op = {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_condition_preserved() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             if (rel_op(s, C())) { s = s + p; }",
+        )
+        .unwrap();
+        let s = specialize(&spec, &holes(&[("rel_op_0", 0), ("const_0", 10)]));
+        match &s.body[0] {
+            Stmt::If { arms, .. } => {
+                assert_eq!(arms[0].0.to_string(), "(s >= 10)");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn specialized_is_equivalent_to_unoptimized() {
+        // Equivalence between backends on the Fig. 4 atom with a concrete
+        // machine code, over a grid of inputs.
+        let spec = druzhba_alu_dsl::atoms::atom("if_else_raw").unwrap();
+        let h = holes(&[
+            ("rel_op_0", 2),
+            ("opt_0", 0),
+            ("mux3_0", 2),
+            ("const_0", 10),
+            ("opt_1", 1),
+            ("mux3_1", 2),
+            ("const_1", 0),
+            ("opt_2", 0),
+            ("mux3_2", 2),
+            ("const_2", 1),
+        ]);
+        let specialized = specialize(&spec, &h);
+        let empty = HashMap::new();
+        for s0 in [0u32, 5, 9, 10, 11] {
+            for p in [0u32, 1, 7] {
+                let mut st_a = vec![s0];
+                let mut st_b = vec![s0];
+                let a = eval_unoptimized(&spec, &h, &[p, p], &mut st_a);
+                let b = eval_unoptimized(&specialized, &empty, &[p, p], &mut st_b);
+                assert_eq!(a, b, "output s0={s0} p={p}");
+                assert_eq!(st_a, st_b, "state s0={s0} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_binary_identities() {
+        let x = || Expr::Var("x".into());
+        assert_eq!(fold_binary(BinOp::Add, x(), Expr::Const(0)).to_string(), "x");
+        assert_eq!(fold_binary(BinOp::Mul, Expr::Const(0), x()), Expr::Const(0));
+        assert_eq!(fold_binary(BinOp::Mul, x(), Expr::Const(1)).to_string(), "x");
+        assert_eq!(fold_binary(BinOp::Div, x(), Expr::Const(0)), Expr::Const(0));
+        assert_eq!(fold_binary(BinOp::And, Expr::Const(0), x()), Expr::Const(0));
+        assert_eq!(fold_binary(BinOp::Or, Expr::Const(7), x()), Expr::Const(1));
+        // Non-foldable shapes survive.
+        assert_eq!(fold_binary(BinOp::Sub, x(), x()).to_string(), "(x - x)");
+    }
+
+    #[test]
+    fn code_after_return_is_dead() {
+        let spec = parse_alu(
+            "type: stateless\npacket fields: {a}\n\
+             return a;\nreturn a + 1;",
+        )
+        .unwrap();
+        let s = specialize(&spec, &HashMap::new());
+        assert_eq!(s.body.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod partial_tests {
+    use super::*;
+    use druzhba_alu_dsl::parse_alu;
+
+    fn holes(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn partial_keeps_unresolved_holes() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p}\n\
+             s = Opt(s) + Mux2(p, C());",
+        )
+        .unwrap();
+        let partial = specialize_partial(&spec, &holes(&[("opt_0", 0)]));
+        // opt resolved; mux2 and const survive.
+        let locals: Vec<&str> = partial.holes.iter().map(|h| h.local.as_str()).collect();
+        assert_eq!(locals, vec!["mux2_0", "const_0"]);
+        match &partial.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert_eq!(value.to_string(), "(s + Mux2(p, C()))");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_prunes_dead_branch_holes() {
+        let spec = parse_alu(
+            "type: stateless\nhole variables: {opcode}\npacket fields: {a}\n\
+             if (opcode == 0) { return a + C(); } else { return a - C(); }",
+        )
+        .unwrap();
+        let partial = specialize_partial(&spec, &holes(&[("opcode", 1)]));
+        // Only the else branch's constant survives.
+        let locals: Vec<&str> = partial.holes.iter().map(|h| h.local.as_str()).collect();
+        assert_eq!(locals, vec!["const_1"]);
+        assert!(partial.hole_vars.is_empty());
+    }
+
+    #[test]
+    fn partial_with_all_holes_equals_full() {
+        let spec = druzhba_alu_dsl::atoms::atom("pred_raw").unwrap();
+        let all: HashMap<String, Value> =
+            spec.holes.iter().map(|h| (h.local.clone(), 0)).collect();
+        assert_eq!(specialize(&spec, &all).body, specialize_partial(&spec, &all).body);
+        assert!(specialize_partial(&spec, &all).holes.is_empty());
+    }
+
+    #[test]
+    fn partial_with_no_holes_is_identityish() {
+        let spec = druzhba_alu_dsl::atoms::atom("raw").unwrap();
+        let partial = specialize_partial(&spec, &HashMap::new());
+        assert_eq!(partial.holes.len(), spec.holes.len());
+    }
+}

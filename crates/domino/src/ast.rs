@@ -1,0 +1,335 @@
+//! Abstract syntax and validation for the Domino subset.
+
+use std::collections::BTreeSet;
+
+use druzhba_core::{Error, Result, Value};
+
+// The operator enums are shared with the ALU DSL: a Domino expression uses
+// the same fixed operators (it has no machine-code holes).
+pub use druzhba_alu_dsl::{BinOp, UnOp};
+
+/// A `state int name = 0;` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDecl {
+    /// Variable name.
+    pub name: String,
+    /// Initial value. The compiler requires 0 (switch state storage powers
+    /// up zeroed); the interpreter honours any value.
+    pub init: Value,
+}
+
+/// A parsed packet transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoProgram {
+    /// Persistent state declarations, in source order.
+    pub state_vars: Vec<StateDecl>,
+    /// Transaction body.
+    pub body: Vec<DominoStmt>,
+}
+
+/// Statements of the transaction body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DominoStmt {
+    /// `pkt.field = expr;`
+    AssignField { field: String, value: DominoExpr },
+    /// `state_var = expr;`
+    AssignState { var: String, value: DominoExpr },
+    /// `if (cond) { … } else { … }` (the else body may be empty).
+    If {
+        cond: DominoExpr,
+        then_body: Vec<DominoStmt>,
+        else_body: Vec<DominoStmt>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DominoExpr {
+    /// Integer literal.
+    Const(Value),
+    /// `pkt.field` — a packet field read (always the *input* value of the
+    /// field; Domino transactions read fields before rewriting them, and
+    /// the validator rejects reads of already-written fields to keep the
+    /// semantics unambiguous).
+    Field(String),
+    /// State variable read.
+    State(String),
+    /// Fixed binary operator.
+    Binary {
+        op: BinOp,
+        l: Box<DominoExpr>,
+        r: Box<DominoExpr>,
+    },
+    /// Fixed unary operator.
+    Unary { op: UnOp, x: Box<DominoExpr> },
+}
+
+impl DominoExpr {
+    /// Pre-order visit.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a DominoExpr)) {
+        f(self);
+        match self {
+            DominoExpr::Const(_) | DominoExpr::Field(_) | DominoExpr::State(_) => {}
+            DominoExpr::Binary { l, r, .. } => {
+                l.visit(f);
+                r.visit(f);
+            }
+            DominoExpr::Unary { x, .. } => x.visit(f),
+        }
+    }
+
+    /// True if the expression references no state variable.
+    pub fn is_state_free(&self) -> bool {
+        let mut free = true;
+        self.visit(&mut |e| {
+            if matches!(e, DominoExpr::State(_)) {
+                free = false;
+            }
+        });
+        free
+    }
+
+    /// All integer literals appearing in the expression.
+    pub fn literals(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let DominoExpr::Const(v) = e {
+                out.push(*v);
+            }
+        });
+        out
+    }
+}
+
+impl std::fmt::Display for DominoExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DominoExpr::Const(v) => write!(f, "{v}"),
+            DominoExpr::Field(name) => write!(f, "pkt.{name}"),
+            DominoExpr::State(name) => write!(f, "{name}"),
+            DominoExpr::Binary { op, l, r } => write!(f, "({l} {} {r})", op.symbol()),
+            DominoExpr::Unary { op, x } => write!(f, "{}({x})", op.symbol()),
+        }
+    }
+}
+
+impl DominoProgram {
+    /// Names of packet fields the transaction reads, sorted.
+    pub fn fields_read(&self) -> Vec<String> {
+        let mut fields = BTreeSet::new();
+        visit_exprs(&self.body, &mut |e| {
+            if let DominoExpr::Field(name) = e {
+                fields.insert(name.clone());
+            }
+        });
+        fields.into_iter().collect()
+    }
+
+    /// Names of packet fields the transaction writes, sorted.
+    pub fn fields_written(&self) -> Vec<String> {
+        let mut fields = BTreeSet::new();
+        collect_written(&self.body, &mut fields);
+        fields.into_iter().collect()
+    }
+
+    /// All integer literals in the program (candidates for immediate
+    /// synthesis), sorted and deduplicated.
+    pub fn literals(&self) -> Vec<Value> {
+        let mut lits = BTreeSet::new();
+        visit_exprs(&self.body, &mut |e| {
+            if let DominoExpr::Const(v) = e {
+                lits.insert(*v);
+            }
+        });
+        lits.into_iter().collect()
+    }
+
+    /// Index of a state variable.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.state_vars.iter().position(|d| d.name == name)
+    }
+}
+
+fn collect_written(stmts: &[DominoStmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            DominoStmt::AssignField { field, .. } => {
+                out.insert(field.clone());
+            }
+            DominoStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_written(then_body, out);
+                collect_written(else_body, out);
+            }
+            DominoStmt::AssignState { .. } => {}
+        }
+    }
+}
+
+/// Visit every expression in a statement list (conditions and right-hand
+/// sides), pre-order.
+pub fn visit_exprs<'a>(stmts: &'a [DominoStmt], f: &mut impl FnMut(&'a DominoExpr)) {
+    for s in stmts {
+        match s {
+            DominoStmt::AssignField { value, .. } | DominoStmt::AssignState { value, .. } => {
+                value.visit(f)
+            }
+            DominoStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.visit(f);
+                visit_exprs(then_body, f);
+                visit_exprs(else_body, f);
+            }
+        }
+    }
+}
+
+/// Validate a parsed program:
+/// - state assignments target declared variables;
+/// - no duplicate state declarations;
+/// - a packet field is never read after it has been written on the same
+///   path (reads always see the input packet; allowing read-after-write
+///   would silently change meaning between interpreter and compiler);
+/// - written fields are not also read anywhere in the program (stronger
+///   but simpler than path-sensitivity, and what the compiler's container
+///   allocation assumes).
+pub fn validate(program: &DominoProgram) -> Result<()> {
+    let err = |message: String| Error::DominoParse { line: 0, message };
+
+    let mut names = BTreeSet::new();
+    for decl in &program.state_vars {
+        if !names.insert(decl.name.as_str()) {
+            return Err(err(format!("duplicate state variable `{}`", decl.name)));
+        }
+    }
+
+    // Every state reference must resolve.
+    let mut bad: Option<String> = None;
+    visit_exprs(&program.body, &mut |e| {
+        if bad.is_some() {
+            return;
+        }
+        if let DominoExpr::State(name) = e {
+            if program.state_index(name).is_none() {
+                bad = Some(name.clone());
+            }
+        }
+    });
+    if let Some(name) = bad {
+        return Err(err(format!("reference to undeclared state `{name}`")));
+    }
+    check_state_targets(program, &program.body)?;
+
+    // Written fields must not be read.
+    let written: BTreeSet<String> = program.fields_written().into_iter().collect();
+    let read: BTreeSet<String> = program.fields_read().into_iter().collect();
+    if let Some(field) = written.intersection(&read).next() {
+        return Err(err(format!(
+            "packet field `{field}` is both read and written; use a distinct output field"
+        )));
+    }
+    Ok(())
+}
+
+fn check_state_targets(program: &DominoProgram, stmts: &[DominoStmt]) -> Result<()> {
+    for s in stmts {
+        match s {
+            DominoStmt::AssignState { var, .. } => {
+                if program.state_index(var).is_none() {
+                    return Err(Error::DominoParse {
+                        line: 0,
+                        message: format!("assignment to undeclared state `{var}`"),
+                    });
+                }
+            }
+            DominoStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                check_state_targets(program, then_body)?;
+                check_state_targets(program, else_body)?;
+            }
+            DominoStmt::AssignField { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn fields_read_and_written() {
+        let p = parse_program(
+            "state int s = 0;\n\
+             s = s + pkt.a;\n\
+             pkt.out = pkt.a + pkt.b;",
+        )
+        .unwrap();
+        assert_eq!(p.fields_read(), vec!["a", "b"]);
+        assert_eq!(p.fields_written(), vec!["out"]);
+    }
+
+    #[test]
+    fn literals_collected_sorted() {
+        let p = parse_program("pkt.out = pkt.a * 7 + 3 - 7;").unwrap();
+        assert_eq!(p.literals(), vec![3, 7]);
+    }
+
+    #[test]
+    fn undeclared_state_rejected() {
+        assert!(parse_program("s = 1;").is_err());
+        assert!(parse_program("pkt.o = s + 1;").is_err());
+    }
+
+    #[test]
+    fn duplicate_state_rejected() {
+        assert!(parse_program("state int s = 0;\nstate int s = 0;\npkt.o = 1;").is_err());
+    }
+
+    #[test]
+    fn read_write_conflict_rejected() {
+        let err = parse_program("pkt.a = pkt.a + 1;").unwrap_err();
+        assert!(err.to_string().contains("both read and written"));
+    }
+
+    #[test]
+    fn state_free_detection() {
+        let p = parse_program(
+            "state int s = 0;\n\
+             if (s >= pkt.a + 1) { s = 0; }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            DominoStmt::If { cond, .. } => {
+                assert!(!cond.is_state_free());
+                if let DominoExpr::Binary { r, .. } = cond {
+                    assert!(r.is_state_free());
+                } else {
+                    panic!("expected binary cond");
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let p = parse_program("pkt.o = (pkt.a + 1) * pkt.b;").unwrap();
+        match &p.body[0] {
+            DominoStmt::AssignField { value, .. } => {
+                assert_eq!(value.to_string(), "((pkt.a + 1) * pkt.b)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

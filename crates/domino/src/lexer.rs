@@ -1,0 +1,262 @@
+//! Lexer for the Domino subset. Token shapes match the ALU DSL's with the
+//! addition of `.` (for `pkt.field`) and C-style keywords.
+
+use druzhba_core::{Error, Result};
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(u32),
+    Dot,
+    Semi,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    AndAnd,
+    OrOr,
+    Not,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize a Domino source. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            tokens.push(Token { tok: $tok, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Tok::Slash);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n * 10 + u64::from(digit);
+                        if n > u64::from(u32::MAX) {
+                            return Err(Error::DominoParse {
+                                line,
+                                message: "integer literal exceeds 32 bits".into(),
+                            });
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(n as u32));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(ident));
+            }
+            '.' => {
+                chars.next();
+                push!(Tok::Dot);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                push!(Tok::Minus);
+            }
+            '*' => {
+                chars.next();
+                push!(Tok::Star);
+            }
+            '%' => {
+                chars.next();
+                push!(Tok::Percent);
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::EqEq);
+                } else {
+                    push!(Tok::Assign);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::NotEq);
+                } else {
+                    push!(Tok::Not);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Le);
+                } else {
+                    push!(Tok::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ge);
+                } else {
+                    push!(Tok::Gt);
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    push!(Tok::AndAnd);
+                } else {
+                    return Err(Error::DominoParse {
+                        line,
+                        message: "single `&` is not an operator".into(),
+                    });
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(Tok::OrOr);
+                } else {
+                    return Err(Error::DominoParse {
+                        line,
+                        message: "single `|` is not an operator".into(),
+                    });
+                }
+            }
+            other => {
+                return Err(Error::DominoParse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_pkt_field_access() {
+        assert_eq!(
+            toks("pkt.now"),
+            vec![Tok::Ident("pkt".into()), Tok::Dot, Tok::Ident("now".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_state_declaration() {
+        assert_eq!(
+            toks("state int x = 0;"),
+            vec![
+                Tok::Ident("state".into()),
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(0),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(toks("x // y\nz"), vec![Tok::Ident("x".into()), Tok::Ident("z".into())]);
+    }
+
+    #[test]
+    fn rejects_stray_chars() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        assert!(lex("99999999999").is_err());
+    }
+}

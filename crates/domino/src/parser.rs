@@ -1,0 +1,364 @@
+//! Recursive-descent parser for the Domino subset.
+//!
+//! ```text
+//! program  := state_decl* stmt*
+//! state_decl := "state" "int" IDENT "=" INT ";"
+//! stmt     := "pkt" "." IDENT "=" expr ";"
+//!           | IDENT "=" expr ";"
+//!           | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//! block    := "{" stmt* "}"
+//! expr     := C-like precedence over || && (== != < > <= >=) (+ -) (* / %)
+//!             unary(- !), primaries: INT, "pkt" "." IDENT, IDENT, "(" expr ")"
+//! ```
+
+use druzhba_core::{Error, Result};
+
+use crate::ast::{BinOp, DominoExpr, DominoProgram, DominoStmt, StateDecl, UnOp};
+use crate::lexer::{Tok, Token};
+
+/// Parse a token stream. Prefer [`crate::parse_program`], which also
+/// validates.
+pub fn parse(tokens: &[Token]) -> Result<DominoProgram> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut state_vars = Vec::new();
+    while p.peek_is_ident("state") {
+        state_vars.push(p.parse_state_decl()?);
+    }
+    let mut body = Vec::new();
+    while p.peek().is_some() {
+        body.push(p.parse_stmt()?);
+    }
+    Ok(DominoProgram { state_vars, body })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::DominoParse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn peek_is_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == name)
+    }
+
+    fn parse_state_decl(&mut self) -> Result<StateDecl> {
+        self.pos += 1; // `state`
+        let ty = self.expect_ident("`int`")?;
+        if ty != "int" {
+            return Err(self.err(format!("unknown state type `{ty}` (only `int`)")));
+        }
+        let name = self.expect_ident("state variable name")?;
+        self.expect(&Tok::Assign, "`=`")?;
+        let init = match self.next() {
+            Some(Tok::Int(v)) => v,
+            other => return Err(self.err(format!("expected initial value, found {other:?}"))),
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(StateDecl { name, init })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<DominoStmt>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.pos += 1;
+                    return Ok(stmts);
+                }
+                Some(_) => stmts.push(self.parse_stmt()?),
+                None => return Err(self.err("unterminated block")),
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<DominoStmt> {
+        if self.peek_is_ident("if") {
+            return self.parse_if();
+        }
+        if self.peek_is_ident("pkt") {
+            self.pos += 1;
+            self.expect(&Tok::Dot, "`.` after pkt")?;
+            let field = self.expect_ident("field name")?;
+            self.expect(&Tok::Assign, "`=`")?;
+            let value = self.parse_expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(DominoStmt::AssignField { field, value });
+        }
+        let var = self.expect_ident("assignment target")?;
+        self.expect(&Tok::Assign, "`=`")?;
+        let value = self.parse_expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(DominoStmt::AssignState { var, value })
+    }
+
+    fn parse_if(&mut self) -> Result<DominoStmt> {
+        self.pos += 1; // `if`
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let then_body = self.parse_block()?;
+        let else_body = if self.peek_is_ident("else") {
+            self.pos += 1;
+            if self.peek_is_ident("if") {
+                // `else if` sugar: a nested if as the sole else statement.
+                vec![self.parse_if()?]
+            } else {
+                self.parse_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(DominoStmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<DominoExpr> {
+        self.parse_or()
+    }
+
+    fn binary(op: BinOp, l: DominoExpr, r: DominoExpr) -> DominoExpr {
+        DominoExpr::Binary {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<DominoExpr> {
+        let mut l = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let r = self.parse_and()?;
+            l = Self::binary(BinOp::Or, l, r);
+        }
+        Ok(l)
+    }
+
+    fn parse_and(&mut self) -> Result<DominoExpr> {
+        let mut l = self.parse_rel()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let r = self.parse_rel()?;
+            l = Self::binary(BinOp::And, l, r);
+        }
+        Ok(l)
+    }
+
+    fn parse_rel(&mut self) -> Result<DominoExpr> {
+        let mut l = self.parse_add()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::EqEq) => BinOp::Eq,
+                Some(Tok::NotEq) => BinOp::Ne,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Ge) => BinOp::Ge,
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Gt) => BinOp::Gt,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_add()?;
+            l = Self::binary(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn parse_add(&mut self) -> Result<DominoExpr> {
+        let mut l = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_mul()?;
+            l = Self::binary(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn parse_mul(&mut self) -> Result<DominoExpr> {
+        let mut l = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.parse_unary()?;
+            l = Self::binary(op, l, r);
+        }
+        Ok(l)
+    }
+
+    fn parse_unary(&mut self) -> Result<DominoExpr> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let x = self.parse_unary()?;
+                Ok(DominoExpr::Unary {
+                    op: UnOp::Neg,
+                    x: Box::new(x),
+                })
+            }
+            Some(Tok::Not) => {
+                self.pos += 1;
+                let x = self.parse_unary()?;
+                Ok(DominoExpr::Unary {
+                    op: UnOp::Not,
+                    x: Box::new(x),
+                })
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<DominoExpr> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(DominoExpr::Const(v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "pkt" => {
+                self.expect(&Tok::Dot, "`.` after pkt")?;
+                let field = self.expect_ident("field name")?;
+                Ok(DominoExpr::Field(field))
+            }
+            Some(Tok::Ident(name)) => Ok(DominoExpr::State(name)),
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> DominoProgram {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_state_declarations() {
+        let p = parse_src("state int a = 0;\nstate int b = 5;\npkt.o = 1;");
+        assert_eq!(p.state_vars.len(), 2);
+        assert_eq!(p.state_vars[1].name, "b");
+        assert_eq!(p.state_vars[1].init, 5);
+    }
+
+    #[test]
+    fn parses_field_and_state_assignment() {
+        let p = parse_src("state int s = 0;\ns = s + 1;\npkt.o = s;");
+        assert!(matches!(p.body[0], DominoStmt::AssignState { .. }));
+        assert!(matches!(p.body[1], DominoStmt::AssignField { .. }));
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = parse_src(
+            "state int s = 0;\n\
+             if (s == 10) { s = 0; } else { s = s + 1; }",
+        );
+        match &p.body[0] {
+            DominoStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                assert_eq!(cond.to_string(), "(s == 10)");
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_desugars_to_nested_if() {
+        let p = parse_src(
+            "state int s = 0;\n\
+             if (s == 0) { s = 1; } else if (s == 1) { s = 2; } else { s = 0; }",
+        );
+        match &p.body[0] {
+            DominoStmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], DominoStmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("pkt.o = pkt.a + pkt.b * 2 == 10 && 1;");
+        match &p.body[0] {
+            DominoStmt::AssignField { value, .. } => {
+                assert_eq!(value.to_string(), "(((pkt.a + (pkt.b * 2)) == 10) && 1)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(crate::parse_program("pkt.o = 1").is_err());
+    }
+
+    #[test]
+    fn if_without_parens_is_error() {
+        assert!(crate::parse_program("if pkt.a { pkt.o = 1; }").is_err());
+    }
+}

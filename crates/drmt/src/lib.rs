@@ -1,0 +1,37 @@
+//! # druzhba-drmt
+//!
+//! The dRMT (disaggregated RMT) side of Druzhba (paper §4): match+action
+//! *processors* replace pipeline stages, match+action tables live in
+//! centralized memory clusters reached through a crossbar, and a
+//! *scheduler* decides at which tick relative to packet arrival each
+//! table's match and action execute.
+//!
+//! Components:
+//!
+//! - [`schedule`] — the dRMT scheduler: assigns a time slot to every match
+//!   and action operation subject to dependency latencies (ΔM, ΔA) and
+//!   per-cycle match/action capacity constraints taken *mod P* (one packet
+//!   arrives per tick and processors run the same schedule staggered by
+//!   one tick, so slots congruent mod P share hardware). The paper
+//!   formulates this as an ILP; this crate provides a greedy list
+//!   scheduler plus an exact branch-and-bound solver, both validated by a
+//!   shared feasibility checker (substitution documented in DESIGN.md).
+//! - [`table_entries`] — the textual table-entry configuration format of
+//!   §4.2 (table, matched field values, match kind from the table
+//!   declaration, action and its arguments).
+//! - [`machine`] — the dRMT simulator: round-robin packet dispatch to
+//!   processors, per-slot match/action execution against the centralized
+//!   tables, registers and counters, crossbar accounting.
+//! - [`traffic`] — the packet generator: *"generates packets with randomly
+//!   initialized packet field values based on the fields specified in the
+//!   P4 file"*.
+
+pub mod machine;
+pub mod schedule;
+pub mod table_entries;
+pub mod traffic;
+
+pub use machine::{DrmtMachine, DrmtStats, Packet};
+pub use schedule::{check_schedule, solve, solve_optimal, Schedule, ScheduleConfig};
+pub use table_entries::{parse_entries, TableEntry};
+pub use traffic::PacketGen;

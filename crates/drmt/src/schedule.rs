@@ -1,0 +1,511 @@
+//! The dRMT scheduler.
+//!
+//! Every applied table `t` contributes two operations: its match `M_t` and
+//! its action `A_t`, each assigned a time slot relative to packet arrival.
+//! Constraints (following the dRMT paper's formulation):
+//!
+//! - `A_t ≥ M_t + ΔM` — an action consumes its own match result;
+//! - match dependency `t1 → t2`: `M_t2 ≥ A_t1 + ΔA`;
+//! - action dependency `t1 → t2`: `A_t2 ≥ A_t1 + ΔA`;
+//! - successor dependency `t1 → t2`: `A_t2 ≥ A_t1 + 1` (matches may be
+//!   speculated, but actions commit in control order);
+//! - resource limits mod `P`: with one packet arriving per tick and `P`
+//!   processors running the same schedule staggered by one tick, all slots
+//!   congruent mod `P` execute simultaneously somewhere in the cluster, so
+//!   for each residue `r` the number of matches (actions) scheduled at
+//!   slots `≡ r (mod P)` is at most the per-cycle match (action) capacity.
+//!
+//! The scheduling problem is NP-hard (the paper formulates an ILP); here a
+//! greedy list scheduler produces feasible schedules fast, and an exact
+//! branch-and-bound solver minimizes the makespan for paper-scale DAGs.
+//! Both are validated by [`check_schedule`].
+
+use druzhba_core::{Error, Result};
+use druzhba_p4::deps::{DependencyKind, TableDag};
+
+/// Hardware and latency parameters of the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleConfig {
+    /// Ticks a match takes (ΔM): the gap between issuing a match and its
+    /// result being available to the action.
+    pub delta_match: u32,
+    /// Ticks an action takes (ΔA): the gap between an action and any
+    /// dependent operation.
+    pub delta_action: u32,
+    /// Matches the cluster can issue per tick.
+    pub match_capacity: usize,
+    /// Actions the cluster can execute per tick.
+    pub action_capacity: usize,
+    /// Number of match+action processors (the stagger period).
+    pub processors: usize,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        // ΔM = 2, ΔA = 1 are scaled-down analogues of the dRMT paper's
+        // proportions (matches dominate). Total match capacity over one
+        // stagger period is processors x match_capacity; programs with
+        // more tables than that are unschedulable at line rate.
+        ScheduleConfig {
+            delta_match: 2,
+            delta_action: 1,
+            match_capacity: 2,
+            action_capacity: 2,
+            processors: 4,
+        }
+    }
+}
+
+/// A complete schedule: slots for every table's match and action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `match_slot[i]` — tick (relative to arrival) of table `i`'s match.
+    pub match_slot: Vec<u32>,
+    /// `action_slot[i]` — tick of table `i`'s action.
+    pub action_slot: Vec<u32>,
+}
+
+impl Schedule {
+    /// The packet's residence time: the last slot plus one.
+    pub fn makespan(&self) -> u32 {
+        self.match_slot
+            .iter()
+            .chain(self.action_slot.iter())
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+}
+
+/// Verify a schedule against every constraint; returns the first violation.
+pub fn check_schedule(dag: &TableDag, cfg: &ScheduleConfig, schedule: &Schedule) -> Result<()> {
+    let n = dag.len();
+    let err = |message: String| Error::ScheduleInfeasible { message };
+    if schedule.match_slot.len() != n || schedule.action_slot.len() != n {
+        return Err(err("schedule length does not match table count".into()));
+    }
+    for i in 0..n {
+        if schedule.action_slot[i] < schedule.match_slot[i] + cfg.delta_match {
+            return Err(err(format!(
+                "table `{}`: action at {} before its match result (match at {}, ΔM={})",
+                dag.names[i], schedule.action_slot[i], schedule.match_slot[i], cfg.delta_match
+            )));
+        }
+    }
+    for e in &dag.edges {
+        let ok = match e.kind {
+            DependencyKind::Match => {
+                schedule.match_slot[e.to] >= schedule.action_slot[e.from] + cfg.delta_action
+            }
+            DependencyKind::Action => {
+                schedule.action_slot[e.to] >= schedule.action_slot[e.from] + cfg.delta_action
+            }
+            DependencyKind::Successor => {
+                schedule.action_slot[e.to] >= schedule.action_slot[e.from] + 1
+            }
+        };
+        if !ok {
+            return Err(err(format!(
+                "{:?} dependency {} -> {} violated",
+                e.kind, dag.names[e.from], dag.names[e.to]
+            )));
+        }
+    }
+    // Mod-P capacity.
+    let p = cfg.processors.max(1) as u32;
+    let mut match_use = vec![0usize; p as usize];
+    let mut action_use = vec![0usize; p as usize];
+    for i in 0..n {
+        match_use[(schedule.match_slot[i] % p) as usize] += 1;
+        action_use[(schedule.action_slot[i] % p) as usize] += 1;
+    }
+    for r in 0..p as usize {
+        if match_use[r] > cfg.match_capacity {
+            return Err(err(format!(
+                "match capacity exceeded at residue {r}: {} > {}",
+                match_use[r], cfg.match_capacity
+            )));
+        }
+        if action_use[r] > cfg.action_capacity {
+            return Err(err(format!(
+                "action capacity exceeded at residue {r}: {} > {}",
+                action_use[r], cfg.action_capacity
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Greedy list scheduling in control order (which is topological for the
+/// DAG's edges). Always produces a feasible schedule.
+pub fn solve(dag: &TableDag, cfg: &ScheduleConfig) -> Result<Schedule> {
+    if cfg.processors == 0 {
+        return Err(Error::ScheduleInfeasible {
+            message: "at least one processor required".into(),
+        });
+    }
+    let n = dag.len();
+    // Steady-state capacity: every slot residue mod P executes each tick,
+    // so the whole program's matches (actions) must fit in P residues of
+    // the per-tick capacity.
+    if n > cfg.processors * cfg.match_capacity {
+        return Err(Error::ScheduleInfeasible {
+            message: format!(
+                "{n} tables need more match bandwidth than {} processors x {}                  matches/tick provide",
+                cfg.processors, cfg.match_capacity
+            ),
+        });
+    }
+    if n > cfg.processors * cfg.action_capacity {
+        return Err(Error::ScheduleInfeasible {
+            message: format!(
+                "{n} tables need more action bandwidth than {} processors x {}                  actions/tick provide",
+                cfg.processors, cfg.action_capacity
+            ),
+        });
+    }
+    let p = cfg.processors as u32;
+    let mut match_slot = vec![0u32; n];
+    let mut action_slot = vec![0u32; n];
+    let mut match_use = vec![0usize; cfg.processors];
+    let mut action_use = vec![0usize; cfg.processors];
+
+    for i in 0..n {
+        // Earliest match slot from match dependencies.
+        let mut m = 0;
+        for e in dag.predecessors(i) {
+            if e.kind == DependencyKind::Match {
+                m = m.max(action_slot[e.from] + cfg.delta_action);
+            }
+        }
+        while match_use[(m % p) as usize] >= cfg.match_capacity {
+            m += 1;
+        }
+        match_use[(m % p) as usize] += 1;
+        match_slot[i] = m;
+
+        // Earliest action slot.
+        let mut a = m + cfg.delta_match;
+        for e in dag.predecessors(i) {
+            match e.kind {
+                DependencyKind::Action => a = a.max(action_slot[e.from] + cfg.delta_action),
+                DependencyKind::Successor => a = a.max(action_slot[e.from] + 1),
+                DependencyKind::Match => {}
+            }
+        }
+        while action_use[(a % p) as usize] >= cfg.action_capacity {
+            a += 1;
+        }
+        action_use[(a % p) as usize] += 1;
+        action_slot[i] = a;
+    }
+    let schedule = Schedule {
+        match_slot,
+        action_slot,
+    };
+    check_schedule(dag, cfg, &schedule)?;
+    Ok(schedule)
+}
+
+/// Exact branch-and-bound minimization of the makespan, seeded by the
+/// greedy solution. Suitable for paper-scale DAGs (≤ ~10 tables);
+/// `node_budget` caps the search.
+pub fn solve_optimal(
+    dag: &TableDag,
+    cfg: &ScheduleConfig,
+    node_budget: u64,
+) -> Result<Schedule> {
+    let greedy = solve(dag, cfg)?;
+    let n = dag.len();
+    if n == 0 {
+        return Ok(greedy);
+    }
+    let mut best = greedy.clone();
+    let mut best_makespan = greedy.makespan();
+
+    struct Search<'a> {
+        dag: &'a TableDag,
+        cfg: &'a ScheduleConfig,
+        p: u32,
+        nodes: u64,
+        budget: u64,
+    }
+
+    impl Search<'_> {
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            &mut self,
+            i: usize,
+            match_slot: &mut Vec<u32>,
+            action_slot: &mut Vec<u32>,
+            match_use: &mut Vec<usize>,
+            action_use: &mut Vec<usize>,
+            best: &mut Schedule,
+            best_makespan: &mut u32,
+        ) {
+            if self.nodes >= self.budget {
+                return;
+            }
+            self.nodes += 1;
+            let n = self.dag.len();
+            if i == n {
+                let candidate = Schedule {
+                    match_slot: match_slot.clone(),
+                    action_slot: action_slot.clone(),
+                };
+                let mk = candidate.makespan();
+                if mk < *best_makespan {
+                    *best_makespan = mk;
+                    *best = candidate;
+                }
+                return;
+            }
+            // Earliest match slot from dependencies.
+            let mut m_min = 0;
+            let mut a_dep_min = 0;
+            for e in self.dag.predecessors(i) {
+                match e.kind {
+                    DependencyKind::Match => {
+                        m_min = m_min.max(action_slot[e.from] + self.cfg.delta_action)
+                    }
+                    DependencyKind::Action => {
+                        a_dep_min = a_dep_min.max(action_slot[e.from] + self.cfg.delta_action)
+                    }
+                    DependencyKind::Successor => {
+                        a_dep_min = a_dep_min.max(action_slot[e.from] + 1)
+                    }
+                }
+            }
+            // Candidate slots up to the current best makespan.
+            for m in m_min..*best_makespan {
+                if match_use[(m % self.p) as usize] >= self.cfg.match_capacity {
+                    continue;
+                }
+                let a_min = a_dep_min.max(m + self.cfg.delta_match);
+                if a_min >= *best_makespan {
+                    continue;
+                }
+                match_use[(m % self.p) as usize] += 1;
+                match_slot[i] = m;
+                for a in a_min..*best_makespan {
+                    if action_use[(a % self.p) as usize] >= self.cfg.action_capacity {
+                        continue;
+                    }
+                    action_use[(a % self.p) as usize] += 1;
+                    action_slot[i] = a;
+                    self.dfs(
+                        i + 1,
+                        match_slot,
+                        action_slot,
+                        match_use,
+                        action_use,
+                        best,
+                        best_makespan,
+                    );
+                    action_use[(a % self.p) as usize] -= 1;
+                }
+                match_use[(m % self.p) as usize] -= 1;
+            }
+        }
+    }
+
+    let mut search = Search {
+        dag,
+        cfg,
+        p: cfg.processors as u32,
+        nodes: 0,
+        budget: node_budget,
+    };
+    let mut match_slot = vec![0u32; n];
+    let mut action_slot = vec![0u32; n];
+    let mut match_use = vec![0usize; cfg.processors];
+    let mut action_use = vec![0usize; cfg.processors];
+    search.dfs(
+        0,
+        &mut match_slot,
+        &mut action_slot,
+        &mut match_use,
+        &mut action_use,
+        &mut best,
+        &mut best_makespan,
+    );
+    check_schedule(dag, cfg, &best)?;
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_p4::deps::build_dag;
+    use druzhba_p4::parse_p4;
+
+    const PRELUDE: &str = "header_type h_t { fields { a : 32; b : 32; c : 32; } }\n\
+                           header h_t pkt;\nmetadata h_t meta;\n\
+                           parser start { extract(pkt); return ingress; }\n";
+
+    fn chain3() -> TableDag {
+        let src = format!(
+            "{PRELUDE}\
+             action w1() {{ modify_field(meta.a, 1); }}\n\
+             action w2() {{ modify_field(meta.b, meta.a); }}\n\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w1; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ w2; }} }}\n\
+             table t3 {{ reads {{ meta.b : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); apply(t3); }}"
+        );
+        build_dag(&parse_p4(&src).unwrap())
+    }
+
+    fn independent(k: usize) -> TableDag {
+        let mut src = String::from(PRELUDE);
+        src.push_str("action n() { no_op(); }\n");
+        for i in 0..k {
+            src.push_str(&format!(
+                "table t{i} {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n"
+            ));
+        }
+        src.push_str("control ingress { ");
+        for i in 0..k {
+            src.push_str(&format!("apply(t{i}); "));
+        }
+        src.push_str("}");
+        build_dag(&parse_p4(&src).unwrap())
+    }
+
+    #[test]
+    fn greedy_chain_respects_latencies() {
+        let dag = chain3();
+        let cfg = ScheduleConfig::default();
+        let s = solve(&dag, &cfg).unwrap();
+        check_schedule(&dag, &cfg, &s).unwrap();
+        // Match-dependent chain: each match waits for the previous action.
+        assert!(s.match_slot[1] >= s.action_slot[0] + cfg.delta_action);
+        assert!(s.match_slot[2] >= s.action_slot[1] + cfg.delta_action);
+    }
+
+    #[test]
+    fn independent_tables_pack_by_capacity() {
+        let dag = independent(4);
+        let cfg = ScheduleConfig {
+            processors: 2,
+            match_capacity: 2,
+            ..Default::default()
+        };
+        let s = solve(&dag, &cfg).unwrap();
+        check_schedule(&dag, &cfg, &s).unwrap();
+        // 4 matches spread over 2 residues with at most 2 each.
+        let mut per_residue = [0; 2];
+        for &m in &s.match_slot {
+            per_residue[(m % 2) as usize] += 1;
+        }
+        assert_eq!(per_residue, [2, 2]);
+    }
+
+    #[test]
+    fn over_capacity_program_rejected() {
+        let dag = independent(4);
+        let cfg = ScheduleConfig {
+            processors: 1,
+            match_capacity: 1,
+            action_capacity: 1,
+            ..Default::default()
+        };
+        let err = solve(&dag, &cfg).unwrap_err();
+        assert!(err.to_string().contains("match bandwidth"));
+    }
+
+    #[test]
+    fn optimal_not_worse_than_greedy() {
+        for dag in [chain3(), independent(5)] {
+            let cfg = ScheduleConfig::default();
+            let greedy = solve(&dag, &cfg).unwrap();
+            let optimal = solve_optimal(&dag, &cfg, 200_000).unwrap();
+            assert!(optimal.makespan() <= greedy.makespan());
+            check_schedule(&dag, &cfg, &optimal).unwrap();
+        }
+    }
+
+    #[test]
+    fn optimal_chain_matches_critical_path() {
+        // A 3-table match-dependent chain has a closed-form critical path:
+        // each link costs ΔM (match->action) + ΔA (action->next match).
+        let dag = chain3();
+        let cfg = ScheduleConfig {
+            processors: 4,
+            match_capacity: 4,
+            action_capacity: 4,
+            ..Default::default()
+        };
+        let s = solve_optimal(&dag, &cfg, 500_000).unwrap();
+        let expected = 3 * (cfg.delta_match + cfg.delta_action);
+        assert_eq!(s.makespan(), expected);
+    }
+
+    #[test]
+    fn checker_rejects_violations() {
+        let dag = chain3();
+        let cfg = ScheduleConfig::default();
+        let mut s = solve(&dag, &cfg).unwrap();
+        // Action before its own match completes.
+        s.action_slot[0] = s.match_slot[0];
+        assert!(check_schedule(&dag, &cfg, &s).is_err());
+        let mut s = solve(&dag, &cfg).unwrap();
+        // Break a match dependency.
+        s.match_slot[1] = 0;
+        s.match_slot[2] = 1;
+        assert!(check_schedule(&dag, &cfg, &s).is_err());
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let dag = independent(3);
+        let cfg = ScheduleConfig {
+            processors: 1,
+            match_capacity: 2,
+            action_capacity: 3,
+            ..Default::default()
+        };
+        // All three matches at slot 0 with capacity 2 (mod 1).
+        let s = Schedule {
+            match_slot: vec![0, 0, 0],
+            action_slot: vec![2, 2, 2],
+        };
+        let err = check_schedule(&dag, &cfg, &s).unwrap_err();
+        assert!(err.to_string().contains("match capacity"));
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        let dag = independent(1);
+        let cfg = ScheduleConfig {
+            processors: 0,
+            ..Default::default()
+        };
+        assert!(solve(&dag, &cfg).is_err());
+    }
+
+    #[test]
+    fn more_processors_shrink_makespan() {
+        // The headline dRMT effect: more processors (a longer stagger
+        // period) spread operations across residues and shorten the
+        // schedule for wide programs.
+        let dag = independent(6);
+        let base = ScheduleConfig {
+            processors: 3,
+            ..Default::default()
+        };
+        let wide = ScheduleConfig {
+            processors: 6,
+            ..Default::default()
+        };
+        let s1 = solve(&dag, &base).unwrap();
+        let s4 = solve(&dag, &wide).unwrap();
+        assert!(
+            s4.makespan() <= s1.makespan(),
+            "4 processors ({}) should not be slower than 1 ({})",
+            s4.makespan(),
+            s1.makespan()
+        );
+    }
+}

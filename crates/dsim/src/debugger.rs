@@ -1,0 +1,331 @@
+//! Time-travel debugging (the paper's §7 future work, implemented).
+//!
+//! *"This debugger would provide useful data to testers in reasoning about
+//! the behavior of the pipeline through setting breakpoints to observe PHV
+//! container and state values at different points of simulation.
+//! Bi-directional traveling … can allow testers to rewind pipeline
+//! simulation ticks to past pipeline states to trace origins of erroneous
+//! behavior."*
+//!
+//! [`TimeTravelDebugger::record`] runs a full simulation while
+//! checkpointing every tick: the injected PHV, the PHVs occupying each
+//! stage, the complete switch state after the tick, and the exiting PHV.
+//! The cursor then moves freely in both directions; breakpoints are
+//! arbitrary predicates over [`TickRecord`]s and work forwards *and*
+//! backwards.
+
+use druzhba_core::trace::StateSnapshot;
+use druzhba_core::value::Value;
+use druzhba_core::{MachineCode, Phv, Result, Trace};
+use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
+
+use crate::sim::Simulator;
+
+/// Everything observable about one simulation tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickRecord {
+    /// Tick index (0-based).
+    pub tick: u64,
+    /// PHV injected into stage 0 this tick, if any.
+    pub injected: Option<Phv>,
+    /// Occupancy at the *start* of the tick: `stage_inputs[k]` is the PHV
+    /// stage `k` consumed (index 0 is the injected PHV).
+    pub stage_inputs: Vec<Option<Phv>>,
+    /// Switch state *after* the tick: `state[stage][slot]` per stateful
+    /// ALU.
+    pub state: StateSnapshot,
+    /// PHV that exited the final stage this tick, if any.
+    pub emitted: Option<Phv>,
+}
+
+/// A recorded simulation with a bidirectional cursor.
+#[derive(Debug)]
+pub struct TimeTravelDebugger {
+    history: Vec<TickRecord>,
+    cursor: usize,
+}
+
+impl TimeTravelDebugger {
+    /// Run the whole input trace through a freshly generated pipeline,
+    /// recording every tick (including the drain ticks that flush the
+    /// pipe).
+    pub fn record(
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+        opt: OptLevel,
+        input: &Trace,
+    ) -> Result<Self> {
+        let pipeline = Pipeline::generate(spec, mc, opt)?;
+        let mut sim = Simulator::new(pipeline);
+        let depth = spec.config.depth;
+        let mut history = Vec::with_capacity(input.len() + depth);
+        let mut pending = input.phvs.iter().cloned();
+        for tick in 0..(input.len() + depth) as u64 {
+            let injected = pending.next();
+            // Occupancy before the tick: the injected PHV plus what was
+            // already in flight at stages 1..depth.
+            let mut stage_inputs: Vec<Option<Phv>> = sim.in_flight().to_vec();
+            stage_inputs[0] = injected.clone();
+            let emitted = sim.tick(injected.clone());
+            history.push(TickRecord {
+                tick,
+                injected,
+                stage_inputs,
+                state: sim.pipeline().state_snapshot(),
+                emitted,
+            });
+        }
+        Ok(TimeTravelDebugger { history, cursor: 0 })
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The record under the cursor.
+    pub fn current(&self) -> &TickRecord {
+        &self.history[self.cursor]
+    }
+
+    /// All records, in tick order.
+    pub fn history(&self) -> &[TickRecord] {
+        &self.history
+    }
+
+    /// Move one tick forward; `None` at the end (cursor unchanged).
+    pub fn step_forward(&mut self) -> Option<&TickRecord> {
+        if self.cursor + 1 < self.history.len() {
+            self.cursor += 1;
+            Some(&self.history[self.cursor])
+        } else {
+            None
+        }
+    }
+
+    /// Move one tick backward; `None` at the beginning (cursor unchanged).
+    pub fn step_back(&mut self) -> Option<&TickRecord> {
+        if self.cursor > 0 {
+            self.cursor -= 1;
+            Some(&self.history[self.cursor])
+        } else {
+            None
+        }
+    }
+
+    /// Jump to an absolute tick.
+    pub fn goto(&mut self, tick: usize) -> Option<&TickRecord> {
+        if tick < self.history.len() {
+            self.cursor = tick;
+            Some(&self.history[self.cursor])
+        } else {
+            None
+        }
+    }
+
+    /// Advance until `breakpoint` fires (strictly after the cursor);
+    /// returns the hit tick and leaves the cursor there.
+    pub fn run_until(&mut self, breakpoint: impl Fn(&TickRecord) -> bool) -> Option<usize> {
+        let hit = self.history[self.cursor + 1..]
+            .iter()
+            .position(|r| breakpoint(r))
+            .map(|off| self.cursor + 1 + off)?;
+        self.cursor = hit;
+        Some(hit)
+    }
+
+    /// Rewind until `breakpoint` fires (strictly before the cursor);
+    /// returns the hit tick and leaves the cursor there.
+    pub fn rewind_until(&mut self, breakpoint: impl Fn(&TickRecord) -> bool) -> Option<usize> {
+        let hit = self.history[..self.cursor]
+            .iter()
+            .rposition(|r| breakpoint(r))?;
+        self.cursor = hit;
+        Some(hit)
+    }
+
+    /// The value of a state cell after the cursor's tick.
+    pub fn state_at_cursor(&self, stage: usize, slot: usize, var: usize) -> Option<Value> {
+        self.current()
+            .state
+            .get(stage)
+            .and_then(|s| s.get(slot))
+            .and_then(|vars| vars.get(var))
+            .copied()
+    }
+
+    /// Every tick at which the given state cell changed, with (old, new).
+    /// The first write from the power-on value of 0 is included.
+    pub fn state_changes(
+        &self,
+        stage: usize,
+        slot: usize,
+        var: usize,
+    ) -> Vec<(u64, Value, Value)> {
+        let mut out = Vec::new();
+        let mut prev = 0;
+        for record in &self.history {
+            let Some(now) = record
+                .state
+                .get(stage)
+                .and_then(|s| s.get(slot))
+                .and_then(|vars| vars.get(var))
+                .copied()
+            else {
+                continue;
+            };
+            if now != prev {
+                out.push((record.tick, prev, now));
+                prev = now;
+            }
+        }
+        out
+    }
+
+    /// Trace an erroneous output back to its origin: find the latest tick
+    /// at or before the emission of output PHV `n` (0-based among emitted
+    /// PHVs) at which the chosen state cell changed — the paper's
+    /// "trace origins of erroneous behavior" workflow.
+    pub fn origin_of_output(
+        &self,
+        n: usize,
+        stage: usize,
+        slot: usize,
+        var: usize,
+    ) -> Option<(u64, Value, Value)> {
+        let emit_tick = self
+            .history
+            .iter()
+            .filter(|r| r.emitted.is_some())
+            .nth(n)?
+            .tick;
+        self.state_changes(stage, slot, var)
+            .into_iter()
+            .take_while(|&(t, _, _)| t <= emit_tick)
+            .last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_alu_dsl::atoms::atom;
+    use druzhba_core::PipelineConfig;
+    use druzhba_dgen::expected_machine_code;
+
+    /// Accumulator pipeline: 2 stages, width 1; stage 0 stateful `raw`
+    /// accumulates container 0.
+    fn setup() -> (PipelineSpec, MachineCode) {
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(2, 1, 2),
+            atom("raw").unwrap(),
+            atom("stateless_mux").unwrap(),
+        )
+        .unwrap();
+        let mut mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        // Write the old accumulator into container 1 at stage 0.
+        mc.set("output_mux_phv_0_1", 2);
+        // Stage 1's stateful ALU must stay inert: select constant 0 via
+        // mux3 (otherwise it would also accumulate container 0).
+        mc.set("stateful_alu_1_0_mux3_0", 2);
+        (spec, mc)
+    }
+
+    fn record(phvs: &[u32]) -> TimeTravelDebugger {
+        let (spec, mc) = setup();
+        let input = Trace::from_phvs(phvs.iter().map(|&v| Phv::new(vec![v, 0])).collect());
+        TimeTravelDebugger::record(&spec, &mc, OptLevel::SccInline, &input).unwrap()
+    }
+
+    #[test]
+    fn records_every_tick_including_drain() {
+        let dbg = record(&[5, 7, 9]);
+        // 3 injections + 2 drain ticks.
+        assert_eq!(dbg.len(), 5);
+        assert_eq!(dbg.history()[0].injected, Some(Phv::new(vec![5, 0])));
+        assert_eq!(dbg.history()[3].injected, None);
+        // First PHV exits at tick 1 (depth 2).
+        assert!(dbg.history()[0].emitted.is_none());
+        assert!(dbg.history()[1].emitted.is_some());
+    }
+
+    #[test]
+    fn bidirectional_stepping() {
+        let mut dbg = record(&[1, 2]);
+        assert_eq!(dbg.current().tick, 0);
+        assert_eq!(dbg.step_forward().unwrap().tick, 1);
+        assert_eq!(dbg.step_forward().unwrap().tick, 2);
+        assert_eq!(dbg.step_back().unwrap().tick, 1);
+        assert_eq!(dbg.step_back().unwrap().tick, 0);
+        assert!(dbg.step_back().is_none(), "clamped at the beginning");
+        assert_eq!(dbg.current().tick, 0);
+    }
+
+    #[test]
+    fn goto_and_bounds() {
+        let mut dbg = record(&[1, 2, 3]);
+        assert_eq!(dbg.goto(4).unwrap().tick, 4);
+        assert!(dbg.goto(99).is_none());
+        assert_eq!(dbg.current().tick, 4, "failed goto leaves cursor");
+    }
+
+    #[test]
+    fn forward_breakpoint_on_state() {
+        let mut dbg = record(&[10, 20, 30]);
+        // Break when the accumulator first exceeds 25 (after 10+20).
+        let hit = dbg
+            .run_until(|r| r.state[0][0][0] > 25)
+            .expect("breakpoint fires");
+        assert_eq!(hit, 1, "10+20 lands after tick 1");
+        assert_eq!(dbg.state_at_cursor(0, 0, 0), Some(30));
+    }
+
+    #[test]
+    fn backward_breakpoint_rewinds() {
+        let mut dbg = record(&[10, 20, 30]);
+        dbg.goto(4);
+        // Rewind to the last tick where the accumulator was still ≤ 10.
+        let hit = dbg.rewind_until(|r| r.state[0][0][0] <= 10).unwrap();
+        assert_eq!(hit, 0);
+        assert_eq!(dbg.state_at_cursor(0, 0, 0), Some(10));
+    }
+
+    #[test]
+    fn state_change_log() {
+        let dbg = record(&[10, 0, 5]);
+        // Changes: 0->10 at tick 0, 10 (no change at tick 1), ->15 at 2.
+        let changes = dbg.state_changes(0, 0, 0);
+        assert_eq!(changes, vec![(0, 0, 10), (2, 10, 15)]);
+    }
+
+    #[test]
+    fn origin_of_output_locates_culprit_write() {
+        let dbg = record(&[10, 20, 30]);
+        // Output PHV #2 (the one carrying old-state 30) was emitted at
+        // tick 3; the last state change at or before it is the packet's
+        // own write, 30 -> 60 at tick 2.
+        let (tick, old, new) = dbg.origin_of_output(2, 0, 0, 0).unwrap();
+        assert_eq!(tick, 2);
+        assert_eq!((old, new), (30, 60));
+    }
+
+    #[test]
+    fn breakpoint_on_emitted_container() {
+        let mut dbg = record(&[3, 4, 5]);
+        // Break on the first emitted PHV whose container 1 (old state)
+        // is nonzero.
+        let hit = dbg
+            .run_until(|r| r.emitted.as_ref().is_some_and(|p| p.get(1) > 0))
+            .unwrap();
+        assert_eq!(hit, 2, "second packet carries old state 3");
+    }
+}

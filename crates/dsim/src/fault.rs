@@ -1,0 +1,186 @@
+//! Machine-code fault injection.
+//!
+//! The paper's case study (§5.2) surfaces two classes of bad machine code:
+//! programs *missing pairs* (incompatible with the pipeline) and programs
+//! whose values produce *wrong behaviour* (caught as trace mismatches).
+//! This module manufactures both kinds of faults from a known-good program,
+//! so the test suite can verify that the fuzzing workflow actually detects
+//! them — a tester that never fires is worse than no tester.
+
+use druzhba_core::{MachineCode, ValueGen};
+use druzhba_dgen::{expected_machine_code, PipelineSpec};
+
+/// A description of an injected fault, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// A pair was deleted from the program.
+    RemovedPair { name: String },
+    /// A pair's value was replaced (still within the primitive's domain).
+    MutatedValue {
+        name: String,
+        old: u32,
+        new: u32,
+    },
+    /// A pair's value was set outside the primitive's domain.
+    OutOfRangeValue { name: String, new: u32 },
+}
+
+/// Deterministic generator of faulty machine-code variants.
+#[derive(Debug)]
+pub struct FaultInjector {
+    gen: ValueGen,
+}
+
+impl FaultInjector {
+    /// A fault injector with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            gen: ValueGen::new(seed, 32),
+        }
+    }
+
+    /// Remove one randomly chosen pair (the paper's "missing machine code
+    /// pairs" failure).
+    pub fn remove_random_pair(&mut self, mc: &MachineCode) -> (MachineCode, Fault) {
+        let names: Vec<String> = mc.names().map(str::to_string).collect();
+        let idx = self.gen.value_below(names.len() as u32) as usize;
+        let name = names[idx].clone();
+        let mut out = mc.clone();
+        out.remove(&name);
+        (out, Fault::RemovedPair { name })
+    }
+
+    /// Mutate one randomly chosen pair to a *different* in-domain value.
+    ///
+    /// Returns `None` if no primitive has more than one legal value (then
+    /// every in-domain mutation would be a no-op).
+    pub fn mutate_random_value(
+        &mut self,
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+    ) -> Option<(MachineCode, Fault)> {
+        let expected = expected_machine_code(spec);
+        let mutable: Vec<_> = expected
+            .iter()
+            .filter(|(_, domain)| domain.bound() > 1)
+            .collect();
+        if mutable.is_empty() {
+            return None;
+        }
+        let (name, domain) = mutable[self.gen.value_below(mutable.len() as u32) as usize];
+        let old = mc.try_get(name)?;
+        let bound = domain.bound().min(1 << 16) as u32;
+        let mut new = self.gen.value_below(bound);
+        if new == old {
+            new = (new + 1) % bound;
+        }
+        let mut out = mc.clone();
+        out.set(name.clone(), new);
+        Some((
+            out,
+            Fault::MutatedValue {
+                name: name.clone(),
+                old,
+                new,
+            },
+        ))
+    }
+
+    /// Set one randomly chosen *choice* primitive (mux or opcode) out of
+    /// its domain.
+    pub fn out_of_range_value(
+        &mut self,
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+    ) -> Option<(MachineCode, Fault)> {
+        let expected = expected_machine_code(spec);
+        let choices: Vec<_> = expected
+            .iter()
+            .filter(|(_, d)| matches!(d, druzhba_alu_dsl::HoleDomain::Choice(_)))
+            .collect();
+        if choices.is_empty() {
+            return None;
+        }
+        let (name, domain) = choices[self.gen.value_below(choices.len() as u32) as usize];
+        let new = domain.bound() as u32;
+        let mut out = mc.clone();
+        out.set(name.clone(), new);
+        Some((
+            out,
+            Fault::OutOfRangeValue {
+                name: name.clone(),
+                new,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_alu_dsl::atoms::atom;
+    use druzhba_core::PipelineConfig;
+    use druzhba_dgen::{OptLevel, Pipeline};
+
+    fn setup() -> (PipelineSpec, MachineCode) {
+        let spec = PipelineSpec::new(
+            PipelineConfig::new(2, 2),
+            atom("pred_raw").unwrap(),
+            atom("stateless_arith").unwrap(),
+        )
+        .unwrap();
+        let mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        (spec, mc)
+    }
+
+    #[test]
+    fn removed_pair_always_rejected_by_dgen() {
+        let (spec, mc) = setup();
+        let mut inj = FaultInjector::new(1);
+        for _ in 0..20 {
+            let (bad, fault) = inj.remove_random_pair(&mc);
+            assert_eq!(bad.len(), mc.len() - 1);
+            let err = Pipeline::generate(&spec, &bad, OptLevel::SccInline).unwrap_err();
+            assert!(err.is_incompatibility(), "{fault:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_always_rejected_by_dgen() {
+        let (spec, mc) = setup();
+        let mut inj = FaultInjector::new(2);
+        for _ in 0..20 {
+            let (bad, _) = inj.out_of_range_value(&spec, &mc).unwrap();
+            let err = Pipeline::generate(&spec, &bad, OptLevel::Scc).unwrap_err();
+            assert!(err.is_incompatibility());
+        }
+    }
+
+    #[test]
+    fn mutation_produces_valid_but_different_program() {
+        let (spec, mc) = setup();
+        let mut inj = FaultInjector::new(3);
+        for _ in 0..20 {
+            let (bad, fault) = inj.mutate_random_value(&spec, &mc).unwrap();
+            // Still buildable: mutation stays in-domain.
+            Pipeline::generate(&spec, &bad, OptLevel::SccInline).unwrap();
+            match fault {
+                Fault::MutatedValue { old, new, .. } => assert_ne!(old, new),
+                other => panic!("unexpected fault: {other:?}"),
+            }
+            assert_ne!(bad, mc);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let (spec, mc) = setup();
+        let a = FaultInjector::new(7).mutate_random_value(&spec, &mc).unwrap();
+        let b = FaultInjector::new(7).mutate_random_value(&spec, &mc).unwrap();
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Bounded exhaustive equivalence verification.
+//!
+//! The paper's §7 proposes going beyond fuzzing: *"we wish to use program
+//! verification by allowing support for a high-level specification … This
+//! specification and the pipeline description can be transformed into SMT
+//! formulas so that equivalence can be formally proven."* This module
+//! provides the solver-free counterpart: for a bounded input domain (k-bit
+//! values in the enumerated containers, traces of a fixed number of PHVs),
+//! it checks *every* input exactly — within those bounds the result is a
+//! proof, not a sample.
+//!
+//! The domain must be small (the case count is
+//! `2^(bits · containers · packets)`), which is exactly the regime where
+//! guard/threshold bugs live: the §5.2 limited-range failures are
+//! distinguishable with 4-bit inputs and a handful of packets.
+
+use druzhba_core::trace::TraceMismatch;
+use druzhba_core::{Error, MachineCode, Phv, Result, Trace};
+use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
+
+use crate::sim::Simulator;
+use crate::testing::Specification;
+
+/// Bounds and observation points for exhaustive verification.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Enumerated values per container: `[0, 2^input_bits)`.
+    pub input_bits: u32,
+    /// Length of every enumerated input trace.
+    pub packets: usize,
+    /// Containers enumerated (the program's input fields); all others are
+    /// zero in every generated PHV.
+    pub relevant_containers: Vec<usize>,
+    /// Containers compared against the specification (`None` = all).
+    pub observable: Option<Vec<usize>>,
+    /// State cells compared after each trace.
+    pub state_cells: Vec<(usize, usize, usize)>,
+    /// Refuse to enumerate more cases than this (guards against
+    /// accidental exponential blowups).
+    pub max_cases: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            input_bits: 2,
+            packets: 3,
+            relevant_containers: Vec::new(),
+            observable: None,
+            state_cells: Vec::new(),
+            max_cases: 5_000_000,
+        }
+    }
+}
+
+/// The verdict of a bounded verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Every input within the bounds agreed.
+    Verified {
+        /// Number of input traces checked.
+        cases: u64,
+    },
+    /// A concrete diverging input.
+    CounterExample {
+        /// The input trace that diverges.
+        input: Trace,
+        /// Where pipeline and specification disagree.
+        mismatch: TraceMismatch,
+    },
+}
+
+impl VerifyOutcome {
+    /// True if verification succeeded.
+    pub fn verified(&self) -> bool {
+        matches!(self, VerifyOutcome::Verified { .. })
+    }
+}
+
+/// Exhaustively check pipeline-vs-specification equivalence within the
+/// configured bounds.
+pub fn verify_bounded(
+    pipeline_spec: &PipelineSpec,
+    mc: &MachineCode,
+    opt: OptLevel,
+    reference: &mut dyn Specification,
+    cfg: &VerifyConfig,
+) -> Result<VerifyOutcome> {
+    let slots = cfg.relevant_containers.len() * cfg.packets;
+    let values_per_slot = 1u64 << cfg.input_bits.min(31);
+    // An overflowing case count certainly exceeds any budget.
+    let cases = values_per_slot
+        .checked_pow(slots as u32)
+        .unwrap_or(u64::MAX);
+    if cases > cfg.max_cases {
+        return Err(Error::Other {
+            message: format!(
+                "bounded verification needs {cases} cases \
+                 (> budget {}); shrink bits/packets/containers",
+                cfg.max_cases
+            ),
+        });
+    }
+    let pipeline = Pipeline::generate(pipeline_spec, mc, opt)?;
+    let mut sim = Simulator::new(pipeline);
+    let phv_length = pipeline_spec.config.phv_length;
+
+    // Odometer over all (container, packet) slots.
+    let mut assignment = vec![0u32; slots];
+    let max = (values_per_slot - 1) as u32;
+    let mut checked = 0u64;
+    loop {
+        // Build the input trace for this assignment.
+        let mut phvs = Vec::with_capacity(cfg.packets);
+        for p in 0..cfg.packets {
+            let mut phv = Phv::zeroed(phv_length);
+            for (ci, &container) in cfg.relevant_containers.iter().enumerate() {
+                phv.set(container, assignment[p * cfg.relevant_containers.len() + ci]);
+            }
+            phvs.push(phv);
+        }
+        let input = Trace::from_phvs(phvs);
+
+        // Run both sides from clean state.
+        sim.reset();
+        let actual = sim.run(&input);
+        reference.reset();
+        let expected =
+            Trace::from_phvs(input.phvs.iter().map(|p| reference.process(p)).collect());
+
+        if let Some(mismatch) = expected.first_mismatch(&actual, cfg.observable.as_deref()) {
+            return Ok(VerifyOutcome::CounterExample { input, mismatch });
+        }
+        if !cfg.state_cells.is_empty() {
+            let snapshot = actual.state.as_ref().expect("run records state");
+            let expected_state = reference.state();
+            for (i, &(stage, slot, var)) in cfg.state_cells.iter().enumerate() {
+                let actual_v = snapshot
+                    .get(stage)
+                    .and_then(|s| s.get(slot))
+                    .and_then(|vars| vars.get(var))
+                    .copied();
+                if actual_v != expected_state.get(i).copied() {
+                    return Ok(VerifyOutcome::CounterExample {
+                        input,
+                        mismatch: TraceMismatch::StateMismatch {
+                            stage,
+                            slot,
+                            expected: expected_state.get(i).copied().into_iter().collect(),
+                            actual: actual_v.into_iter().collect(),
+                        },
+                    });
+                }
+            }
+        }
+        checked += 1;
+
+        // Next assignment.
+        let mut i = 0;
+        loop {
+            if i == slots {
+                return Ok(VerifyOutcome::Verified { cases: checked });
+            }
+            if assignment[i] < max {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+        if slots == 0 {
+            // Single (empty) assignment: one case total.
+            return Ok(VerifyOutcome::Verified { cases: checked });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::ClosureSpec;
+    use druzhba_alu_dsl::atoms::atom;
+    use druzhba_core::PipelineConfig;
+    use druzhba_dgen::expected_machine_code;
+
+    /// 1-stage accumulator: state += container 0; old state -> container 1.
+    fn setup() -> (PipelineSpec, MachineCode) {
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(1, 1, 2),
+            atom("raw").unwrap(),
+            atom("stateless_mux").unwrap(),
+        )
+        .unwrap();
+        let mut mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        mc.set("output_mux_phv_0_1", 2);
+        (spec, mc)
+    }
+
+    fn accumulator_spec() -> impl Specification {
+        ClosureSpec::new(
+            0u32,
+            |state: &mut u32, input: &Phv| {
+                let old = *state;
+                *state = state.wrapping_add(input.get(0));
+                Phv::new(vec![input.get(0), old])
+            },
+            |s| vec![*s],
+        )
+    }
+
+    #[test]
+    fn correct_pipeline_verifies_exhaustively() {
+        let (spec, mc) = setup();
+        let cfg = VerifyConfig {
+            input_bits: 3,
+            packets: 3,
+            relevant_containers: vec![0],
+            observable: Some(vec![1]),
+            state_cells: vec![(0, 0, 0)],
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let outcome =
+            verify_bounded(&spec, &mc, OptLevel::SccInline, &mut reference, &cfg).unwrap();
+        match outcome {
+            VerifyOutcome::Verified { cases } => assert_eq!(cases, 8u64.pow(3)),
+            other => panic!("expected verified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_pipeline_yields_concrete_counterexample() {
+        let (spec, mut mc) = setup();
+        // Subtract instead of add.
+        mc.set("stateful_alu_0_0_arith_op_0", 1);
+        let cfg = VerifyConfig {
+            input_bits: 2,
+            packets: 2,
+            relevant_containers: vec![0],
+            observable: Some(vec![1]),
+            state_cells: vec![(0, 0, 0)],
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let outcome =
+            verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap();
+        match outcome {
+            VerifyOutcome::CounterExample { input, .. } => {
+                // The counterexample must actually involve a nonzero add
+                // (x - y == x + y only when y == 0 in 2-bit space... it
+                // diverges as soon as any input is nonzero).
+                assert!(input.phvs.iter().any(|p| p.get(0) != 0));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_guard_refuses_blowups() {
+        let (spec, mc) = setup();
+        let cfg = VerifyConfig {
+            input_bits: 10,
+            packets: 10,
+            relevant_containers: vec![0, 1],
+            max_cases: 1_000,
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let err = verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap_err();
+        assert!(err.to_string().contains("shrink"));
+    }
+
+    #[test]
+    fn no_relevant_containers_is_single_case() {
+        let (spec, mc) = setup();
+        let cfg = VerifyConfig {
+            input_bits: 4,
+            packets: 5,
+            relevant_containers: vec![],
+            observable: Some(vec![1]),
+            state_cells: vec![(0, 0, 0)],
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let outcome =
+            verify_bounded(&spec, &mc, OptLevel::SccInline, &mut reference, &cfg).unwrap();
+        assert_eq!(outcome, VerifyOutcome::Verified { cases: 1 });
+    }
+
+    /// Exhaustive verification catches the §5.2 limited-range bug class
+    /// that sampling-based fuzzing can only catch probabilistically: a
+    /// sampling-style reset whose threshold is off by one.
+    #[test]
+    fn catches_threshold_off_by_one_exhaustively() {
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(1, 1, 2),
+            atom("if_else_raw").unwrap(),
+            atom("stateless_mux").unwrap(),
+        )
+        .unwrap();
+        let mut mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        // if (state >= 3) { state = 0 } else { state += pkt_0 }
+        mc.set("stateful_alu_0_0_rel_op_0", 0); // >=
+        mc.set("stateful_alu_0_0_mux3_0", 2); // C()
+        mc.set("stateful_alu_0_0_const_0", 3);
+        mc.set("stateful_alu_0_0_opt_1", 1); // then: 0 + ...
+        mc.set("stateful_alu_0_0_mux3_1", 2); // ... + C(0)
+        mc.set("stateful_alu_0_0_mux3_2", 0); // else: state + pkt_0
+        mc.set("output_mux_phv_0_1", 2);
+        // The spec resets at threshold 4 — the machine code's 3 is an
+        // off-by-one only visible when the running sum lands exactly on 3.
+        let mut reference = ClosureSpec::new(
+            0u32,
+            |state: &mut u32, input: &Phv| {
+                let old = *state;
+                if *state >= 4 {
+                    *state = 0;
+                } else {
+                    *state = state.wrapping_add(input.get(0));
+                }
+                Phv::new(vec![input.get(0), old])
+            },
+            |s| vec![*s],
+        );
+        let cfg = VerifyConfig {
+            input_bits: 3,
+            packets: 2,
+            relevant_containers: vec![0],
+            observable: Some(vec![1]),
+            state_cells: vec![(0, 0, 0)],
+            ..VerifyConfig::default()
+        };
+        let outcome =
+            verify_bounded(&spec, &mc, OptLevel::SccInline, &mut reference, &cfg).unwrap();
+        match outcome {
+            VerifyOutcome::CounterExample { input, .. } => {
+                // Divergence requires the first packet to land the sum
+                // exactly on 3.
+                assert_eq!(input.phvs[0].get(0), 3);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

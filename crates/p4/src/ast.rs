@@ -1,0 +1,247 @@
+//! Abstract syntax for the P4-14 subset.
+
+use druzhba_core::Value;
+
+/// A `header_type` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderType {
+    pub name: String,
+    /// Field name and bit width, in declaration order.
+    pub fields: Vec<(String, u32)>,
+}
+
+/// A `header`/`metadata` instance of a header type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderInstance {
+    pub type_name: String,
+    pub name: String,
+    /// True for `metadata` instances (always valid; not parsed from the
+    /// wire).
+    pub metadata: bool,
+}
+
+/// A reference to `instance.field`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldRef {
+    pub header: String,
+    pub field: String,
+}
+
+impl std::fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.header, self.field)
+    }
+}
+
+/// A `register` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDecl {
+    pub name: String,
+    pub width: u32,
+    pub instance_count: u32,
+}
+
+/// A `counter` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDecl {
+    pub name: String,
+    pub instance_count: u32,
+}
+
+/// Argument of a primitive action call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionArg {
+    /// `instance.field`
+    Field(FieldRef),
+    /// Integer literal.
+    Const(Value),
+    /// Reference to an action parameter (bound by a table entry).
+    Param(String),
+    /// A register or counter name.
+    Stateful(String),
+}
+
+/// The supported primitive actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// `modify_field(dst, src)`
+    ModifyField { dst: FieldRef, src: ActionArg },
+    /// `add_to_field(dst, src)`
+    AddToField { dst: FieldRef, src: ActionArg },
+    /// `subtract_from_field(dst, src)`
+    SubtractFromField { dst: FieldRef, src: ActionArg },
+    /// `register_read(dst, register, index)`
+    RegisterRead {
+        dst: FieldRef,
+        register: String,
+        index: ActionArg,
+    },
+    /// `register_write(register, index, src)`
+    RegisterWrite {
+        register: String,
+        index: ActionArg,
+        src: ActionArg,
+    },
+    /// `count(counter, index)`
+    Count { counter: String, index: ActionArg },
+    /// `drop()`
+    Drop,
+    /// `no_op()`
+    NoOp,
+}
+
+/// A compound `action` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Primitive>,
+}
+
+/// Match kinds supported in `reads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    Exact,
+    Ternary,
+    Lpm,
+}
+
+impl MatchKind {
+    /// Parse from its P4 keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "exact" => MatchKind::Exact,
+            "ternary" => MatchKind::Ternary,
+            "lpm" => MatchKind::Lpm,
+            _ => return None,
+        })
+    }
+}
+
+/// A `table` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDecl {
+    pub name: String,
+    /// `reads` entries: field and match kind.
+    pub reads: Vec<(FieldRef, MatchKind)>,
+    /// Candidate action names.
+    pub actions: Vec<String>,
+    /// `size` (entry capacity).
+    pub size: u32,
+    /// Optional `default_action` name.
+    pub default_action: Option<String>,
+}
+
+/// Statements of the `control ingress` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlStmt {
+    /// `apply(table);`
+    Apply(String),
+    /// `if (valid(header)) { … } else { … }`
+    IfValid {
+        header: String,
+        then_body: Vec<ControlStmt>,
+        else_body: Vec<ControlStmt>,
+    },
+}
+
+/// A parsed P4-14 subset program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct P4Program {
+    pub header_types: Vec<HeaderType>,
+    pub headers: Vec<HeaderInstance>,
+    /// Headers extracted by the parser, in order.
+    pub parser_extracts: Vec<String>,
+    pub registers: Vec<RegisterDecl>,
+    pub counters: Vec<CounterDecl>,
+    pub actions: Vec<ActionDecl>,
+    pub tables: Vec<TableDecl>,
+    pub control: Vec<ControlStmt>,
+}
+
+impl P4Program {
+    /// Find a header type by name.
+    pub fn header_type(&self, name: &str) -> Option<&HeaderType> {
+        self.header_types.iter().find(|h| h.name == name)
+    }
+
+    /// Find a header instance by name.
+    pub fn header(&self, name: &str) -> Option<&HeaderInstance> {
+        self.headers.iter().find(|h| h.name == name)
+    }
+
+    /// Find an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Tables applied by the control flow, in application order (both
+    /// branches of conditionals are walked, then-body first).
+    pub fn applied_tables(&self) -> Vec<String> {
+        fn walk(stmts: &[ControlStmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    ControlStmt::Apply(t) => {
+                        if !out.contains(t) {
+                            out.push(t.clone());
+                        }
+                    }
+                    ControlStmt::IfValid {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, out);
+                        walk(else_body, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.control, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_kind_keywords() {
+        assert_eq!(MatchKind::from_keyword("exact"), Some(MatchKind::Exact));
+        assert_eq!(MatchKind::from_keyword("ternary"), Some(MatchKind::Ternary));
+        assert_eq!(MatchKind::from_keyword("lpm"), Some(MatchKind::Lpm));
+        assert_eq!(MatchKind::from_keyword("range"), None);
+    }
+
+    #[test]
+    fn field_ref_display() {
+        let f = FieldRef {
+            header: "ipv4".into(),
+            field: "ttl".into(),
+        };
+        assert_eq!(f.to_string(), "ipv4.ttl");
+    }
+
+    #[test]
+    fn applied_tables_dedupes_and_walks_branches() {
+        let p = P4Program {
+            control: vec![
+                ControlStmt::Apply("t1".into()),
+                ControlStmt::IfValid {
+                    header: "h".into(),
+                    then_body: vec![ControlStmt::Apply("t2".into())],
+                    else_body: vec![ControlStmt::Apply("t1".into())],
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.applied_tables(), vec!["t1", "t2"]);
+    }
+}

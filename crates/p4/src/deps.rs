@@ -1,0 +1,236 @@
+//! Table dependency analysis.
+//!
+//! Paper §4.1: *"dgen converts the given P4 file into a DAG representing
+//! the match+action table dependencies"* (citing p4-hlir). The
+//! classification follows the RMT/dRMT taxonomy:
+//!
+//! - **Match dependency** — an earlier table's action writes a field a
+//!   later table *matches* on: the later table's match must wait for the
+//!   earlier table's action.
+//! - **Action dependency** — an earlier table's action writes a field a
+//!   later table's action reads or writes (or both touch the same
+//!   register/counter): the later *action* must wait, but its match may
+//!   proceed.
+//! - **Successor dependency** — control flow orders the tables (the later
+//!   table sits under a conditional evaluated after the earlier one) with
+//!   no data dependence; the later table's execution decision follows the
+//!   earlier table's completion only logically, allowing speculation.
+//!
+//! Independent tables get no edge and may be scheduled freely.
+
+use crate::hlir::Hlir;
+
+/// Kind of dependency from an earlier to a later table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DependencyKind {
+    Match,
+    Action,
+    Successor,
+}
+
+/// One edge of the table DAG: `from` must (partially) precede `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyEdge {
+    /// Index of the earlier table (into [`Hlir::tables`]).
+    pub from: usize,
+    /// Index of the later table.
+    pub to: usize,
+    /// Dependency class.
+    pub kind: DependencyKind,
+}
+
+/// The table dependency DAG.
+#[derive(Debug, Clone)]
+pub struct TableDag {
+    /// Table names, in control order (node `i` = `names[i]`).
+    pub names: Vec<String>,
+    /// Classified edges (at most one per ordered pair: the strongest).
+    pub edges: Vec<DependencyEdge>,
+}
+
+impl TableDag {
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the DAG has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Edges into `to`.
+    pub fn predecessors(&self, to: usize) -> impl Iterator<Item = &DependencyEdge> {
+        self.edges.iter().filter(move |e| e.to == to)
+    }
+
+    /// The strongest dependency between an ordered pair, if any.
+    pub fn edge(&self, from: usize, to: usize) -> Option<DependencyKind> {
+        self.edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.kind)
+    }
+}
+
+/// Build the dependency DAG from a resolved program.
+pub fn build_dag(hlir: &Hlir) -> TableDag {
+    let n = hlir.tables.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            let a = &hlir.tables[i];
+            let b = &hlir.tables[j];
+            // Match dependency: i writes a field j matches on.
+            let match_dep = b
+                .match_fields
+                .iter()
+                .any(|(f, _)| a.writes.contains(f));
+            // Action dependency: i writes a field j's actions read or
+            // write, or the two share stateful objects.
+            let action_dep = b
+                .action_reads
+                .iter()
+                .chain(b.writes.iter())
+                .any(|f| a.writes.contains(f))
+                || a.stateful.intersection(&b.stateful).next().is_some();
+            let kind = if match_dep {
+                Some(DependencyKind::Match)
+            } else if action_dep {
+                Some(DependencyKind::Action)
+            } else if b.control_depth > a.control_depth {
+                // Later table guarded by a conditional evaluated after i.
+                Some(DependencyKind::Successor)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                edges.push(DependencyEdge { from: i, to: j, kind });
+            }
+        }
+    }
+    TableDag {
+        names: hlir.tables.iter().map(|t| t.name.clone()).collect(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_p4;
+
+    fn dag_for(src: &str) -> TableDag {
+        build_dag(&parse_p4(src).unwrap())
+    }
+
+    const PRELUDE: &str = "header_type h_t { fields { a : 32; b : 32; c : 32; } }\n\
+                           header h_t pkt;\nmetadata h_t meta;\n\
+                           parser start { extract(pkt); return ingress; }\n";
+
+    #[test]
+    fn match_dependency_detected() {
+        let src = format!(
+            "{PRELUDE}\
+             action w() {{ modify_field(meta.a, 1); }}\n\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Match));
+    }
+
+    #[test]
+    fn action_dependency_via_field() {
+        let src = format!(
+            "{PRELUDE}\
+             action w() {{ modify_field(meta.a, 1); }}\n\
+             action r() {{ modify_field(pkt.b, meta.a); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w; }} }}\n\
+             table t2 {{ reads {{ pkt.c : exact; }} actions {{ r; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Action));
+    }
+
+    #[test]
+    fn action_dependency_via_shared_register() {
+        let src = format!(
+            "{PRELUDE}\
+             register reg {{ width : 32; instance_count : 4; }}\n\
+             action w1() {{ register_write(reg, 0, pkt.a); }}\n\
+             action w2() {{ register_write(reg, 1, pkt.b); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w1; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ w2; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Action));
+    }
+
+    #[test]
+    fn successor_dependency_from_conditional() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); if (valid(pkt)) {{ apply(t2); }} }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Successor));
+    }
+
+    #[test]
+    fn independent_tables_have_no_edge() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             action m() {{ modify_field(meta.b, 2); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ m; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), None);
+        assert!(dag.edges.is_empty());
+    }
+
+    #[test]
+    fn match_takes_precedence_over_action() {
+        // t1 writes a field that t2 both matches on and reads in actions:
+        // classified as the stronger match dependency.
+        let src = format!(
+            "{PRELUDE}\
+             action w() {{ modify_field(meta.a, 1); }}\n\
+             action r() {{ modify_field(pkt.b, meta.a); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ r; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Match));
+    }
+
+    #[test]
+    fn chain_of_three(){
+        let src = format!(
+            "{PRELUDE}\
+             action w1() {{ modify_field(meta.a, 1); }}\n\
+             action w2() {{ modify_field(meta.b, meta.a); }}\n\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w1; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ w2; }} }}\n\
+             table t3 {{ reads {{ meta.b : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); apply(t3); }}"
+        );
+        let dag = dag_for(&src);
+        assert_eq!(dag.edge(0, 1), Some(DependencyKind::Match));
+        assert_eq!(dag.edge(1, 2), Some(DependencyKind::Match));
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.predecessors(2).count(), 1);
+    }
+}

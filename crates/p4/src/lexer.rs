@@ -1,0 +1,239 @@
+//! Lexer for the P4-14 subset.
+
+use druzhba_core::{Error, Result};
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(u32),
+    Dot,
+    Colon,
+    Semi,
+    Comma,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+}
+
+/// A token with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize a P4-14 subset source. Both `//` and `/* */` comments are
+/// supported.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            tokens.push(Token { tok: $tok, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(Error::P4Parse {
+                                        line,
+                                        message: "unterminated block comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(Error::P4Parse {
+                            line,
+                            message: "unexpected `/`".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                // 0x hex literals appear in masks.
+                if c == '0' {
+                    let mut clone = chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'x') {
+                        chars.next();
+                        chars.next();
+                        while let Some(&d) = chars.peek() {
+                            if let Some(digit) = d.to_digit(16) {
+                                n = n * 16 + u64::from(digit);
+                                if n > u64::from(u32::MAX) {
+                                    return Err(Error::P4Parse {
+                                        line,
+                                        message: "hex literal exceeds 32 bits".into(),
+                                    });
+                                }
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        push!(Tok::Int(n as u32));
+                        continue;
+                    }
+                }
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        n = n * 10 + u64::from(digit);
+                        if n > u64::from(u32::MAX) {
+                            return Err(Error::P4Parse {
+                                line,
+                                message: "integer literal exceeds 32 bits".into(),
+                            });
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(n as u32));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(ident));
+            }
+            '.' => {
+                chars.next();
+                push!(Tok::Dot);
+            }
+            ':' => {
+                chars.next();
+                push!(Tok::Colon);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen);
+            }
+            other => {
+                return Err(Error::P4Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_header_type() {
+        assert_eq!(
+            toks("header_type eth_t { fields { dst : 48; } }"),
+            vec![
+                Tok::Ident("header_type".into()),
+                Tok::Ident("eth_t".into()),
+                Tok::LBrace,
+                Tok::Ident("fields".into()),
+                Tok::LBrace,
+                Tok::Ident("dst".into()),
+                Tok::Colon,
+                Tok::Int(48),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_literals() {
+        assert_eq!(toks("0xff 0x10"), vec![Tok::Int(255), Tok::Int(16)]);
+    }
+
+    #[test]
+    fn lexes_line_and_block_comments() {
+        assert_eq!(
+            toks("a // x\n/* y\nz */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn lexes_field_reference() {
+        assert_eq!(
+            toks("ipv4.ttl"),
+            vec![Tok::Ident("ipv4".into()), Tok::Dot, Tok::Ident("ttl".into())]
+        );
+    }
+}

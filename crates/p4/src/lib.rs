@@ -1,0 +1,46 @@
+//! # druzhba-p4
+//!
+//! A from-scratch P4-14 subset frontend for the dRMT side of Druzhba
+//! (paper §4.1): *"dgen takes as input a P4 file representing the
+//! algorithmic behavior specified in the context of a feed-forward
+//! pipeline. dgen converts the given P4 file into a DAG representing the
+//! match+action table dependencies."*
+//!
+//! Supported P4-14 constructs:
+//!
+//! - `header_type` declarations with fixed-width fields;
+//! - `header` / `metadata` instances;
+//! - a linear `parser` (a chain of `extract` statements ending in
+//!   `return ingress`);
+//! - `register` declarations (`width` / `instance_count`);
+//! - `counter` declarations;
+//! - `action` declarations over the primitive actions `modify_field`,
+//!   `add_to_field`, `subtract_from_field`, `register_read`,
+//!   `register_write`, `count`, `no_op`, and `drop`;
+//! - `table` declarations with `reads { field : exact|ternary|lpm; }`,
+//!   `actions`, and `size`;
+//! - a `control ingress` block applying tables in sequence, with
+//!   `if (valid(header)) { … } else { … }` conditionals.
+//!
+//! [`deps`] classifies the pairwise table dependencies (match, action,
+//! successor) that drive the dRMT scheduler, following the taxonomy of the
+//! RMT/dRMT papers.
+
+pub mod ast;
+pub mod deps;
+pub mod hlir;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::P4Program;
+pub use deps::{DependencyKind, TableDag};
+pub use hlir::Hlir;
+
+use druzhba_core::Result;
+
+/// Parse and resolve a P4-14 subset program.
+pub fn parse_p4(source: &str) -> Result<Hlir> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(&tokens)?;
+    hlir::resolve(program)
+}

@@ -1,0 +1,83 @@
+//! The §4 dRMT workflow: P4 program → table dependency DAG → schedule →
+//! disaggregated match+action simulation with table entries.
+//!
+//! Run with: `cargo run --example drmt_demo`
+
+use druzhba::drmt::machine::execute_sequential;
+use druzhba::drmt::schedule::{solve_optimal, ScheduleConfig};
+use druzhba::drmt::{parse_entries, DrmtMachine, PacketGen};
+use druzhba::p4::deps::build_dag;
+use druzhba::p4::parse_p4;
+
+const PROGRAM: &str = r#"
+    header_type tcp_t { fields { sport : 16; dport : 16; flags : 8; } }
+    header_type meta_t { fields { zone : 8; verdict : 8; } }
+    header tcp_t tcp;
+    metadata meta_t meta;
+    parser start { extract(tcp); return ingress; }
+    counter verdicts { instance_count : 2; }
+    action set_zone(z) { modify_field(meta.zone, z); }
+    action allow() { modify_field(meta.verdict, 1); count(verdicts, 0); }
+    action deny()  { modify_field(meta.verdict, 0); count(verdicts, 1); drop(); }
+    table zoning {
+        reads { tcp.dport : exact; }
+        actions { set_zone; }
+    }
+    table policy {
+        reads { meta.zone : exact; tcp.flags : ternary; }
+        actions { allow; deny; }
+        default_action : deny;
+    }
+    control ingress { apply(zoning); apply(policy); }
+"#;
+
+const ENTRIES: &str = "\
+    zoning : tcp.dport=80 => set_zone(1)\n\
+    zoning : tcp.dport=22 => set_zone(2)\n\
+    policy : meta.zone=1, tcp.flags=0/0 => allow()\n\
+    policy : meta.zone=2, tcp.flags=2/0xff => allow()\n";
+
+fn main() {
+    // Parse and analyse the P4 program.
+    let hlir = parse_p4(PROGRAM).unwrap();
+    println!("fields: {:?}", hlir.fields.iter().map(|(f, w)| format!("{f}:{w}")).collect::<Vec<_>>());
+
+    // Table dependency DAG (zoning writes meta.zone; policy matches it).
+    let dag = build_dag(&hlir);
+    for e in &dag.edges {
+        println!("dependency: {} -> {} ({:?})", dag.names[e.from], dag.names[e.to], e.kind);
+    }
+
+    // Schedule for 4 processors, exactly.
+    let cfg = ScheduleConfig {
+        processors: 4,
+        ..Default::default()
+    };
+    let schedule = solve_optimal(&dag, &cfg, 500_000).unwrap();
+    for (i, name) in dag.names.iter().enumerate() {
+        println!(
+            "schedule: {:<8} match @ t+{}, action @ t+{}",
+            name, schedule.match_slot[i], schedule.action_slot[i]
+        );
+    }
+
+    // Simulate 5 000 random packets.
+    let entries = parse_entries(ENTRIES).unwrap();
+    let mut machine = DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
+    let packets = PacketGen::new(&hlir, 2026).packets(5_000);
+    let out = machine.run(packets.clone());
+    let stats = machine.stats();
+    println!(
+        "processed {} packets in {} ticks ({} matches, {} actions, {} crossbar accesses)",
+        stats.packets_out, stats.ticks, stats.matches_issued, stats.actions_executed,
+        stats.crossbar_accesses
+    );
+    println!("verdict counters: {:?}", machine.counters()["verdicts"]);
+
+    // The scheduled execution is equivalent to sequential per-packet
+    // table application.
+    let (seq, _, seq_counters) = execute_sequential(&hlir, &entries, &packets).unwrap();
+    assert_eq!(out, seq);
+    assert_eq!(machine.counters(), &seq_counters);
+    println!("dRMT demo OK (scheduled == sequential)");
+}

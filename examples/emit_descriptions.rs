@@ -1,0 +1,37 @@
+//! Emit the textual Rust *pipeline description* for a compiled program at
+//! all three optimization levels — the artifact the real Druzhba feeds to
+//! rustc (§3.2/§3.4) — and show how each pass shrinks it.
+//!
+//! Run with: `cargo run --example emit_descriptions [program_name]`
+
+use druzhba::dgen::emit::emit_pipeline;
+use druzhba::dgen::OptLevel;
+use druzhba::programs::{by_name, PROGRAMS};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sampling".into());
+    let def = by_name(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown program `{name}`; available: {:?}",
+            PROGRAMS.iter().map(|p| p.name).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    });
+    let compiled = def.compile_cached().expect("program compiles");
+    println!(
+        "// {} on its Table 1 grid ({}x{}, {} atom)\n",
+        def.table1_name, def.depth, def.width, def.stateful_atom
+    );
+    let mut sizes = Vec::new();
+    for opt in OptLevel::ALL {
+        let src = emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, opt).unwrap();
+        sizes.push((opt.label(), src.lines().count(), src.len()));
+        if opt == OptLevel::SccInline {
+            println!("=== {} ===\n{src}", opt.label());
+        }
+    }
+    println!("\npipeline description sizes:");
+    for (label, lines, bytes) in sizes {
+        println!("  {label:<22} {lines:>6} lines {bytes:>8} bytes");
+    }
+}

@@ -1,0 +1,83 @@
+//! Time-travel debugging a buggy compilation (the paper's §7 vision):
+//! record a full simulation, set a breakpoint on the first wrong output,
+//! then rewind to find the state write that caused it.
+//!
+//! Run with: `cargo run --example time_travel`
+
+use druzhba::chipmunk::{compile, CompiledSpec, CompilerConfig};
+use druzhba::core::Trace;
+use druzhba::dgen::OptLevel;
+use druzhba::domino::parse_program;
+use druzhba::dsim::testing::Specification;
+use druzhba::dsim::{TimeTravelDebugger, TrafficGenerator};
+
+const SOURCE: &str = "
+    state int count = 0;
+    if (count == 9) { count = 0; pkt.sample = 1; }
+    else { count = count + 1; pkt.sample = 0; }
+";
+
+fn main() {
+    // Compile the sampling program, then sabotage the reset constant:
+    // the pipeline will reset at count == 6 instead of 9.
+    let program = parse_program(SOURCE).unwrap();
+    let compiled = compile(&program, &CompilerConfig::new(2, 1, "if_else_raw")).unwrap();
+    let mut bad = compiled.machine_code.clone();
+    let guard_const = bad
+        .iter()
+        .find(|(n, v)| n.contains("stateful") && n.contains("const") && *v == 9)
+        .map(|(n, _)| n.to_string())
+        .expect("the sampling threshold is a stateful immediate");
+    bad.set(guard_const.clone(), 6);
+    println!("sabotaged `{guard_const}`: 9 -> 6");
+
+    // Record 24 ticks of simulation against the corrupted machine code.
+    let input = TrafficGenerator::new(11, compiled.pipeline_spec.config.phv_length, 4).trace(24);
+    let mut dbg =
+        TimeTravelDebugger::record(&compiled.pipeline_spec, &bad, OptLevel::SccInline, &input)
+            .unwrap();
+
+    // The spec says the first sample fires on packet 10; break on the
+    // first emitted PHV that disagrees with the spec.
+    let mut spec = CompiledSpec::new(program, &compiled);
+    spec.reset();
+    let expected = Trace::from_phvs(input.phvs.iter().map(|p| spec.process(p)).collect());
+    let sample_container = compiled.output_fields["sample"];
+    let mut emitted_idx = 0usize;
+    let mut expected_iter = expected.phvs.iter();
+    // Walk forward with a breakpoint comparing each emitted PHV to the
+    // spec's corresponding output.
+    let mut first_bad_tick = None;
+    for record in dbg.history().to_vec() {
+        if let Some(phv) = &record.emitted {
+            let want = expected_iter.next().unwrap();
+            if phv.get(sample_container) != want.get(sample_container) {
+                first_bad_tick = Some((record.tick, emitted_idx));
+                break;
+            }
+            emitted_idx += 1;
+        }
+    }
+    let (bad_tick, bad_packet) = first_bad_tick.expect("the sabotage must surface");
+    println!(
+        "first wrong output: packet #{bad_packet} at tick {bad_tick} \
+         (sample fired too early)"
+    );
+
+    // Jump there and rewind to the state write that caused it: the
+    // counter reset (a decrease) that should not have happened yet.
+    let (stage, slot, var) = compiled.state_cells[0];
+    dbg.goto(bad_tick as usize);
+    let culprit = dbg
+        .rewind_until(|r| {
+            r.state[stage][slot][var] == 0 && r.injected.is_some() && r.tick > 0
+        })
+        .expect("find the premature reset");
+    println!(
+        "rewound to tick {culprit}: counter reset to 0 while the spec still counts"
+    );
+    for (tick, old, new) in dbg.state_changes(stage, slot, var) {
+        println!("  state[{stage}][{slot}][{var}] @ tick {tick}: {old} -> {new}");
+    }
+    println!("time-travel debugging OK");
+}

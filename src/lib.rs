@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the Druzhba public API.
+pub use druzhba_alu_dsl as alu_dsl;
+pub use druzhba_chipmunk as chipmunk;
+pub use druzhba_core as core;
+pub use druzhba_dgen as dgen;
+pub use druzhba_domino as domino;
+pub use druzhba_drmt as drmt;
+pub use druzhba_dsim as dsim;
+pub use druzhba_p4 as p4;
+pub use druzhba_programs as programs;

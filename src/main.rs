@@ -1,0 +1,286 @@
+//! The `druzhba` command-line tool: the compiler-testing workflow from a
+//! shell.
+//!
+//! ```text
+//! druzhba compile <file.domino> --depth D --width W --atom NAME [-o mc.txt]
+//! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+//! druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
+//! druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2]
+//! druzhba atoms
+//! druzhba programs
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every subcommand
+//! maps onto a library call, so the tool is a thin shell over the public
+//! API.
+
+use std::process::ExitCode;
+
+use druzhba::chipmunk::{compile, CompiledProgram, CompiledSpec, CompilerConfig};
+use druzhba::dgen::emit::emit_pipeline;
+use druzhba::dgen::OptLevel;
+use druzhba::domino::{parse_program, DominoProgram};
+use druzhba::dsim::testing::{fuzz_test, FuzzConfig};
+use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "compile" => cmd_compile(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "emit" => cmd_emit(&args[1..]),
+        "atoms" => cmd_atoms(),
+        "programs" => cmd_programs(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "druzhba — programmable switch simulation for compiler testing
+
+USAGE:
+  druzhba compile <file.domino> --depth D --width W --atom NAME [-o out.txt]
+  druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+  druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
+  druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2]
+  druzhba atoms      list the ALU DSL atom library
+  druzhba programs   list the Table 1 benchmark programs";
+
+/// Minimal flag parser: positional file plus `--key value` pairs.
+struct Args {
+    file: Option<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut file = None;
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else if let Some(key) = a.strip_prefix('-') {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag -{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else if file.is_none() {
+                file = Some(a.clone());
+            } else {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+        }
+        Ok(Args { file, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    fn get_u32(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+}
+
+fn load(args: &Args) -> Result<(DominoProgram, CompilerConfig), String> {
+    let file = args.file.as_deref().ok_or("missing <file.domino>")?;
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+    let depth = args.get_usize("depth", 4)?;
+    let width = args.get_usize("width", 2)?;
+    let atom = args.get("atom").unwrap_or("pred_raw");
+    Ok((program, CompilerConfig::new(depth, width, atom)))
+}
+
+fn compile_from(args: &Args) -> Result<(DominoProgram, CompiledProgram), String> {
+    let (program, cfg) = load(args)?;
+    let compiled = compile(&program, &cfg).map_err(|e| e.to_string())?;
+    Ok((program, compiled))
+}
+
+fn report(compiled: &CompiledProgram) {
+    let r = &compiled.report;
+    eprintln!(
+        "compiled: {} stateful + {} stateless ALUs, {} stage(s), {} PHV containers, \
+         {} machine code pairs",
+        r.stateful_used,
+        r.stateless_used,
+        r.stages_used,
+        r.phv_length,
+        compiled.machine_code.len()
+    );
+    eprintln!("inputs : {:?}", compiled.input_fields);
+    eprintln!("outputs: {:?}", compiled.output_fields);
+}
+
+fn cmd_compile(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let (_, compiled) = compile_from(&args)?;
+    report(&compiled);
+    match args.get("o") {
+        Some(path) => {
+            std::fs::write(path, compiled.machine_code.to_text())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("machine code written to {path}");
+        }
+        None => print!("{}", compiled.machine_code.to_text()),
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let (program, compiled) = compile_from(&args)?;
+    report(&compiled);
+    let num_phvs = args.get_usize("phvs", 50_000)?;
+    let bits = args.get_u32("bits", 10)?;
+    let mut spec = CompiledSpec::new(program, &compiled);
+    let fuzz_cfg = FuzzConfig {
+        num_phvs,
+        input_bits: bits,
+        observable: Some(compiled.observable_containers()),
+        state_cells: compiled.state_cells.clone(),
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_test(
+        &compiled.pipeline_spec,
+        &compiled.machine_code,
+        OptLevel::SccInline,
+        &mut spec,
+        &fuzz_cfg,
+    );
+    println!(
+        "fuzz: {} PHVs at {bits}-bit inputs -> {:?}",
+        report.phvs_tested, report.verdict
+    );
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("fuzzing found a divergence".into())
+    }
+}
+
+fn cmd_verify(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let (program, compiled) = compile_from(&args)?;
+    report(&compiled);
+    let bits = args.get_u32("bits", 2)?;
+    let packets = args.get_usize("packets", 3)?;
+    let mut spec = CompiledSpec::new(program, &compiled);
+    let outcome = verify_bounded(
+        &compiled.pipeline_spec,
+        &compiled.machine_code,
+        OptLevel::SccInline,
+        &mut spec,
+        &VerifyConfig {
+            input_bits: bits,
+            packets,
+            relevant_containers: (0..compiled.input_fields.len()).collect(),
+            observable: Some(compiled.observable_containers()),
+            state_cells: compiled.state_cells.clone(),
+            max_cases: 10_000_000,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    match outcome {
+        VerifyOutcome::Verified { cases } => {
+            println!(
+                "verified: all {cases} input trace(s) of {packets} packet(s) at \
+                 {bits}-bit inputs agree with the specification"
+            );
+            Ok(())
+        }
+        VerifyOutcome::CounterExample { input, mismatch } => {
+            println!("counterexample: {mismatch}");
+            for (i, phv) in input.phvs.iter().enumerate() {
+                println!("  packet {i}: {phv}");
+            }
+            Err("verification found a divergence".into())
+        }
+    }
+}
+
+fn cmd_emit(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let (_, compiled) = compile_from(&args)?;
+    let level = match args.get_usize("level", 2)? {
+        0 => OptLevel::Unoptimized,
+        1 => OptLevel::Scc,
+        2 => OptLevel::SccInline,
+        other => return Err(format!("--level must be 0, 1, or 2 (got {other})")),
+    };
+    let src = emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, level)
+        .map_err(|e| e.to_string())?;
+    print!("{src}");
+    Ok(())
+}
+
+fn cmd_atoms() -> Result<(), String> {
+    use druzhba::alu_dsl::atoms::{atom, STATEFUL_ATOMS, STATELESS_ATOMS};
+    println!("stateful atoms:");
+    for name in STATEFUL_ATOMS {
+        let spec = atom(name).map_err(|e| e.to_string())?;
+        println!(
+            "  {name:<14} {} state var(s), {} hole(s)",
+            spec.state_vars.len(),
+            spec.holes.len()
+        );
+    }
+    println!("stateless ALUs:");
+    for name in STATELESS_ATOMS {
+        let spec = atom(name).map_err(|e| e.to_string())?;
+        println!("  {name:<18} {} hole(s)", spec.holes.len());
+    }
+    Ok(())
+}
+
+fn cmd_programs() -> Result<(), String> {
+    println!(
+        "{:<20} {:>11} {:>12}  source",
+        "program", "depth,width", "atom"
+    );
+    for def in &druzhba::programs::PROGRAMS {
+        println!(
+            "{:<20} {:>11} {:>12}  crates/programs/assets/{}.domino",
+            def.name,
+            format!("{},{}", def.depth, def.width),
+            def.stateful_atom,
+            def.name
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! dRMT integration: P4 → HLIR → dependency DAG → schedule → simulation,
+//! checked against sequential per-packet execution at several processor
+//! counts.
+
+use druzhba::drmt::machine::execute_sequential;
+use druzhba::drmt::schedule::{solve, solve_optimal, ScheduleConfig};
+use druzhba::drmt::{parse_entries, DrmtMachine, PacketGen};
+use druzhba::p4::deps::{build_dag, DependencyKind};
+use druzhba::p4::parse_p4;
+
+const PROGRAM: &str = r#"
+    header_type ipv4_t { fields { src : 32; dst : 32; ttl : 8; proto : 8; } }
+    header_type meta_t { fields { nhop : 32; port : 8; class : 8; } }
+    header ipv4_t ipv4;
+    metadata meta_t meta;
+    parser start { extract(ipv4); return ingress; }
+    register nhop_log { width : 32; instance_count : 4; }
+    counter classes { instance_count : 4; }
+    action route(nhop, port) {
+        modify_field(meta.nhop, nhop);
+        modify_field(meta.port, port);
+        subtract_from_field(ipv4.ttl, 1);
+    }
+    action classify(c) { modify_field(meta.class, c); count(classes, c); }
+    action log_route() { register_write(nhop_log, 0, meta.nhop); }
+    action _nop() { no_op(); }
+    table routing { reads { ipv4.dst : lpm; } actions { route; _nop; } }
+    table classifier {
+        reads { ipv4.proto : ternary; }
+        actions { classify; }
+        default_action : classify;
+    }
+    table audit { reads { meta.nhop : exact; } actions { log_route; _nop; } }
+    control ingress { apply(routing); apply(classifier); apply(audit); }
+"#;
+
+const ENTRIES: &str = "\
+    routing : ipv4.dst=0xC0000000/4 => route(5, 1)\n\
+    routing : ipv4.dst=0xC0A80000/16 => route(6, 2)\n\
+    classifier : ipv4.proto=6/0xff => classify(1)\n\
+    classifier : ipv4.proto=17/0xff => classify(2)\n\
+    audit : meta.nhop=5 => log_route()\n\
+    audit : meta.nhop=6 => log_route()\n";
+
+#[test]
+fn dependency_classification() {
+    let hlir = parse_p4(PROGRAM).unwrap();
+    let dag = build_dag(&hlir);
+    // routing writes meta.nhop which audit matches on.
+    let r = hlir.table_index("routing").unwrap();
+    let a = hlir.table_index("audit").unwrap();
+    let c = hlir.table_index("classifier").unwrap();
+    assert_eq!(dag.edge(r, a), Some(DependencyKind::Match));
+    // routing and classifier touch disjoint fields: independent.
+    assert_eq!(dag.edge(r, c), None);
+}
+
+#[test]
+fn scheduled_equals_sequential_across_processor_counts() {
+    let hlir = parse_p4(PROGRAM).unwrap();
+    let dag = build_dag(&hlir);
+    let entries = parse_entries(ENTRIES).unwrap();
+    let packets = PacketGen::new(&hlir, 99).packets(400);
+    let (expected, expected_regs, expected_counters) =
+        execute_sequential(&hlir, &entries, &packets).unwrap();
+
+    for processors in [2usize, 3, 4, 8] {
+        let cfg = ScheduleConfig {
+            processors,
+            ..Default::default()
+        };
+        let schedule = solve(&dag, &cfg).unwrap();
+        let mut machine =
+            DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
+        let out = machine.run(packets.clone());
+        assert_eq!(out, expected, "{processors} processors");
+        assert_eq!(machine.registers(), &expected_regs, "{processors} processors");
+        assert_eq!(
+            machine.counters(),
+            &expected_counters,
+            "{processors} processors"
+        );
+        // Hardware limits respected.
+        let stats = machine.stats();
+        assert!(
+            stats.max_matches_per_processor_tick <= cfg.match_capacity as u64,
+            "{processors} processors"
+        );
+        assert!(
+            stats.max_actions_per_processor_tick <= cfg.action_capacity as u64,
+            "{processors} processors"
+        );
+    }
+}
+
+#[test]
+fn exact_schedule_also_executes_correctly() {
+    let hlir = parse_p4(PROGRAM).unwrap();
+    let dag = build_dag(&hlir);
+    let entries = parse_entries(ENTRIES).unwrap();
+    let packets = PacketGen::new(&hlir, 123).packets(200);
+    let cfg = ScheduleConfig {
+        processors: 4,
+        ..Default::default()
+    };
+    let optimal = solve_optimal(&dag, &cfg, 500_000).unwrap();
+    let greedy = solve(&dag, &cfg).unwrap();
+    assert!(optimal.makespan() <= greedy.makespan());
+    let mut machine = DrmtMachine::new(hlir.clone(), optimal, cfg, entries.clone()).unwrap();
+    let out = machine.run(packets.clone());
+    let (expected, ..) = execute_sequential(&hlir, &entries, &packets).unwrap();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn conditional_else_branch_tables_do_not_execute() {
+    // All extracted headers are valid in this model, so else-branch tables
+    // are scheduled but never run.
+    let src = r#"
+        header_type h_t { fields { a : 8; } }
+        header_type m_t { fields { x : 8; } }
+        header h_t pkt;
+        metadata m_t meta;
+        parser start { extract(pkt); return ingress; }
+        action set1() { modify_field(meta.x, 1); }
+        action set2() { modify_field(meta.x, 2); }
+        table then_t { reads { pkt.a : ternary; } actions { set1; } default_action : set1; }
+        table else_t { reads { pkt.a : ternary; } actions { set2; } default_action : set2; }
+        control ingress {
+            if (valid(pkt)) { apply(then_t); } else { apply(else_t); }
+        }
+    "#;
+    let hlir = parse_p4(src).unwrap();
+    let dag = build_dag(&hlir);
+    let cfg = ScheduleConfig {
+        processors: 2,
+        ..Default::default()
+    };
+    let schedule = solve(&dag, &cfg).unwrap();
+    let mut machine = DrmtMachine::new(hlir.clone(), schedule, cfg, Vec::new()).unwrap();
+    let packets = PacketGen::new(&hlir, 5).packets(10);
+    let out = machine.run(packets);
+    let x = druzhba::p4::ast::FieldRef {
+        header: "meta".into(),
+        field: "x".into(),
+    };
+    assert!(out.iter().all(|p| p.get(&x) == 1), "then-branch only");
+}

@@ -1,0 +1,148 @@
+//! Fault-injection integration: the testing framework must *detect* bad
+//! machine code — a tester that never fires is worse than none. This
+//! reproduces the paper's §5.2 failure taxonomy systematically.
+
+use druzhba::dgen::OptLevel;
+use druzhba::dsim::fault::FaultInjector;
+use druzhba::dsim::testing::{fuzz_test, Verdict};
+use druzhba::programs::PROGRAMS;
+
+/// Class 1a: removing any machine-code pair is always detected as an
+/// incompatibility (the paper's "missing machine code pairs").
+#[test]
+fn removed_pairs_always_detected() {
+    for def in PROGRAMS.iter().take(4) {
+        let compiled = def.compile_cached().unwrap();
+        let mut injector = FaultInjector::new(0xFA);
+        for _ in 0..10 {
+            let (bad, fault) = injector.remove_random_pair(&compiled.machine_code);
+            let mut spec = def.interpreter_spec(&compiled);
+            let report = fuzz_test(
+                &compiled.pipeline_spec,
+                &bad,
+                OptLevel::SccInline,
+                &mut spec,
+                &def.fuzz_config(&compiled, 50),
+            );
+            assert!(
+                matches!(report.verdict, Verdict::Incompatible(_)),
+                "{}: {fault:?} not detected",
+                def.name
+            );
+        }
+    }
+}
+
+/// Class 1b: out-of-domain values are always detected at generation time.
+#[test]
+fn out_of_range_values_always_detected() {
+    for def in PROGRAMS.iter().take(4) {
+        let compiled = def.compile_cached().unwrap();
+        let mut injector = FaultInjector::new(0xFB);
+        for _ in 0..10 {
+            let (bad, fault) = injector
+                .out_of_range_value(&compiled.pipeline_spec, &compiled.machine_code)
+                .unwrap();
+            let mut spec = def.interpreter_spec(&compiled);
+            let report = fuzz_test(
+                &compiled.pipeline_spec,
+                &bad,
+                OptLevel::Scc,
+                &mut spec,
+                &def.fuzz_config(&compiled, 50),
+            );
+            assert!(
+                matches!(report.verdict, Verdict::Incompatible(_)),
+                "{}: {fault:?} not detected",
+                def.name
+            );
+        }
+    }
+}
+
+/// Class 2: in-domain value mutations. Most of the grid's machine code is
+/// dead (unused ALUs, dead branches of opcode-dispatched ALUs), so the
+/// campaign targets *programmed* pairs (nonzero values, which the compiler
+/// only emits for live primitives); a healthy majority of those must be
+/// caught as trace mismatches.
+#[test]
+fn value_mutation_campaign_detection_rate() {
+    let mut detected = 0usize;
+    let mut total = 0usize;
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        let live: Vec<(String, u32)> = compiled
+            .machine_code
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        for (name, v) in live.into_iter().take(6) {
+            // v - 1 stays in-domain (domains are contiguous from 0).
+            let mut bad = compiled.machine_code.clone();
+            bad.set(name.clone(), v - 1);
+            total += 1;
+            let mut spec = def.interpreter_spec(&compiled);
+            let report = fuzz_test(
+                &compiled.pipeline_spec,
+                &bad,
+                OptLevel::SccInline,
+                &mut spec,
+                &def.fuzz_config(&compiled, 1_000),
+            );
+            match report.verdict {
+                Verdict::Mismatch(_) => detected += 1,
+                Verdict::Pass => {} // semantically neutral encoding change
+                Verdict::Incompatible(e) => panic!("in-domain mutation rejected: {e}"),
+            }
+        }
+    }
+    assert!(total >= 40, "campaign too small: {total}");
+    assert!(
+        detected * 2 >= total,
+        "detection rate too low: {detected}/{total}"
+    );
+}
+
+/// Mutating a pair the program actually uses (an output mux routing an
+/// *observable* container) is always caught.
+#[test]
+fn observable_output_mux_mutations_detected() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        // Pick the output mux that routes an observable container (skip
+        // programs whose only outputs are state cells).
+        let observable = compiled.observable_containers();
+        let Some((name, v)) = compiled
+            .machine_code
+            .iter()
+            .find(|(n, v)| {
+                *v != 0
+                    && n.starts_with("output_mux_phv_")
+                    && n.rsplit('_')
+                        .next()
+                        .and_then(|c| c.parse::<usize>().ok())
+                        .is_some_and(|c| observable.contains(&c))
+            })
+            .map(|(n, v)| (n.to_string(), v))
+        else {
+            continue;
+        };
+        let mut bad = compiled.machine_code.clone();
+        bad.set(name.clone(), v - 1);
+        let mut spec = def.interpreter_spec(&compiled);
+        let report = fuzz_test(
+            &compiled.pipeline_spec,
+            &bad,
+            OptLevel::SccInline,
+            &mut spec,
+            &def.fuzz_config(&compiled, 2_000),
+        );
+        assert!(
+            matches!(report.verdict, Verdict::Mismatch(_)),
+            "{}: rerouting `{name}` {v} -> {} was not detected",
+            def.name,
+            v - 1
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end RMT integration: the Fig. 5 workflow across all crates, for
+//! every Table 1 program, every optimization level, and both kinds of
+//! specification.
+
+use druzhba::dgen::{OptLevel, Pipeline};
+use druzhba::dsim::testing::fuzz_test;
+use druzhba::dsim::{Simulator, TrafficGenerator};
+use druzhba::programs::PROGRAMS;
+
+/// Every program passes fuzzing at every optimization level against the
+/// Domino-interpreter specification.
+#[test]
+fn every_program_every_level_interpreter_spec() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        for opt in OptLevel::ALL {
+            let mut spec = def.interpreter_spec(&compiled);
+            let report = fuzz_test(
+                &compiled.pipeline_spec,
+                &compiled.machine_code,
+                opt,
+                &mut spec,
+                &def.fuzz_config(&compiled, 400),
+            );
+            assert!(
+                report.passed(),
+                "{} at {opt:?}: {:?}",
+                def.name,
+                report.verdict
+            );
+        }
+    }
+}
+
+/// The hand-written Rust specs agree too (two independent oracles).
+#[test]
+fn every_program_hand_spec() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        let mut spec = def.hand_spec(&compiled);
+        let report = fuzz_test(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            OptLevel::SccInline,
+            &mut spec,
+            &def.fuzz_config(&compiled, 400),
+        );
+        assert!(report.passed(), "{}: {:?}", def.name, report.verdict);
+    }
+}
+
+/// The three dgen backends produce bit-identical traces on every program.
+#[test]
+fn backends_agree_on_all_programs() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        let input = TrafficGenerator::new(
+            7,
+            compiled.pipeline_spec.config.phv_length,
+            10,
+        )
+        .trace(300);
+        let mut outputs = Vec::new();
+        for opt in OptLevel::ALL {
+            let pipeline =
+                Pipeline::generate(&compiled.pipeline_spec, &compiled.machine_code, opt).unwrap();
+            let mut sim = Simulator::new(pipeline);
+            outputs.push(sim.run(&input));
+        }
+        assert_eq!(outputs[0], outputs[1], "{}: unopt vs scc", def.name);
+        assert_eq!(outputs[1], outputs[2], "{}: scc vs inline", def.name);
+    }
+}
+
+/// Fuzzing is deterministic given the seed: the same campaign yields the
+/// same verdict and can be replayed.
+#[test]
+fn fuzzing_is_replayable() {
+    let def = druzhba::programs::by_name("sampling").unwrap();
+    let compiled = def.compile_cached().unwrap();
+    let cfg = def.fuzz_config(&compiled, 200);
+    let mut spec1 = def.interpreter_spec(&compiled);
+    let r1 = fuzz_test(
+        &compiled.pipeline_spec,
+        &compiled.machine_code,
+        OptLevel::Scc,
+        &mut spec1,
+        &cfg,
+    );
+    let mut spec2 = def.interpreter_spec(&compiled);
+    let r2 = fuzz_test(
+        &compiled.pipeline_spec,
+        &compiled.machine_code,
+        OptLevel::Scc,
+        &mut spec2,
+        &cfg,
+    );
+    assert_eq!(r1.verdict, r2.verdict);
+    assert_eq!(r1.seed, r2.seed);
+}
+
+/// Compilations report resources within their Table 1 grids.
+#[test]
+fn compilations_fit_their_grids() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        let report = &compiled.report;
+        assert!(report.stages_used <= def.depth, "{}", def.name);
+        assert!(
+            report.stateful_used <= def.depth * def.width,
+            "{}",
+            def.name
+        );
+        assert!(
+            report.stateless_used <= def.depth * def.width,
+            "{}",
+            def.name
+        );
+        // The machine code programs the whole grid.
+        let expected =
+            druzhba::dgen::expected_machine_code(&compiled.pipeline_spec).len();
+        assert_eq!(compiled.machine_code.len(), expected, "{}", def.name);
+    }
+}
+
+/// Compilation (including CEGIS synthesis) is fully deterministic: two
+/// independent runs produce byte-identical machine code and layouts.
+#[test]
+fn compilation_is_deterministic() {
+    for def in druzhba::programs::PROGRAMS.iter().take(4) {
+        let a = def.compile().unwrap();
+        let b = def.compile().unwrap();
+        assert_eq!(a.machine_code, b.machine_code, "{}", def.name);
+        assert_eq!(a.output_fields, b.output_fields, "{}", def.name);
+        assert_eq!(a.state_cells, b.state_cells, "{}", def.name);
+    }
+}
+
+/// The emitted textual machine code round-trips through the parser and
+/// rebuilds the identical pipeline.
+#[test]
+fn machine_code_text_round_trip_rebuilds_pipeline() {
+    let def = druzhba::programs::by_name("conga").unwrap();
+    let compiled = def.compile_cached().unwrap();
+    let text = compiled.machine_code.to_text();
+    let parsed = druzhba::core::MachineCode::parse(&text).unwrap();
+    assert_eq!(parsed, compiled.machine_code);
+    // And the rebuilt pipeline behaves identically.
+    let input = TrafficGenerator::new(3, compiled.pipeline_spec.config.phv_length, 10).trace(100);
+    let mut a = Simulator::new(
+        Pipeline::generate(&compiled.pipeline_spec, &compiled.machine_code, OptLevel::Scc)
+            .unwrap(),
+    );
+    let mut b = Simulator::new(
+        Pipeline::generate(&compiled.pipeline_spec, &parsed, OptLevel::Scc).unwrap(),
+    );
+    assert_eq!(a.run(&input), b.run(&input));
+}

@@ -1,0 +1,220 @@
+//! Property-based tests over the core invariants:
+//!
+//! - the three dgen backends are observationally equivalent for *any*
+//!   in-domain machine code and any PHV stream;
+//! - tick-accurate simulation equals per-PHV immediate execution;
+//! - machine-code text round-trips;
+//! - ALU DSL mux/opt algebra;
+//! - dRMT schedules produced by both solvers are always feasible.
+
+use proptest::prelude::*;
+
+use druzhba::alu_dsl::atoms::atom;
+use druzhba::alu_dsl::HoleDomain;
+use druzhba::core::{MachineCode, Phv, PipelineConfig, Trace};
+use druzhba::dgen::{expected_machine_code, OptLevel, Pipeline, PipelineSpec};
+use druzhba::dsim::Simulator;
+
+/// Build a pipeline spec for one of the shipped atom pairs.
+fn spec_for(stateful: &str, stateless: &str, depth: usize, width: usize) -> PipelineSpec {
+    PipelineSpec::new(
+        PipelineConfig::new(depth, width),
+        atom(stateful).unwrap(),
+        atom(stateless).unwrap(),
+    )
+    .unwrap()
+}
+
+/// Strategy: an arbitrary in-domain machine code for the spec.
+fn machine_code_strategy(spec: &PipelineSpec) -> impl Strategy<Value = MachineCode> {
+    let expected = expected_machine_code(spec);
+    let fields: Vec<(String, u32)> = expected
+        .into_iter()
+        .map(|(name, domain)| {
+            let bound = match domain {
+                HoleDomain::Choice(n) => n,
+                // Immediates: keep within 8 bits so arithmetic stays
+                // interesting without overflowing everything.
+                HoleDomain::Bits(b) => 1u32 << b.min(8),
+            };
+            (name, bound)
+        })
+        .collect();
+    let values: Vec<BoxedStrategy<u32>> = fields
+        .iter()
+        .map(|(_, bound)| (0..*bound).boxed())
+        .collect();
+    let names: Vec<String> = fields.into_iter().map(|(n, _)| n).collect();
+    values.prop_map(move |vs| {
+        MachineCode::from_pairs(names.iter().cloned().zip(vs))
+    })
+}
+
+fn phv_stream(len: usize, count: usize) -> impl Strategy<Value = Vec<Phv>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..1024, len).prop_map(Phv::new),
+        count,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any machine code and any input PHVs, the unoptimized, SCC, and
+    /// inlined backends produce identical traces and final state.
+    #[test]
+    fn backends_equivalent_if_else_raw(
+        mc in machine_code_strategy(&spec_for("if_else_raw", "stateless_full", 2, 2)),
+        phvs in phv_stream(2, 24),
+    ) {
+        let spec = spec_for("if_else_raw", "stateless_full", 2, 2);
+        let input = Trace::from_phvs(phvs);
+        let mut results = Vec::new();
+        for opt in OptLevel::ALL {
+            let pipeline = Pipeline::generate(&spec, &mc, opt).unwrap();
+            let mut sim = Simulator::new(pipeline);
+            results.push(sim.run(&input));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+
+    /// Same equivalence for the two-state-variable pair atom.
+    #[test]
+    fn backends_equivalent_pair(
+        mc in machine_code_strategy(&spec_for("pair", "stateless_arith", 1, 2)),
+        phvs in phv_stream(2, 24),
+    ) {
+        let spec = spec_for("pair", "stateless_arith", 1, 2);
+        let input = Trace::from_phvs(phvs);
+        let mut results = Vec::new();
+        for opt in OptLevel::ALL {
+            let pipeline = Pipeline::generate(&spec, &mc, opt).unwrap();
+            let mut sim = Simulator::new(pipeline);
+            results.push(sim.run(&input));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+    }
+
+    /// Tick-accurate pipelined execution equals pushing each PHV through
+    /// all stages immediately (the read-half/write-half discipline never
+    /// reorders or corrupts).
+    #[test]
+    fn ticked_equals_immediate(
+        mc in machine_code_strategy(&spec_for("nested_ifs", "stateless_select", 3, 1)),
+        phvs in phv_stream(1, 20),
+    ) {
+        let spec = spec_for("nested_ifs", "stateless_select", 3, 1);
+        let input = Trace::from_phvs(phvs.clone());
+        let mut sim = Simulator::new(
+            Pipeline::generate(&spec, &mc, OptLevel::SccInline).unwrap(),
+        );
+        let ticked = sim.run(&input);
+        let mut immediate = Pipeline::generate(&spec, &mc, OptLevel::SccInline).unwrap();
+        let direct: Vec<Phv> = phvs.iter().map(|p| immediate.process(p)).collect();
+        prop_assert_eq!(ticked.phvs, direct);
+        prop_assert_eq!(ticked.state.unwrap(), immediate.state_snapshot());
+    }
+
+    /// Machine code text serialization round-trips.
+    #[test]
+    fn machine_code_round_trips(
+        mc in machine_code_strategy(&spec_for("raw", "stateless_mux", 1, 1)),
+    ) {
+        let text = mc.to_text();
+        let back = MachineCode::parse(&text).unwrap();
+        prop_assert_eq!(mc, back);
+    }
+
+    /// Trace equivalence is reflexive and mismatch-reporting is sound: a
+    /// single container edit is always located.
+    #[test]
+    fn trace_mismatch_location_sound(
+        phvs in phv_stream(3, 10),
+        tick in 0usize..10,
+        container in 0usize..3,
+    ) {
+        let a = Trace::from_phvs(phvs);
+        prop_assert_eq!(a.first_mismatch(&a, None), None);
+        let mut b = a.clone();
+        let old = b.phvs[tick].get(container);
+        b.phvs[tick].set(container, old ^ 1);
+        match a.first_mismatch(&b, None) {
+            Some(druzhba::core::TraceMismatch::ContainerMismatch { tick: t, container: c, .. }) => {
+                // The first mismatch is at or before the edit.
+                prop_assert!(t <= tick);
+                if t == tick { prop_assert_eq!(c, container); }
+            }
+            other => prop_assert!(false, "expected container mismatch, got {:?}", other),
+        }
+    }
+}
+
+mod drmt_props {
+    use super::*;
+    use druzhba::drmt::schedule::{check_schedule, solve, solve_optimal, ScheduleConfig};
+    use druzhba::p4::deps::build_dag;
+    use druzhba::p4::parse_p4;
+
+    /// Generate a random chain/diamond P4 program with n tables.
+    fn program_with_edges(n: usize, link_mask: u32) -> String {
+        let mut src = String::from(
+            "header_type h_t { fields { a : 32; b : 32; c : 32; d : 32; } }\n\
+             header h_t pkt;\nmetadata h_t meta;\n\
+             parser start { extract(pkt); return ingress; }\n",
+        );
+        // Table i writes meta field (i % 4) if its link bit is set; table
+        // i+1 matches on it, creating a match dependency.
+        let fields = ["a", "b", "c", "d"];
+        for i in 0..n {
+            let write = fields[i % 4];
+            src.push_str(&format!(
+                "action w{i}() {{ modify_field(meta.{write}, pkt.a); }}\n\
+                 action n{i}() {{ no_op(); }}\n"
+            ));
+            let read = if i > 0 && (link_mask >> (i - 1)) & 1 == 1 {
+                format!("meta.{}", fields[(i - 1) % 4])
+            } else {
+                "pkt.a".to_string()
+            };
+            src.push_str(&format!(
+                "table t{i} {{ reads {{ {read} : exact; }} actions {{ w{i}; n{i}; }} }}\n"
+            ));
+        }
+        src.push_str("control ingress { ");
+        for i in 0..n {
+            src.push_str(&format!("apply(t{i}); "));
+        }
+        src.push('}');
+        src
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Both solvers always produce feasible schedules, and the exact
+        /// solver never loses to the greedy one.
+        #[test]
+        fn schedules_always_feasible(
+            n in 1usize..6,
+            link_mask in 0u32..32,
+            processors in 2usize..5,
+        ) {
+            let src = program_with_edges(n, link_mask);
+            let hlir = parse_p4(&src).unwrap();
+            let dag = build_dag(&hlir);
+            let cfg = ScheduleConfig { processors, ..Default::default() };
+            if n > processors * cfg.match_capacity {
+                // Over line-rate capacity: must be rejected, not looped.
+                prop_assert!(solve(&dag, &cfg).is_err());
+                return Ok(());
+            }
+            let greedy = solve(&dag, &cfg).unwrap();
+            check_schedule(&dag, &cfg, &greedy).unwrap();
+            let exact = solve_optimal(&dag, &cfg, 50_000).unwrap();
+            check_schedule(&dag, &cfg, &exact).unwrap();
+            prop_assert!(exact.makespan() <= greedy.makespan());
+        }
+    }
+}
