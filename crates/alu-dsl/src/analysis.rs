@@ -47,15 +47,13 @@ pub fn analyze(spec: &AluSpec) -> Result<()> {
         AluKind::Stateful => {
             if spec.state_vars.is_empty() {
                 return Err(err(
-                    "stateful ALU must declare at least one state variable".into(),
+                    "stateful ALU must declare at least one state variable".into()
                 ));
             }
         }
         AluKind::Stateless => {
             if !spec.state_vars.is_empty() {
-                return Err(err(
-                    "stateless ALU must not declare state variables".into(),
-                ));
+                return Err(err("stateless ALU must not declare state variables".into()));
             }
             if !guarantees_return(&spec.body) {
                 return Err(err(

@@ -41,8 +41,8 @@ pub mod pretty;
 
 pub use analysis::analyze;
 pub use ast::{AluSpec, BinOp, Expr, HoleDecl, HoleDomain, Stmt, UnOp};
-pub use pretty::unparse;
 pub use druzhba_core::names::AluKind;
+pub use pretty::unparse;
 
 use druzhba_core::Result;
 

@@ -251,7 +251,7 @@ impl<'a> Parser<'a> {
             let bits = if self.peek() == Some(&Tok::LBracket) {
                 self.pos += 1;
                 let b = match self.next() {
-                    Some(Tok::Int(b)) if b >= 1 && b <= 32 => b,
+                    Some(Tok::Int(b)) if (1..=32).contains(&b) => b,
                     other => {
                         return Err(
                             self.err(format!("expected bit width in 1..=32, found {other:?}"))
@@ -643,7 +643,9 @@ mod tests {
              return a + b * 2;",
         );
         match &spec.body[0] {
-            Stmt::Return(Expr::Binary { op: BinOp::Add, r, .. }) => {
+            Stmt::Return(Expr::Binary {
+                op: BinOp::Add, r, ..
+            }) => {
                 assert!(matches!(**r, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected parse: {other:?}"),

@@ -64,16 +64,21 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|x| Shape::Opt(Box::new(x))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Shape::Mux2(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Shape::Mux3(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Mux2(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Shape::Mux3(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Shape::RelOp(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Shape::ArithOp(Box::new(a), Box::new(b))),
-            (0u8..13, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Shape::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..13, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Shape::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (any::<bool>(), inner).prop_map(|(neg, x)| Shape::Un(neg, Box::new(x))),
         ]
     })

@@ -57,13 +57,8 @@ fn bench_drmt(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let packets = PacketGen::new(&hlir, 7).packets(PACKETS);
-                let machine = DrmtMachine::new(
-                    hlir.clone(),
-                    schedule.clone(),
-                    cfg,
-                    entries.clone(),
-                )
-                .unwrap();
+                let machine =
+                    DrmtMachine::new(hlir.clone(), schedule.clone(), cfg, entries.clone()).unwrap();
                 (machine, packets)
             },
             |(mut machine, packets)| machine.run(packets),

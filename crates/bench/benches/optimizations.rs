@@ -40,10 +40,10 @@ fn bench_passes(c: &mut Criterion) {
         b.iter(|| BytecodeProgram::compile(&specialized))
     });
     for opt in OptLevel::ALL {
-        c.bench_function(&format!("dgen/generate_4x5/{}", opt.label()), |b| {
+        c.bench_function(format!("dgen/generate_4x5/{}", opt.label()), |b| {
             b.iter(|| Pipeline::generate(&spec, &mc, opt).unwrap())
         });
-        c.bench_function(&format!("dgen/emit_4x5/{}", opt.label()), |b| {
+        c.bench_function(format!("dgen/emit_4x5/{}", opt.label()), |b| {
             b.iter(|| emit_pipeline(&spec, &mc, opt).unwrap())
         });
     }

@@ -23,12 +23,9 @@ fn bench_table1(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("table1/{}", def.name));
         group.throughput(Throughput::Elements(PHVS_PER_ITER as u64));
         for opt in OptLevel::ALL {
-            let input = TrafficGenerator::new(
-                BENCH_SEED,
-                compiled.pipeline_spec.config.phv_length,
-                10,
-            )
-            .trace(PHVS_PER_ITER);
+            let input =
+                TrafficGenerator::new(BENCH_SEED, compiled.pipeline_spec.config.phv_length, 10)
+                    .trace(PHVS_PER_ITER);
             group.bench_function(BenchmarkId::from_parameter(opt.label()), |b| {
                 b.iter_batched(
                     || {

@@ -109,12 +109,14 @@ fn main() {
     let entries = parse_entries(ENTRIES).unwrap();
     let mut gen = PacketGen::new(&hlir, 42);
     let packets = gen.packets(10_000);
-    let mut machine =
-        DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
+    let mut machine = DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
     let out = machine.run(packets.clone());
     let stats = machine.stats();
     println!("\n== Simulation (10 000 random packets, round-robin over 4 processors) ==");
-    println!("  packets in/out      : {}/{}", stats.packets_in, stats.packets_out);
+    println!(
+        "  packets in/out      : {}/{}",
+        stats.packets_in, stats.packets_out
+    );
     println!("  matches issued      : {}", stats.matches_issued);
     println!("  actions executed    : {}", stats.actions_executed);
     println!("  crossbar accesses   : {}", stats.crossbar_accesses);

@@ -15,7 +15,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    println!("Speedup of SCC propagation vs unoptimized, {num_phvs} PHVs, pred_raw/stateless_full\n");
+    println!(
+        "Speedup of SCC propagation vs unoptimized, {num_phvs} PHVs, pred_raw/stateless_full\n"
+    );
     println!(
         "{:>6} {:>6} {:>10} {:>14} {:>12} {:>9}",
         "depth", "width", "mc pairs", "unopt (ms)", "scc (ms)", "speedup"

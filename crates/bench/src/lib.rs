@@ -106,7 +106,12 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>12} {:>12} {:>17} {:>21} {:>8}\n",
-        "Program", "depth,width", "ALU name", "Unoptimized (ms)", "SCC propagation (ms)", "+ FI (ms)"
+        "Program",
+        "depth,width",
+        "ALU name",
+        "Unoptimized (ms)",
+        "SCC propagation (ms)",
+        "+ FI (ms)"
     ));
     for r in rows {
         out.push_str(&format!(

@@ -168,8 +168,7 @@ fn try_grouping(
     for (g, atom_task) in lowered.atoms.iter().enumerate() {
         let (stage, slot) = placement.atom_place[g];
         let op_inputs = &lowered.atom_operand_inputs[g];
-        let holes =
-            synthesize_stateful(stateful_alu, op_inputs.len(), &atom_task.tree, synth_cfg)?;
+        let holes = synthesize_stateful(stateful_alu, op_inputs.len(), &atom_task.tree, synth_cfg)?;
         install_alu(
             &mut mc,
             AluKind::Stateful,
@@ -303,9 +302,12 @@ mod tests {
     ) -> (Vec<BTreeMap<String, Value>>, Vec<Value>) {
         let program = parse_program(src).unwrap();
         let compiled = compile(&program, cfg).unwrap();
-        let mut pipe =
-            Pipeline::generate(&compiled.pipeline_spec, &compiled.machine_code, OptLevel::SccInline)
-                .unwrap();
+        let mut pipe = Pipeline::generate(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            OptLevel::SccInline,
+        )
+        .unwrap();
         let mut outs = Vec::new();
         for pkt in packets {
             let mut phv = druzhba_core::Phv::zeroed(compiled.pipeline_spec.config.phv_length);
@@ -364,11 +366,7 @@ mod tests {
                    if (count == 2) { count = 0; pkt.sample = 1; }\n\
                    else { count = count + 1; pkt.sample = 0; }";
         let packets: Vec<Vec<(&str, Value)>> = (0..6).map(|_| vec![]).collect();
-        let (outs, state) = run_compiled(
-            src,
-            &CompilerConfig::new(2, 1, "if_else_raw"),
-            &packets,
-        );
+        let (outs, state) = run_compiled(src, &CompilerConfig::new(2, 1, "if_else_raw"), &packets);
         let samples: Vec<Value> = outs.iter().map(|o| o["sample"]).collect();
         assert_eq!(samples, vec![0, 0, 1, 0, 0, 1]);
         assert_eq!(state, vec![0]);
@@ -388,8 +386,7 @@ mod tests {
 
     #[test]
     fn rejects_program_too_deep() {
-        let program =
-            parse_program("pkt.o = ((pkt.a + pkt.b) + pkt.c) + pkt.d;").unwrap();
+        let program = parse_program("pkt.o = ((pkt.a + pkt.b) + pkt.c) + pkt.d;").unwrap();
         let err = compile(&program, &CompilerConfig::new(2, 4, "raw")).unwrap_err();
         assert!(matches!(err, Error::DoesNotFit { .. }));
     }

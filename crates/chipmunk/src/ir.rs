@@ -17,9 +17,9 @@
 use std::collections::HashMap;
 
 use druzhba_core::value::{self, Value};
+use druzhba_core::{Error, Result};
 use druzhba_domino::ast::{BinOp, DominoExpr, DominoProgram, DominoStmt, UnOp};
 use druzhba_domino::interp::apply_binop;
-use druzhba_core::{Error, Result};
 
 /// Symbolic value over input fields and initial state.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -105,7 +105,7 @@ pub fn symbolic_execute(program: &DominoProgram) -> Result<SymbolicTransaction> 
 fn exec(
     program: &DominoProgram,
     stmts: &[DominoStmt],
-    state: &mut Vec<SExpr>,
+    state: &mut [SExpr],
     fields: &mut HashMap<String, SExpr>,
     path: Option<&SExpr>,
 ) -> Result<()> {
@@ -127,10 +127,10 @@ fn exec(
                 else_body,
             } => {
                 let c = sym_eval(program, cond, state, fields);
-                let mut t_state = state.clone();
+                let mut t_state = state.to_vec();
                 let mut t_fields = fields.clone();
                 exec(program, then_body, &mut t_state, &mut t_fields, Some(&c))?;
-                let mut e_state = state.clone();
+                let mut e_state = state.to_vec();
                 let mut e_fields = fields.clone();
                 exec(program, else_body, &mut e_state, &mut e_fields, Some(&c))?;
                 // Merge state.
@@ -299,9 +299,7 @@ impl TExpr {
             TExpr::Const(v) => *v,
             TExpr::Op(k) => ops.get(*k).copied().unwrap_or(0),
             TExpr::StateRef(k) => state.get(*k).copied().unwrap_or(0),
-            TExpr::Bin(op, l, r) => {
-                apply_binop(*op, l.eval(ops, state), r.eval(ops, state))
-            }
+            TExpr::Bin(op, l, r) => apply_binop(*op, l.eval(ops, state), r.eval(ops, state)),
             TExpr::Un(op, x) => {
                 let x = x.eval(ops, state);
                 match op {
@@ -564,10 +562,7 @@ mod tests {
             Box::new(SExpr::Field("x".into())),
             Box::new(SExpr::Const(5)),
         );
-        assert_eq!(
-            simplify_ite(c.clone(), SExpr::Const(1), SExpr::Const(0)),
-            c
-        );
+        assert_eq!(simplify_ite(c.clone(), SExpr::Const(1), SExpr::Const(0)), c);
         assert_eq!(
             simplify_ite(c.clone(), SExpr::Const(0), SExpr::Const(1)),
             SExpr::Un(UnOp::Not, Box::new(c.clone()))

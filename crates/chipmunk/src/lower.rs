@@ -335,10 +335,7 @@ fn to_texpr(
     operands: &mut Vec<PExpr>,
 ) -> Result<TExpr> {
     // Is the expression free of *this group's* state?
-    let own_refs = e
-        .state_refs()
-        .into_iter()
-        .any(|r| group.contains(&r));
+    let own_refs = e.state_refs().into_iter().any(|r| group.contains(&r));
     if !own_refs {
         if let SExpr::Const(v) = e {
             return Ok(TExpr::Const(*v));
@@ -522,7 +519,10 @@ mod tests {
                 b: NodeInput::Const(9),
             }
         );
-        assert_eq!(lowered.field_sinks, vec![("sample".into(), NodeInput::Node(0))]);
+        assert_eq!(
+            lowered.field_sinks,
+            vec![("sample".into(), NodeInput::Node(0))]
+        );
     }
 
     #[test]

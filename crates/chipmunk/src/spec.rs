@@ -74,8 +74,8 @@ mod tests {
     use super::*;
     use crate::compile::{compile, CompilerConfig};
     use druzhba_dgen::OptLevel;
-    use druzhba_dsim::testing::{fuzz_test, FuzzConfig};
     use druzhba_domino::parse_program;
+    use druzhba_dsim::testing::{fuzz_test, FuzzConfig};
 
     /// The complete Fig. 5 workflow: compile, fuzz, assert equivalence.
     fn fuzz_program(src: &str, cfg: CompilerConfig, num_phvs: usize) {

@@ -234,7 +234,14 @@ pub fn synthesize_stateful(
 
     for _round in 0..cfg.max_rounds {
         let mut holes = HashMap::new();
-        match_body(atom, &atom.body, Shape::Tree(tree), &samples, &cfg, &mut holes)?;
+        match_body(
+            atom,
+            &atom.body,
+            Shape::Tree(tree),
+            &samples,
+            &cfg,
+            &mut holes,
+        )?;
         // Unconstrained holes (never reached, e.g. both branches of a
         // statically-true guard) default to zero.
         for h in &atom.holes {
@@ -274,12 +281,12 @@ fn check_sample(
     let expected = tree.eval(&s.ops, &s.state);
     // Only the group's variables are constrained; trailing atom state
     // variables must stay unchanged (identity) so the atom is predictable.
-    for k in 0..atom.state_vars.len() {
+    for (k, &actual) in actual_state.iter().enumerate() {
         let want = expected
             .get(k)
             .copied()
             .unwrap_or_else(|| s.state.get(k).copied().unwrap_or(0));
-        if actual_state[k] != want {
+        if actual != want {
             return false;
         }
     }
@@ -342,8 +349,22 @@ fn match_body(
                     let direct = (|| -> Result<HashMap<String, Value>> {
                         let mut h = holes.clone();
                         synth_guard(atom, cond, GuardTarget::Expr(guard), samples, cfg, &mut h)?;
-                        match_body(atom, then_body, Shape::Tree(then_tree), samples, cfg, &mut h)?;
-                        match_body(atom, else_body, Shape::Tree(else_tree), samples, cfg, &mut h)?;
+                        match_body(
+                            atom,
+                            then_body,
+                            Shape::Tree(then_tree),
+                            samples,
+                            cfg,
+                            &mut h,
+                        )?;
+                        match_body(
+                            atom,
+                            else_body,
+                            Shape::Tree(else_tree),
+                            samples,
+                            cfg,
+                            &mut h,
+                        )?;
                         Ok(h)
                     })();
                     let chosen = match direct {
@@ -358,8 +379,22 @@ fn match_body(
                                 cfg,
                                 &mut h,
                             )?;
-                            match_body(atom, then_body, Shape::Tree(else_tree), samples, cfg, &mut h)?;
-                            match_body(atom, else_body, Shape::Tree(then_tree), samples, cfg, &mut h)?;
+                            match_body(
+                                atom,
+                                then_body,
+                                Shape::Tree(else_tree),
+                                samples,
+                                cfg,
+                                &mut h,
+                            )?;
+                            match_body(
+                                atom,
+                                else_body,
+                                Shape::Tree(then_tree),
+                                samples,
+                                cfg,
+                                &mut h,
+                            )?;
                             h
                         }
                     };
@@ -450,8 +485,7 @@ fn match_leaf(
         if !assigned {
             // Unless the update is semantically the identity, fail.
             let ident = samples.iter().all(|s| {
-                u.as_ref().unwrap().eval(&s.ops, &s.state)
-                    == s.state.get(k).copied().unwrap_or(0)
+                u.as_ref().unwrap().eval(&s.ops, &s.state) == s.state.get(k).copied().unwrap_or(0)
             });
             if !ident {
                 return Err(Error::SynthesisFailed {
@@ -487,9 +521,7 @@ fn synth_guard(
         cond,
         move |s| match &target {
             GuardTarget::Expr(g) => value::from_bool(value::truthy(g.eval(&s.ops, &s.state))),
-            GuardTarget::NegExpr(g) => {
-                value::from_bool(!value::truthy(g.eval(&s.ops, &s.state)))
-            }
+            GuardTarget::NegExpr(g) => value::from_bool(!value::truthy(g.eval(&s.ops, &s.state))),
             GuardTarget::True => 1,
             GuardTarget::False => 0,
         },
@@ -563,9 +595,7 @@ fn synth_component(
     let combos: u64 = domains.iter().map(|d| d.len() as u64).product();
     if combos > cfg.max_combos {
         return Err(Error::SynthesisFailed {
-            message: format!(
-                "component search space too large ({combos} combinations)"
-            ),
+            message: format!("component search space too large ({combos} combinations)"),
         });
     }
 
@@ -772,11 +802,7 @@ mod tests {
         SynthConfig::default()
     }
 
-    fn run_atom(
-        atom_name: &str,
-        ops: usize,
-        tree: &TargetTree,
-    ) -> Result<HashMap<String, Value>> {
+    fn run_atom(atom_name: &str, ops: usize, tree: &TargetTree) -> Result<HashMap<String, Value>> {
         synthesize_stateful(&atom(atom_name).unwrap(), ops, tree, &cfg())
     }
 
@@ -804,9 +830,13 @@ mod tests {
         let tree = TargetTree::Leaf {
             updates: vec![Some(TExpr::Const(42))],
         };
-        let holes =
-            synthesize_stateful(&atom("raw").unwrap(), 0, &tree, &cfg().with_candidates(&[42]))
-                .unwrap();
+        let holes = synthesize_stateful(
+            &atom("raw").unwrap(),
+            0,
+            &tree,
+            &cfg().with_candidates(&[42]),
+        )
+        .unwrap();
         let a = atom("raw").unwrap();
         let mut state = vec![999];
         eval_unoptimized(&a, &holes, &[3, 4], &mut state);
@@ -964,7 +994,10 @@ mod tests {
         let alu = atom("stateless_full").unwrap();
         let holes = synthesize_stateless(&alu, 2, &target, &cfg()).unwrap();
         let mut scratch = [];
-        assert_eq!(eval_unoptimized(&alu, &holes, &[20, 22], &mut scratch).output, 42);
+        assert_eq!(
+            eval_unoptimized(&alu, &holes, &[20, 22], &mut scratch).output,
+            42
+        );
     }
 
     #[test]
@@ -974,18 +1007,31 @@ mod tests {
         let alu = atom("stateless_full").unwrap();
         let holes = synthesize_stateless(&alu, 1, &target, &cfg()).unwrap();
         let mut scratch = [];
-        assert_eq!(eval_unoptimized(&alu, &holes, &[7, 0], &mut scratch).output, 1);
-        assert_eq!(eval_unoptimized(&alu, &holes, &[6, 0], &mut scratch).output, 0);
+        assert_eq!(
+            eval_unoptimized(&alu, &holes, &[7, 0], &mut scratch).output,
+            1
+        );
+        assert_eq!(
+            eval_unoptimized(&alu, &holes, &[6, 0], &mut scratch).output,
+            0
+        );
     }
 
     #[test]
     fn stateless_multiply_flag() {
         // op0 * 3
-        let target = TExpr::Bin(BinOp::Mul, Box::new(TExpr::Op(0)), Box::new(TExpr::Const(3)));
+        let target = TExpr::Bin(
+            BinOp::Mul,
+            Box::new(TExpr::Op(0)),
+            Box::new(TExpr::Const(3)),
+        );
         let alu = atom("stateless_full").unwrap();
         let holes = synthesize_stateless(&alu, 1, &target, &cfg()).unwrap();
         let mut scratch = [];
-        assert_eq!(eval_unoptimized(&alu, &holes, &[5, 0], &mut scratch).output, 15);
+        assert_eq!(
+            eval_unoptimized(&alu, &holes, &[5, 0], &mut scratch).output,
+            15
+        );
     }
 
     #[test]
@@ -994,7 +1040,10 @@ mod tests {
         let alu = atom("stateless_full").unwrap();
         let holes = synthesize_stateless(&alu, 0, &target, &cfg()).unwrap();
         let mut scratch = [];
-        assert_eq!(eval_unoptimized(&alu, &holes, &[123, 456], &mut scratch).output, 7);
+        assert_eq!(
+            eval_unoptimized(&alu, &holes, &[123, 456], &mut scratch).output,
+            7
+        );
     }
 
     #[test]
@@ -1008,8 +1057,14 @@ mod tests {
         match synthesize_stateless(&alu, 2, &target, &cfg()) {
             Ok(holes) => {
                 let mut scratch = [];
-                assert_eq!(eval_unoptimized(&alu, &holes, &[3, 9], &mut scratch).output, 1);
-                assert_eq!(eval_unoptimized(&alu, &holes, &[9, 3], &mut scratch).output, 0);
+                assert_eq!(
+                    eval_unoptimized(&alu, &holes, &[3, 9], &mut scratch).output,
+                    1
+                );
+                assert_eq!(
+                    eval_unoptimized(&alu, &holes, &[9, 3], &mut scratch).output,
+                    0
+                );
             }
             Err(Error::SynthesisFailed { .. }) => {}
             Err(other) => panic!("unexpected error: {other}"),
@@ -1054,8 +1109,7 @@ mod tests {
             "2-bit-verified machine code treats ==3 as >=3 (the paper's bug class)"
         );
         // Full-width verification synthesizes correct code.
-        let good =
-            synthesize_stateful(&atom("if_else_raw").unwrap(), 0, &tree, &cfg()).unwrap();
+        let good = synthesize_stateful(&atom("if_else_raw").unwrap(), 0, &tree, &cfg()).unwrap();
         let mut state = vec![5];
         eval_unoptimized(&a, &good, &[0, 0], &mut state);
         assert_eq!(state[0], 6, "10-bit verification finds the == guard");

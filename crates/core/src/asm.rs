@@ -56,7 +56,8 @@ impl Assembler {
         local: &str,
         value: Value,
     ) -> Self {
-        self.mc.set(names::alu_hole(kind, stage, slot, local), value);
+        self.mc
+            .set(names::alu_hole(kind, stage, slot, local), value);
         self
     }
 
@@ -94,12 +95,7 @@ impl Assembler {
 
     /// Route a container from a stateless ALU's output (needs the
     /// pipeline's `width` to compute the selector).
-    pub fn route_stateless(
-        mut self,
-        stage: usize,
-        container: usize,
-        slot: usize,
-    ) -> Self {
+    pub fn route_stateless(mut self, stage: usize, container: usize, slot: usize) -> Self {
         self.mc
             .set(names::output_mux(stage, container), (1 + slot) as Value);
         self

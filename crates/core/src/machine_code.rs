@@ -73,14 +73,10 @@ impl MachineCode {
                 });
             };
             let name = name.trim().to_string();
-            let value: Value =
-                value
-                    .trim()
-                    .parse()
-                    .map_err(|e| Error::MachineCodeParse {
-                        line: lineno + 1,
-                        message: format!("bad value for `{name}`: {e}"),
-                    })?;
+            let value: Value = value.trim().parse().map_err(|e| Error::MachineCodeParse {
+                line: lineno + 1,
+                message: format!("bad value for `{name}`: {e}"),
+            })?;
             if pairs.insert(name.clone(), value).is_some() {
                 return Err(Error::MachineCodeParse {
                     line: lineno + 1,

@@ -5,10 +5,38 @@
 //! 50 000 PHVs must flow through the unoptimized and optimized pipelines),
 //! and fuzz failures must be replayable from a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::value::{max_for_bits, Value};
+
+/// Internal dependency-free PRNG: xorshift64* over a SplitMix64-scrambled
+/// seed, so nearby seeds diverge immediately. Not cryptographic — all uses
+/// here need reproducibility, not unpredictability.
+#[derive(Debug, Clone)]
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Only the all-zero state is degenerate for xorshift; remap that one
+        // point rather than masking a bit, so at most one seed pair in 2^64
+        // collides (versus half the seed space with an `| 1` mask).
+        if z == 0 {
+            z = 0x9E37_79B9_7F4A_7C15;
+        }
+        Prng(z)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
 
 /// A seeded generator of machine values with a bounded bit width.
 ///
@@ -17,7 +45,7 @@ use crate::value::{max_for_bits, Value};
 /// width is how those input ranges are expressed.
 #[derive(Debug, Clone)]
 pub struct ValueGen {
-    rng: StdRng,
+    rng: Prng,
     bits: u32,
 }
 
@@ -25,7 +53,7 @@ impl ValueGen {
     /// A generator producing values in `[0, 2^bits)` from the given seed.
     pub fn new(seed: u64, bits: u32) -> Self {
         ValueGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::new(seed),
             bits: bits.min(32),
         }
     }
@@ -37,12 +65,9 @@ impl ValueGen {
 
     /// Next random value in `[0, 2^bits)`.
     pub fn value(&mut self) -> Value {
-        let max = max_for_bits(self.bits);
-        if max == Value::MAX {
-            self.rng.gen()
-        } else {
-            self.rng.gen_range(0..=max)
-        }
+        // `max_for_bits` is a low-bit mask, so masking the high half of the
+        // 64-bit output is exactly uniform over the domain.
+        ((self.rng.next_u64() >> 32) as Value) & max_for_bits(self.bits)
     }
 
     /// Next random value in `[0, bound)`; `bound` 0 yields 0.
@@ -50,7 +75,7 @@ impl ValueGen {
         if bound == 0 {
             0
         } else {
-            self.rng.gen_range(0..bound)
+            (self.rng.next_u64() % u64::from(bound)) as Value
         }
     }
 

@@ -34,21 +34,13 @@ pub fn wmul(a: Value, b: Value) -> Value {
 /// Total division: `a / 0 == 0`.
 #[inline]
 pub fn wdiv(a: Value, b: Value) -> Value {
-    if b == 0 {
-        0
-    } else {
-        a / b
-    }
+    a.checked_div(b).unwrap_or(0)
 }
 
 /// Total modulo: `a % 0 == 0`.
 #[inline]
 pub fn wmod(a: Value, b: Value) -> Value {
-    if b == 0 {
-        0
-    } else {
-        a % b
-    }
+    a.checked_rem(b).unwrap_or(0)
 }
 
 /// Unary minus in the wrapping domain (two's-complement negation).

@@ -230,9 +230,9 @@ fn compute_max_stack(instrs: &[Instr]) -> usize {
             }
             Instr::Bin(_) => depth = depth.saturating_sub(1),
             Instr::Un(_) => {}
-            Instr::StoreState(_)
-            | Instr::JumpIfZero(_)
-            | Instr::ReturnValue => depth = depth.saturating_sub(1),
+            Instr::StoreState(_) | Instr::JumpIfZero(_) | Instr::ReturnValue => {
+                depth = depth.saturating_sub(1)
+            }
             Instr::Jump(_) | Instr::Halt => {}
         }
     }
@@ -380,6 +380,6 @@ mod tests {
         .unwrap();
         let prog = BytecodeProgram::compile(&spec);
         assert!(prog.max_stack >= 3);
-        assert_eq!(prog.run(&[10, 2], &mut []), (12 * 8) + (5 % 20));
+        assert_eq!(prog.run(&[10, 2], &mut []), (12 * 8) + 5);
     }
 }

@@ -55,10 +55,8 @@ fn specialize_inner(spec: &AluSpec, holes: &HashMap<String, Value>, partial: boo
             | Expr::ArithOp { hole, .. } => {
                 referenced.insert(hole.clone());
             }
-            Expr::Var(name) => {
-                if spec.hole_vars.iter().any(|h| &h.name == name) {
-                    referenced.insert(name.clone());
-                }
+            Expr::Var(name) if spec.hole_vars.iter().any(|h| &h.name == name) => {
+                referenced.insert(name.clone());
             }
             _ => {}
         });
@@ -287,19 +285,13 @@ fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
         // Multiplicative identities and annihilators.
         (BinOp::Mul, Expr::Const(1), _) => return r,
         (BinOp::Mul, _, Expr::Const(1)) => return l,
-        (BinOp::Mul, Expr::Const(0), _) | (BinOp::Mul, _, Expr::Const(0)) => {
-            return Expr::Const(0)
-        }
+        (BinOp::Mul, Expr::Const(0), _) | (BinOp::Mul, _, Expr::Const(0)) => return Expr::Const(0),
         (BinOp::Div, _, Expr::Const(1)) => return l,
         // Division/modulo by the constant zero are total: always 0.
-        (BinOp::Div, _, Expr::Const(0)) | (BinOp::Mod, _, Expr::Const(0)) => {
-            return Expr::Const(0)
-        }
+        (BinOp::Div, _, Expr::Const(0)) | (BinOp::Mod, _, Expr::Const(0)) => return Expr::Const(0),
         // Logical annihilators (operands are pure, so dropping them is
         // sound).
-        (BinOp::And, Expr::Const(0), _) | (BinOp::And, _, Expr::Const(0)) => {
-            return Expr::Const(0)
-        }
+        (BinOp::And, Expr::Const(0), _) | (BinOp::And, _, Expr::Const(0)) => return Expr::Const(0),
         (BinOp::Or, Expr::Const(c), _) if value::truthy(*c) => return Expr::Const(1),
         (BinOp::Or, _, Expr::Const(c)) if value::truthy(*c) => return Expr::Const(1),
         _ => {}
@@ -458,9 +450,15 @@ mod tests {
     #[test]
     fn fold_binary_identities() {
         let x = || Expr::Var("x".into());
-        assert_eq!(fold_binary(BinOp::Add, x(), Expr::Const(0)).to_string(), "x");
+        assert_eq!(
+            fold_binary(BinOp::Add, x(), Expr::Const(0)).to_string(),
+            "x"
+        );
         assert_eq!(fold_binary(BinOp::Mul, Expr::Const(0), x()), Expr::Const(0));
-        assert_eq!(fold_binary(BinOp::Mul, x(), Expr::Const(1)).to_string(), "x");
+        assert_eq!(
+            fold_binary(BinOp::Mul, x(), Expr::Const(1)).to_string(),
+            "x"
+        );
         assert_eq!(fold_binary(BinOp::Div, x(), Expr::Const(0)), Expr::Const(0));
         assert_eq!(fold_binary(BinOp::And, Expr::Const(0), x()), Expr::Const(0));
         assert_eq!(fold_binary(BinOp::Or, Expr::Const(7), x()), Expr::Const(1));
@@ -525,9 +523,11 @@ mod partial_tests {
     #[test]
     fn partial_with_all_holes_equals_full() {
         let spec = druzhba_alu_dsl::atoms::atom("pred_raw").unwrap();
-        let all: HashMap<String, Value> =
-            spec.holes.iter().map(|h| (h.local.clone(), 0)).collect();
-        assert_eq!(specialize(&spec, &all).body, specialize_partial(&spec, &all).body);
+        let all: HashMap<String, Value> = spec.holes.iter().map(|h| (h.local.clone(), 0)).collect();
+        assert_eq!(
+            specialize(&spec, &all).body,
+            specialize_partial(&spec, &all).body
+        );
         assert!(specialize_partial(&spec, &all).holes.is_empty());
     }
 

@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn skips_comments() {
-        assert_eq!(toks("x // y\nz"), vec![Tok::Ident("x".into()), Tok::Ident("z".into())]);
+        assert_eq!(
+            toks("x // y\nz"),
+            vec![Tok::Ident("x".into()), Tok::Ident("z".into())]
+        );
     }
 
     #[test]

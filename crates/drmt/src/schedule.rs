@@ -100,9 +100,7 @@ pub fn check_schedule(dag: &TableDag, cfg: &ScheduleConfig, schedule: &Schedule)
             DependencyKind::Action => {
                 schedule.action_slot[e.to] >= schedule.action_slot[e.from] + cfg.delta_action
             }
-            DependencyKind::Successor => {
-                schedule.action_slot[e.to] >= schedule.action_slot[e.from] + 1
-            }
+            DependencyKind::Successor => schedule.action_slot[e.to] > schedule.action_slot[e.from],
         };
         if !ok {
             return Err(err(format!(
@@ -210,11 +208,7 @@ pub fn solve(dag: &TableDag, cfg: &ScheduleConfig) -> Result<Schedule> {
 /// Exact branch-and-bound minimization of the makespan, seeded by the
 /// greedy solution. Suitable for paper-scale DAGs (≤ ~10 tables);
 /// `node_budget` caps the search.
-pub fn solve_optimal(
-    dag: &TableDag,
-    cfg: &ScheduleConfig,
-    node_budget: u64,
-) -> Result<Schedule> {
+pub fn solve_optimal(dag: &TableDag, cfg: &ScheduleConfig, node_budget: u64) -> Result<Schedule> {
     let greedy = solve(dag, cfg)?;
     let n = dag.len();
     if n == 0 {
@@ -271,9 +265,7 @@ pub fn solve_optimal(
                     DependencyKind::Action => {
                         a_dep_min = a_dep_min.max(action_slot[e.from] + self.cfg.delta_action)
                     }
-                    DependencyKind::Successor => {
-                        a_dep_min = a_dep_min.max(action_slot[e.from] + 1)
-                    }
+                    DependencyKind::Successor => a_dep_min = a_dep_min.max(action_slot[e.from] + 1),
                 }
             }
             // Candidate slots up to the current best makespan.
@@ -369,7 +361,7 @@ mod tests {
         for i in 0..k {
             src.push_str(&format!("apply(t{i}); "));
         }
-        src.push_str("}");
+        src.push('}');
         build_dag(&parse_p4(&src).unwrap())
     }
 

@@ -133,7 +133,7 @@ impl TimeTravelDebugger {
     pub fn run_until(&mut self, breakpoint: impl Fn(&TickRecord) -> bool) -> Option<usize> {
         let hit = self.history[self.cursor + 1..]
             .iter()
-            .position(|r| breakpoint(r))
+            .position(breakpoint)
             .map(|off| self.cursor + 1 + off)?;
         self.cursor = hit;
         Some(hit)
@@ -142,9 +142,7 @@ impl TimeTravelDebugger {
     /// Rewind until `breakpoint` fires (strictly before the cursor);
     /// returns the hit tick and leaves the cursor there.
     pub fn rewind_until(&mut self, breakpoint: impl Fn(&TickRecord) -> bool) -> Option<usize> {
-        let hit = self.history[..self.cursor]
-            .iter()
-            .rposition(|r| breakpoint(r))?;
+        let hit = self.history[..self.cursor].iter().rposition(breakpoint)?;
         self.cursor = hit;
         Some(hit)
     }
@@ -161,12 +159,7 @@ impl TimeTravelDebugger {
 
     /// Every tick at which the given state cell changed, with (old, new).
     /// The first write from the power-on value of 0 is included.
-    pub fn state_changes(
-        &self,
-        stage: usize,
-        slot: usize,
-        var: usize,
-    ) -> Vec<(u64, Value, Value)> {
+    pub fn state_changes(&self, stage: usize, slot: usize, var: usize) -> Vec<(u64, Value, Value)> {
         let mut out = Vec::new();
         let mut prev = 0;
         for record in &self.history {

@@ -16,11 +16,7 @@ pub enum Fault {
     /// A pair was deleted from the program.
     RemovedPair { name: String },
     /// A pair's value was replaced (still within the primitive's domain).
-    MutatedValue {
-        name: String,
-        old: u32,
-        new: u32,
-    },
+    MutatedValue { name: String, old: u32, new: u32 },
     /// A pair's value was set outside the primitive's domain.
     OutOfRangeValue { name: String, new: u32 },
 }
@@ -179,8 +175,12 @@ mod tests {
     #[test]
     fn injection_is_deterministic() {
         let (spec, mc) = setup();
-        let a = FaultInjector::new(7).mutate_random_value(&spec, &mc).unwrap();
-        let b = FaultInjector::new(7).mutate_random_value(&spec, &mc).unwrap();
+        let a = FaultInjector::new(7)
+            .mutate_random_value(&spec, &mc)
+            .unwrap();
+        let b = FaultInjector::new(7)
+            .mutate_random_value(&spec, &mc)
+            .unwrap();
         assert_eq!(a.1, b.1);
     }
 }

@@ -155,11 +155,7 @@ mod tests {
     }
 
     fn zero_mc(spec: &PipelineSpec) -> MachineCode {
-        MachineCode::from_pairs(
-            expected_machine_code(spec)
-                .into_iter()
-                .map(|(n, _)| (n, 0)),
-        )
+        MachineCode::from_pairs(expected_machine_code(spec).into_iter().map(|(n, _)| (n, 0)))
     }
 
     #[test]

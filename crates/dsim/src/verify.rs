@@ -115,7 +115,10 @@ pub fn verify_bounded(
         for p in 0..cfg.packets {
             let mut phv = Phv::zeroed(phv_length);
             for (ci, &container) in cfg.relevant_containers.iter().enumerate() {
-                phv.set(container, assignment[p * cfg.relevant_containers.len() + ci]);
+                phv.set(
+                    container,
+                    assignment[p * cfg.relevant_containers.len() + ci],
+                );
             }
             phvs.push(phv);
         }
@@ -125,8 +128,7 @@ pub fn verify_bounded(
         sim.reset();
         let actual = sim.run(&input);
         reference.reset();
-        let expected =
-            Trace::from_phvs(input.phvs.iter().map(|p| reference.process(p)).collect());
+        let expected = Trace::from_phvs(input.phvs.iter().map(|p| reference.process(p)).collect());
 
         if let Some(mismatch) = expected.first_mismatch(&actual, cfg.observable.as_deref()) {
             return Ok(VerifyOutcome::CounterExample { input, mismatch });
@@ -246,8 +248,7 @@ mod tests {
             ..VerifyConfig::default()
         };
         let mut reference = accumulator_spec();
-        let outcome =
-            verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap();
+        let outcome = verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap();
         match outcome {
             VerifyOutcome::CounterExample { input, .. } => {
                 // The counterexample must actually involve a nonzero add

@@ -82,10 +82,7 @@ pub fn build_dag(hlir: &Hlir) -> TableDag {
             let a = &hlir.tables[i];
             let b = &hlir.tables[j];
             // Match dependency: i writes a field j matches on.
-            let match_dep = b
-                .match_fields
-                .iter()
-                .any(|(f, _)| a.writes.contains(f));
+            let match_dep = b.match_fields.iter().any(|(f, _)| a.writes.contains(f));
             // Action dependency: i writes a field j's actions read or
             // write, or the two share stateful objects.
             let action_dep = b
@@ -105,7 +102,11 @@ pub fn build_dag(hlir: &Hlir) -> TableDag {
                 None
             };
             if let Some(kind) = kind {
-                edges.push(DependencyEdge { from: i, to: j, kind });
+                edges.push(DependencyEdge {
+                    from: i,
+                    to: j,
+                    kind,
+                });
             }
         }
     }
@@ -216,7 +217,7 @@ mod tests {
     }
 
     #[test]
-    fn chain_of_three(){
+    fn chain_of_three() {
         let src = format!(
             "{PRELUDE}\
              action w1() {{ modify_field(meta.a, 1); }}\n\

@@ -85,8 +85,7 @@ pub fn resolve(program: P4Program) -> Result<Hlir> {
             ));
         }
     }
-    let known_field =
-        |f: &FieldRef| fields.iter().any(|(g, _)| g == f);
+    let known_field = |f: &FieldRef| fields.iter().any(|(g, _)| g == f);
 
     // Parser extracts resolve to non-metadata headers.
     for extract in &program.parser_extracts {
@@ -101,21 +100,20 @@ pub fn resolve(program: P4Program) -> Result<Hlir> {
 
     // Actions: every referenced field/register/counter/param resolves.
     let reg_names: BTreeSet<&str> = program.registers.iter().map(|r| r.name.as_str()).collect();
-    let counter_names: BTreeSet<&str> =
-        program.counters.iter().map(|c| c.name.as_str()).collect();
+    let counter_names: BTreeSet<&str> = program.counters.iter().map(|c| c.name.as_str()).collect();
     for action in &program.actions {
         let check_arg = |arg: &ActionArg| -> Result<()> {
             match arg {
-                ActionArg::Field(f) if !known_field(f) => {
-                    Err(err(format!("action `{}`: unknown field `{f}`", action.name)))
-                }
+                ActionArg::Field(f) if !known_field(f) => Err(err(format!(
+                    "action `{}`: unknown field `{f}`",
+                    action.name
+                ))),
                 ActionArg::Param(p) if !action.params.contains(p) => Err(err(format!(
                     "action `{}`: unknown parameter `{p}`",
                     action.name
                 ))),
                 ActionArg::Stateful(s)
-                    if !reg_names.contains(s.as_str())
-                        && !counter_names.contains(s.as_str()) =>
+                    if !reg_names.contains(s.as_str()) && !counter_names.contains(s.as_str()) =>
                 {
                     Err(err(format!(
                         "action `{}`: `{s}` is neither a parameter nor a register/counter",
@@ -209,7 +207,7 @@ pub fn resolve(program: P4Program) -> Result<Hlir> {
 
     // Control: applied tables exist, valid() headers exist; collect order
     // with nesting depth and guard paths.
-    let mut ordered: Vec<(String, usize, Vec<(String, bool)>)> = Vec::new();
+    let mut ordered: Vec<AppliedTable> = Vec::new();
     collect_control(&program, &program.control, 0, &mut Vec::new(), &mut ordered)?;
 
     // Per-table analysis.
@@ -288,12 +286,16 @@ pub fn resolve(program: P4Program) -> Result<Hlir> {
     })
 }
 
+/// One `apply` site in control order: table name, control-nesting depth,
+/// and the `(header, negated)` validity-guard path leading to it.
+type AppliedTable = (String, usize, Vec<(String, bool)>);
+
 fn collect_control(
     program: &P4Program,
     stmts: &[ControlStmt],
     depth: usize,
     guards: &mut Vec<(String, bool)>,
-    out: &mut Vec<(String, usize, Vec<(String, bool)>)>,
+    out: &mut Vec<AppliedTable>,
 ) -> Result<()> {
     for s in stmts {
         match s {

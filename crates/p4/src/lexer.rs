@@ -233,7 +233,11 @@ mod tests {
     fn lexes_field_reference() {
         assert_eq!(
             toks("ipv4.ttl"),
-            vec![Tok::Ident("ipv4".into()), Tok::Dot, Tok::Ident("ttl".into())]
+            vec![
+                Tok::Ident("ipv4".into()),
+                Tok::Dot,
+                Tok::Ident("ttl".into())
+            ]
         );
     }
 }

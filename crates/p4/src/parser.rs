@@ -391,9 +391,8 @@ impl Parser<'_> {
                         let field = self.expect_ident("field name")?;
                         self.expect(&Tok::Colon, "`:`")?;
                         let kind_kw = self.expect_ident("match kind")?;
-                        let kind = MatchKind::from_keyword(&kind_kw).ok_or_else(|| {
-                            self.err(format!("unknown match kind `{kind_kw}`"))
-                        })?;
+                        let kind = MatchKind::from_keyword(&kind_kw)
+                            .ok_or_else(|| self.err(format!("unknown match kind `{kind_kw}`")))?;
                         self.expect(&Tok::Semi, "`;`")?;
                         table.reads.push((FieldRef { header, field }, kind));
                     }

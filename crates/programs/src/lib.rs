@@ -30,7 +30,7 @@ pub type FieldGet<'a> = &'a dyn Fn(&str) -> Value;
 
 /// One step of a hand-written specification: mutate `state`, return the
 /// written fields.
-pub type StepFn = fn(&mut Vec<Value>, FieldGet<'_>) -> Vec<(&'static str, Value)>;
+pub type StepFn = fn(&mut [Value], FieldGet<'_>) -> Vec<(&'static str, Value)>;
 
 /// One Table 1 program.
 #[derive(Clone, Copy)]
@@ -160,14 +160,14 @@ impl Specification for HandSpec {
 // Hand-written specifications (independent of the Domino sources).
 // ----------------------------------------------------------------------
 
-fn blue_decrease_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn blue_decrease_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let mark = u32::from(get("rand") <= state[0]);
     let dec = u32::from(get("qlen") == 0) * 2;
     state[0] = state[0].wrapping_sub(dec);
     vec![("mark", mark)]
 }
 
-fn blue_increase_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn blue_increase_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let mark = u32::from(get("rand") <= state[0]);
     if state[1] <= get("now").wrapping_sub(10) {
         state[0] = state[0].wrapping_add(1);
@@ -176,7 +176,7 @@ fn blue_increase_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'stati
     vec![("mark", mark)]
 }
 
-fn sampling_step(state: &mut Vec<Value>, _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn sampling_step(state: &mut [Value], _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     if state[0] == 9 {
         state[0] = 0;
         vec![("sample", 1)]
@@ -186,13 +186,13 @@ fn sampling_step(state: &mut Vec<Value>, _get: FieldGet<'_>) -> Vec<(&'static st
     }
 }
 
-fn marple_new_flow_step(state: &mut Vec<Value>, _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn marple_new_flow_step(state: &mut [Value], _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let is_new = u32::from(state[0] == 0);
     state[0] = 1;
     vec![("is_new", is_new)]
 }
 
-fn marple_tcp_nmo_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn marple_tcp_nmo_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let seq = get("seq");
     if seq.wrapping_add(1) <= state[0] {
         state[1] = state[1].wrapping_add(1);
@@ -203,10 +203,7 @@ fn marple_tcp_nmo_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'stat
     vec![]
 }
 
-fn snap_heavy_hitter_step(
-    state: &mut Vec<Value>,
-    _get: FieldGet<'_>,
-) -> Vec<(&'static str, Value)> {
+fn snap_heavy_hitter_step(state: &mut [Value], _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let prev = state[0];
     if state[0] >= 20 {
         state[1] = state[1].wrapping_add(1);
@@ -215,7 +212,7 @@ fn snap_heavy_hitter_step(
     vec![("prev_count", prev)]
 }
 
-fn stateful_firewall_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn stateful_firewall_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let outbound = get("dir") == 0;
     let allow = u32::from(outbound || (state[0] != 0 && get("port") != 22));
     let established = u32::from(state[0] == 1);
@@ -225,7 +222,7 @@ fn stateful_firewall_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'s
     vec![("allow", allow), ("established", established)]
 }
 
-fn flowlets_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn flowlets_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let old_hop = state[1];
     if state[0].wrapping_add(5) <= get("arrival") {
         state[1] = get("new_hop");
@@ -234,15 +231,15 @@ fn flowlets_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str
     vec![("old_hop", old_hop)]
 }
 
-fn learn_filter_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn learn_filter_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let (ev0, ev1, ev2) = (state[0], state[1], state[2]);
     state[0] = state[0].wrapping_add(get("src") % 2);
-    state[1] = state[1].wrapping_add(u32::from(get("src") % 3 == 0));
+    state[1] = state[1].wrapping_add(u32::from(get("src").is_multiple_of(3)));
     state[2] = state[2].wrapping_add(get("dst") % 2);
     vec![("ev0", ev0), ("ev1", ev1), ("ev2", ev2)]
 }
 
-fn rcp_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn rcp_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let seen_rtt = state[0];
     let rtt = get("rtt");
     let over = u32::from(rtt >= 31);
@@ -253,7 +250,7 @@ fn rcp_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Val
     vec![("seen_rtt", seen_rtt), ("over_limit", over)]
 }
 
-fn conga_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn conga_step(state: &mut [Value], get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     let util = get("util");
     let congested = u32::from(util >= 90);
     let headroom = 100u32.wrapping_sub(util);
@@ -264,7 +261,7 @@ fn conga_step(state: &mut Vec<Value>, get: FieldGet<'_>) -> Vec<(&'static str, V
     vec![("congested", congested), ("headroom", headroom)]
 }
 
-fn spam_detection_step(state: &mut Vec<Value>, _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
+fn spam_detection_step(state: &mut [Value], _get: FieldGet<'_>) -> Vec<(&'static str, Value)> {
     if state[0] >= 50 {
         state[1] = state[1].wrapping_add(1);
     }

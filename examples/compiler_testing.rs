@@ -107,7 +107,10 @@ fn main() {
     );
     match &report.verdict {
         Verdict::Mismatch(m) => {
-            println!("mutated `{const_name}` {old} -> {}\n  -> trace mismatch: {m}", old + 3)
+            println!(
+                "mutated `{const_name}` {old} -> {}\n  -> trace mismatch: {m}",
+                old + 3
+            )
         }
         other => panic!("wrong machine code not detected: {other:?}"),
     }

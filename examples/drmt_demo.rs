@@ -40,12 +40,21 @@ const ENTRIES: &str = "\
 fn main() {
     // Parse and analyse the P4 program.
     let hlir = parse_p4(PROGRAM).unwrap();
-    println!("fields: {:?}", hlir.fields.iter().map(|(f, w)| format!("{f}:{w}")).collect::<Vec<_>>());
+    println!(
+        "fields: {:?}",
+        hlir.fields
+            .iter()
+            .map(|(f, w)| format!("{f}:{w}"))
+            .collect::<Vec<_>>()
+    );
 
     // Table dependency DAG (zoning writes meta.zone; policy matches it).
     let dag = build_dag(&hlir);
     for e in &dag.edges {
-        println!("dependency: {} -> {} ({:?})", dag.names[e.from], dag.names[e.to], e.kind);
+        println!(
+            "dependency: {} -> {} ({:?})",
+            dag.names[e.from], dag.names[e.to], e.kind
+        );
     }
 
     // Schedule for 4 processors, exactly.
@@ -69,7 +78,10 @@ fn main() {
     let stats = machine.stats();
     println!(
         "processed {} packets in {} ticks ({} matches, {} actions, {} crossbar accesses)",
-        stats.packets_out, stats.ticks, stats.matches_issued, stats.actions_executed,
+        stats.packets_out,
+        stats.ticks,
+        stats.matches_issued,
+        stats.actions_executed,
         stats.crossbar_accesses
     );
     println!("verdict counters: {:?}", machine.counters()["verdicts"]);

@@ -69,13 +69,9 @@ fn main() {
     let (stage, slot, var) = compiled.state_cells[0];
     dbg.goto(bad_tick as usize);
     let culprit = dbg
-        .rewind_until(|r| {
-            r.state[stage][slot][var] == 0 && r.injected.is_some() && r.tick > 0
-        })
+        .rewind_until(|r| r.state[stage][slot][var] == 0 && r.injected.is_some() && r.tick > 0)
         .expect("find the premature reset");
-    println!(
-        "rewound to tick {culprit}: counter reset to 0 while the spec still counts"
-    );
+    println!("rewound to tick {culprit}: counter reset to 0 while the spec still counts");
     for (tick, old, new) in dbg.state_changes(stage, slot, var) {
         println!("  state[{stage}][{slot}][{var}] @ tick {tick}: {old} -> {new}");
     }

@@ -117,8 +117,7 @@ impl Args {
 
 fn load(args: &Args) -> Result<(DominoProgram, CompilerConfig), String> {
     let file = args.file.as_deref().ok_or("missing <file.domino>")?;
-    let source =
-        std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let program = parse_program(&source).map_err(|e| e.to_string())?;
     let depth = args.get_usize("depth", 4)?;
     let width = args.get_usize("width", 2)?;

@@ -1,0 +1,181 @@
+//! End-to-end tests of the `druzhba` command-line tool: spawn the built
+//! binary and assert exit codes and key output lines for the
+//! compile/fuzz/verify/atoms/programs workflow.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SAMPLING: &str = "state int count = 0;\n\
+                        if (count == 9) { count = 0; pkt.sample = 1; }\n\
+                        else { count = count + 1; pkt.sample = 0; }\n";
+
+fn druzhba(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_druzhba"))
+        .args(args)
+        .output()
+        .expect("spawn druzhba binary")
+}
+
+fn write_sampling() -> PathBuf {
+    // Unique per call: tests run concurrently within one process.
+    static NEXT: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "druzhba-cli-test-{}-{n}.domino",
+        std::process::id()
+    ));
+    std::fs::write(&path, SAMPLING).expect("write temp domino file");
+    path
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = druzhba(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = druzhba(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+}
+
+#[test]
+fn atoms_lists_the_library() {
+    let out = druzhba(&["atoms"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for atom in [
+        "raw",
+        "sub",
+        "if_else_raw",
+        "pred_raw",
+        "nested_ifs",
+        "pair",
+    ] {
+        assert!(stdout.contains(atom), "missing atom `{atom}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("stateless_full"));
+}
+
+#[test]
+fn programs_lists_the_table1_corpus() {
+    let out = druzhba(&["programs"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["blue_decrease", "sampling", "conga", "spam_detection"] {
+        assert!(
+            stdout.contains(name),
+            "missing program `{name}` in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn compile_emits_machine_code() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "compile",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The machine code must program the whole grid, including the sampling
+    // threshold as an if_else_raw immediate.
+    assert!(stdout.contains("output_mux_phv_0_0"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("stateful_alu_0_0_const_0 = 9"),
+        "stdout: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("compiled:"), "stderr: {stderr}");
+    assert!(stderr.contains("\"sample\""), "stderr: {stderr}");
+}
+
+#[test]
+fn fuzz_passes_on_a_correct_compilation() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "fuzz",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--phvs",
+        "500",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("500 PHVs"), "stdout: {stdout}");
+    assert!(stdout.contains("Pass"), "stdout: {stdout}");
+}
+
+#[test]
+fn verify_exhausts_small_input_space() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--bits",
+        "2",
+        "--packets",
+        "3",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified"), "stdout: {stdout}");
+}
+
+#[test]
+fn compile_rejects_a_program_that_does_not_fit() {
+    let path = write_sampling();
+    // Depth 1 cannot hold the atom plus the dependent output flag.
+    let out = druzhba(&[
+        "compile",
+        path.to_str().unwrap(),
+        "--depth",
+        "1",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr: {err}");
+}

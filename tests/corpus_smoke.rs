@@ -1,0 +1,74 @@
+//! Corpus smoke test: every embedded Table 1 Domino asset must parse,
+//! compile under its declared (depth, width, atom) configuration, and
+//! survive a short fuzz run against its hand-written specification — so a
+//! corpus regression fails CI instead of first appearing in a long fuzz
+//! campaign.
+
+use druzhba::dgen::OptLevel;
+use druzhba::dsim::testing::fuzz_test;
+use druzhba::programs::PROGRAMS;
+
+#[test]
+fn corpus_is_complete() {
+    assert_eq!(PROGRAMS.len(), 12, "Table 1 lists 12 programs");
+    let mut names: Vec<&str> = PROGRAMS.iter().map(|p| p.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 12, "program names must be unique");
+}
+
+#[test]
+fn every_asset_parses_with_declared_state() {
+    for def in &PROGRAMS {
+        let program = def.parse();
+        assert_eq!(
+            program.state_vars.len(),
+            def.state_vars,
+            "{}: declared state count",
+            def.name
+        );
+        assert!(
+            program.state_vars.iter().all(|d| d.init == 0),
+            "{}: compiler requires zero-initialized state",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn every_asset_compiles_on_its_table1_grid() {
+    for def in &PROGRAMS {
+        let compiled = def
+            .compile_cached()
+            .unwrap_or_else(|e| panic!("{}: failed to compile: {e}", def.name));
+        assert!(
+            compiled.report.stages_used <= def.depth,
+            "{}: used {} stages on a depth-{} grid",
+            def.name,
+            compiled.report.stages_used,
+            def.depth
+        );
+        assert_eq!(
+            compiled.state_cells.len(),
+            def.state_vars,
+            "{}: one state cell per program state variable",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn every_asset_passes_a_short_hand_spec_fuzz() {
+    for def in &PROGRAMS {
+        let compiled = def.compile_cached().unwrap();
+        let mut spec = def.hand_spec(&compiled);
+        let report = fuzz_test(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            OptLevel::SccInline,
+            &mut spec,
+            &def.fuzz_config(&compiled, 100),
+        );
+        assert!(report.passed(), "{}: {:?}", def.name, report.verdict);
+    }
+}

@@ -70,11 +70,14 @@ fn scheduled_equals_sequential_across_processor_counts() {
             ..Default::default()
         };
         let schedule = solve(&dag, &cfg).unwrap();
-        let mut machine =
-            DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
+        let mut machine = DrmtMachine::new(hlir.clone(), schedule, cfg, entries.clone()).unwrap();
         let out = machine.run(packets.clone());
         assert_eq!(out, expected, "{processors} processors");
-        assert_eq!(machine.registers(), &expected_regs, "{processors} processors");
+        assert_eq!(
+            machine.registers(),
+            &expected_regs,
+            "{processors} processors"
+        );
         assert_eq!(
             machine.counters(),
             &expected_counters,

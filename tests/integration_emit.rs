@@ -84,8 +84,7 @@ fn compiled_program_descriptions_emit_for_every_benchmark() {
     for def in &druzhba::programs::PROGRAMS {
         let compiled = def.compile_cached().unwrap();
         for opt in OptLevel::ALL {
-            let src =
-                emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, opt).unwrap();
+            let src = emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, opt).unwrap();
             assert!(src.contains("pub fn process_phv"), "{}: {opt:?}", def.name);
         }
     }
@@ -145,10 +144,7 @@ fn emitted_code_behaves_identically() {
 
     for opt in OptLevel::ALL {
         let module = emit_pipeline(&spec, &mc, opt).unwrap();
-        let inputs_literal: Vec<String> = inputs
-            .iter()
-            .map(|i| format!("vec!{i:?}"))
-            .collect();
+        let inputs_literal: Vec<String> = inputs.iter().map(|i| format!("vec!{i:?}")).collect();
         let call = match opt {
             OptLevel::Unoptimized => "process_phv(&values, &mut phv, &mut state);",
             _ => "process_phv(&mut phv, &mut state);",
@@ -193,10 +189,7 @@ fn emitted_code_behaves_identically() {
         );
         let run = Command::new(&bin_path).output().unwrap();
         assert!(run.status.success(), "{opt:?} emitted binary crashed");
-        let got: Vec<&str> = std::str::from_utf8(&run.stdout)
-            .unwrap()
-            .lines()
-            .collect();
+        let got: Vec<&str> = std::str::from_utf8(&run.stdout).unwrap().lines().collect();
         assert_eq!(
             got, expected_lines,
             "{opt:?}: emitted pipeline diverges from in-process backends"

@@ -54,12 +54,8 @@ fn every_program_hand_spec() {
 fn backends_agree_on_all_programs() {
     for def in &PROGRAMS {
         let compiled = def.compile_cached().unwrap();
-        let input = TrafficGenerator::new(
-            7,
-            compiled.pipeline_spec.config.phv_length,
-            10,
-        )
-        .trace(300);
+        let input =
+            TrafficGenerator::new(7, compiled.pipeline_spec.config.phv_length, 10).trace(300);
         let mut outputs = Vec::new();
         for opt in OptLevel::ALL {
             let pipeline =
@@ -117,8 +113,7 @@ fn compilations_fit_their_grids() {
             def.name
         );
         // The machine code programs the whole grid.
-        let expected =
-            druzhba::dgen::expected_machine_code(&compiled.pipeline_spec).len();
+        let expected = druzhba::dgen::expected_machine_code(&compiled.pipeline_spec).len();
         assert_eq!(compiled.machine_code.len(), expected, "{}", def.name);
     }
 }
@@ -148,8 +143,12 @@ fn machine_code_text_round_trip_rebuilds_pipeline() {
     // And the rebuilt pipeline behaves identically.
     let input = TrafficGenerator::new(3, compiled.pipeline_spec.config.phv_length, 10).trace(100);
     let mut a = Simulator::new(
-        Pipeline::generate(&compiled.pipeline_spec, &compiled.machine_code, OptLevel::Scc)
-            .unwrap(),
+        Pipeline::generate(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            OptLevel::Scc,
+        )
+        .unwrap(),
     );
     let mut b = Simulator::new(
         Pipeline::generate(&compiled.pipeline_spec, &parsed, OptLevel::Scc).unwrap(),

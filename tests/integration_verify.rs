@@ -33,7 +33,12 @@ fn verify_program(name: &str, bits: u32, packets: usize) -> VerifyOutcome {
 /// behaviour is a pure function of packet count).
 #[test]
 fn input_free_programs_verified_for_long_traces() {
-    for name in ["sampling", "marple_new_flow", "snap_heavy_hitter", "spam_detection"] {
+    for name in [
+        "sampling",
+        "marple_new_flow",
+        "snap_heavy_hitter",
+        "spam_detection",
+    ] {
         // Long enough to cross every threshold in these programs
         // (sampling resets at 10, heavy hitter trips at 20, spam at 50).
         let outcome = verify_program(name, 1, 60);

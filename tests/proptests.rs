@@ -45,9 +45,7 @@ fn machine_code_strategy(spec: &PipelineSpec) -> impl Strategy<Value = MachineCo
         .map(|(_, bound)| (0..*bound).boxed())
         .collect();
     let names: Vec<String> = fields.into_iter().map(|(n, _)| n).collect();
-    values.prop_map(move |vs| {
-        MachineCode::from_pairs(names.iter().cloned().zip(vs))
-    })
+    values.prop_map(move |vs| MachineCode::from_pairs(names.iter().cloned().zip(vs)))
 }
 
 fn phv_stream(len: usize, count: usize) -> impl Strategy<Value = Vec<Phv>> {

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API subset Druzhba's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `Throughput`, `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timing loop
+//! (median-free mean over a short measurement window) instead of
+//! criterion's statistical machinery. Output is one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 1000;
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stand-in always runs setup per iteration outside the timed region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation printed alongside timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter (used inside groups).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_WINDOW && iters < MAX_ITERS {
+            let start = Instant::now();
+            let out = routine();
+            total += start.elapsed();
+            iters += 1;
+            drop(out);
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+
+    /// Time a routine whose per-iteration input comes from an untimed setup
+    /// closure.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_WINDOW && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            total += start.elapsed();
+            iters += 1;
+            drop(out);
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark and print its mean time.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, None, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                    format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                    format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("{name:<50} {mean:>12.2?}{rate}");
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s of a fixed length from an element strategy.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (0..self.len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s of exactly `len` elements.
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

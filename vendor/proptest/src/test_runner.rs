@@ -1,0 +1,99 @@
+//! The case runner: deterministic RNG, configuration, and failure type.
+
+use std::fmt;
+
+/// Deterministic RNG handed to strategies (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded RNG (zero seeds are nudged to keep the stream non-degenerate).
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Run configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The alias proptest uses for property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a property over `cases` deterministic random cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed (deterministic across runs).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Run the property once per case; panics (failing the enclosing
+    /// `#[test]`) on the first case that returns an error.
+    pub fn run<F>(&mut self, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        for case in 0..self.config.cases {
+            let case_seed = self
+                .seed
+                .wrapping_add(u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut rng = TestRng::new(case_seed);
+            if let Err(e) = property(&mut rng) {
+                panic!("proptest: case {case} failed: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal `serde` that provides the `Serialize`/`Deserialize` *derive
+//! macros* as no-ops. Druzhba only annotates types with the derives (no
+//! serializer is wired up anywhere), so empty expansions are sufficient;
+//! swapping this path dependency for the real crate requires no source
+//! changes in the workspace.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
