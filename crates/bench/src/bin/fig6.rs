@@ -16,4 +16,9 @@ fn main() {
         v2.len(),
         v3.len()
     );
+    println!(
+        "\nNote: the paper's Fig. 6 stops at version 3. This reproduction adds a\n\
+         version 4 (`OptLevel::Fused`, `druzhba emit --level 3`) that fuses the\n\
+         whole pipeline into one register program — beyond the paper."
+    );
 }

@@ -1,5 +1,6 @@
 //! Reproduce the paper's Table 1: simulation runtime of the 12 benchmark
-//! programs at each optimization level, 50 000 PHVs each.
+//! programs at each optimization level, 50 000 PHVs each — plus a fourth
+//! column for the beyond-paper fused backend (`OptLevel::Fused`).
 //!
 //! Usage: `cargo run -p druzhba-bench --release --bin table1 [num_phvs]`
 
@@ -17,11 +18,12 @@ fn main() {
         match table1_row(def, num_phvs) {
             Ok(row) => {
                 eprintln!(
-                    "  {:<20} unopt {:>8.1} ms | scc {:>8.1} ms | inline {:>8.1} ms",
+                    "  {:<20} unopt {:>8.1} ms | scc {:>8.1} ms | inline {:>8.1} ms | fused {:>8.1} ms",
                     def.table1_name,
                     row.unoptimized.as_secs_f64() * 1e3,
                     row.scc.as_secs_f64() * 1e3,
-                    row.scc_inline.as_secs_f64() * 1e3
+                    row.scc_inline.as_secs_f64() * 1e3,
+                    row.fused.as_secs_f64() * 1e3
                 );
                 rows.push(row);
             }
@@ -32,4 +34,8 @@ fn main() {
     println!("{}", format_table1(&rows));
     let avg: f64 = rows.iter().map(|r| r.scc_speedup()).sum::<f64>() / rows.len() as f64;
     println!("Mean SCC-propagation speedup over unoptimized: {avg:.2}x");
+    let fused: f64 = rows.iter().map(|r| r.fused_speedup()).sum::<f64>() / rows.len() as f64;
+    println!(
+        "Mean fusion speedup over function inlining (version 4, beyond the paper): {fused:.2}x"
+    );
 }

@@ -56,7 +56,33 @@ pub fn time_simulation(
     Ok(elapsed)
 }
 
-/// One row of Table 1.
+/// Build a pipeline and time pushing `num_phvs` random PHVs through it via
+/// the batched in-place path ([`Pipeline::process_batch`]).
+///
+/// Per-PHV full traversal is provably equivalent to tick-accurate
+/// simulation for this feedforward pipeline (the property suite asserts it
+/// on every backend), so this measures pure pipeline throughput with the
+/// simulator's injection bookkeeping out of the way — the number that the
+/// `BENCH_scaling.json` trajectory tracks.
+pub fn time_batch(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    opt: OptLevel,
+    num_phvs: usize,
+    seed: u64,
+) -> Result<Duration> {
+    let mut pipeline = Pipeline::generate(spec, mc, opt)?;
+    let mut traffic = TrafficGenerator::new(seed, spec.config.phv_length, 10);
+    let mut batch = traffic.trace(num_phvs).phvs;
+    let start = Instant::now();
+    pipeline.process_batch(&mut batch);
+    let elapsed = start.elapsed();
+    // Keep the output alive so the run cannot be optimized away.
+    assert_eq!(batch.len(), num_phvs);
+    Ok(elapsed)
+}
+
+/// One row of Table 1, extended with the beyond-paper fused backend.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
     pub program: &'static str,
@@ -66,6 +92,7 @@ pub struct Table1Row {
     pub unoptimized: Duration,
     pub scc: Duration,
     pub scc_inline: Duration,
+    pub fused: Duration,
 }
 
 impl Table1Row {
@@ -73,6 +100,27 @@ impl Table1Row {
     pub fn scc_speedup(&self) -> f64 {
         self.unoptimized.as_secs_f64() / self.scc.as_secs_f64().max(1e-9)
     }
+
+    /// Speedup of whole-pipeline fusion over the paper's fastest backend
+    /// (function inlining) — the version-4 headline number.
+    pub fn fused_speedup(&self) -> f64 {
+        self.scc_inline.as_secs_f64() / self.fused.as_secs_f64().max(1e-9)
+    }
+
+    /// The row's timing for one optimization level.
+    pub fn timing(&self, opt: OptLevel) -> Duration {
+        match opt {
+            OptLevel::Unoptimized => self.unoptimized,
+            OptLevel::Scc => self.scc,
+            OptLevel::SccInline => self.scc_inline,
+            OptLevel::Fused => self.fused,
+        }
+    }
+}
+
+/// Simulated PHVs per second for a measured duration.
+pub fn phvs_per_sec(num_phvs: usize, elapsed: Duration) -> f64 {
+    num_phvs as f64 / elapsed.as_secs_f64().max(1e-9)
 }
 
 /// Measure one Table 1 row (compiling the program first).
@@ -98,6 +146,7 @@ pub fn table1_row(def: &ProgramDef, num_phvs: usize) -> Result<Table1Row> {
         unoptimized: timings[0],
         scc: timings[1],
         scc_inline: timings[2],
+        fused: timings[3],
     })
 }
 
@@ -105,23 +154,25 @@ pub fn table1_row(def: &ProgramDef, num_phvs: usize) -> Result<Table1Row> {
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<20} {:>12} {:>12} {:>17} {:>21} {:>8}\n",
+        "{:<20} {:>12} {:>12} {:>17} {:>21} {:>10} {:>11}\n",
         "Program",
         "depth,width",
         "ALU name",
         "Unoptimized (ms)",
         "SCC propagation (ms)",
-        "+ FI (ms)"
+        "+ FI (ms)",
+        "Fused (ms)"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<20} {:>12} {:>12} {:>17.1} {:>21.1} {:>8.1}\n",
+            "{:<20} {:>12} {:>12} {:>17.1} {:>21.1} {:>10.1} {:>11.1}\n",
             r.program,
             format!("{},{}", r.depth, r.width),
             r.alu,
             r.unoptimized.as_secs_f64() * 1e3,
             r.scc.as_secs_f64() * 1e3,
             r.scc_inline.as_secs_f64() * 1e3,
+            r.fused.as_secs_f64() * 1e3,
         ));
     }
     out
@@ -154,6 +205,7 @@ mod tests {
         assert!(row.unoptimized > Duration::ZERO);
         assert!(row.scc > Duration::ZERO);
         assert!(row.scc_inline > Duration::ZERO);
+        assert!(row.fused > Duration::ZERO);
     }
 
     #[test]
@@ -174,6 +226,7 @@ mod tests {
             unoptimized: Duration::from_millis(986),
             scc: Duration::from_millis(576),
             scc_inline: Duration::from_millis(576),
+            fused: Duration::from_millis(192),
         }];
         let s = format_table1(&rows);
         assert!(s.contains("BLUE (decrease)"));

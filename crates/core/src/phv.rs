@@ -68,6 +68,28 @@ impl Phv {
         &self.containers
     }
 
+    /// A mutable view of all containers, for buffer-reuse execution paths
+    /// that write results in place instead of allocating a fresh PHV.
+    pub fn containers_mut(&mut self) -> &mut [Value] {
+        &mut self.containers
+    }
+
+    /// Overwrite every container from `src` without reallocating. A plain
+    /// indexed loop rather than `memcpy`: PHVs are a handful of containers,
+    /// and this sits on the simulator's per-PHV hot path.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != self.len()` (the contract of
+    /// [`slice::copy_from_slice`]) — container counts are fixed by the
+    /// pipeline configuration, so a length mismatch is a bug.
+    #[inline]
+    pub fn copy_from_slice(&mut self, src: &[Value]) {
+        assert_eq!(self.containers.len(), src.len(), "container count is fixed");
+        for (dst, &v) in self.containers.iter_mut().zip(src) {
+            *dst = v;
+        }
+    }
+
     /// Consume the PHV, returning its container values.
     pub fn into_containers(self) -> Vec<Value> {
         self.containers
@@ -138,6 +160,15 @@ mod tests {
         let p: Phv = vec![5, 6].into();
         assert_eq!(p.containers(), &[5, 6]);
         assert_eq!(p.into_containers(), vec![5, 6]);
+    }
+
+    #[test]
+    fn in_place_copy_helpers_reuse_the_buffer() {
+        let mut p = Phv::zeroed(3);
+        p.copy_from_slice(&[4, 5, 6]);
+        assert_eq!(p.containers(), &[4, 5, 6]);
+        p.containers_mut()[2] = 9;
+        assert_eq!(p.get(2), 9);
     }
 
     #[test]

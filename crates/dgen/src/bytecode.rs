@@ -75,12 +75,36 @@ impl BytecodeProgram {
         &self.instrs
     }
 
+    /// Worst-case operand-stack depth of this program. Callers that pump
+    /// many PHVs through one ALU preallocate a scratch of this capacity
+    /// once and pass it to [`BytecodeProgram::run_with`].
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
     /// Execute against the given operands and state. Returns the ALU
     /// output (explicit return value, or the pre-update first state
     /// variable).
+    ///
+    /// Allocates a fresh operand stack per call; hot paths should
+    /// preallocate one with [`BytecodeProgram::max_stack`] and call
+    /// [`BytecodeProgram::run_with`] instead.
     pub fn run(&self, operands: &[Value], state: &mut [Value]) -> Value {
-        let default_output = state.first().copied().unwrap_or(0);
         let mut stack: Vec<Value> = Vec::with_capacity(self.max_stack);
+        self.run_with(operands, state, &mut stack)
+    }
+
+    /// Execute like [`BytecodeProgram::run`], reusing `stack` as the
+    /// operand stack (cleared on entry) so that repeated executions perform
+    /// no heap allocation.
+    pub fn run_with(
+        &self,
+        operands: &[Value],
+        state: &mut [Value],
+        stack: &mut Vec<Value>,
+    ) -> Value {
+        let default_output = state.first().copied().unwrap_or(0);
+        stack.clear();
         let mut pc = 0usize;
         loop {
             match self.instrs[pc] {
@@ -369,6 +393,24 @@ mod tests {
                 Instr::Halt
             ]
         );
+    }
+
+    #[test]
+    fn run_with_reuses_the_scratch_stack() {
+        let spec = parse_alu(
+            "type: stateful\nstate variables: {s}\npacket fields: {p, q}\n\
+             s = s + p * q;",
+        )
+        .unwrap();
+        let prog = BytecodeProgram::compile(&spec);
+        let mut stack = Vec::with_capacity(prog.max_stack());
+        let base = stack.capacity();
+        let mut state = vec![0];
+        for i in 0..100u32 {
+            prog.run_with(&[i, 2], &mut state, &mut stack);
+        }
+        assert_eq!(state[0], (0..100u32).map(|i| i * 2).sum::<u32>());
+        assert_eq!(stack.capacity(), base, "scratch must never grow");
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //! executable *pipeline description* — effectively *"a family of simulators,
 //! one for each possible pipeline configuration"*.
 //!
-//! Three backends mirror the paper's three optimization levels (Fig. 6):
+//! Three backends mirror the paper's three optimization levels (Fig. 6),
+//! and a fourth goes one level beyond the paper:
 //!
 //! | Backend | Paper version | Behaviour |
 //! |---------|---------------|-----------|
 //! | [`OptLevel::Unoptimized`] | version 1 | machine-code values are looked up in a hash map at every access, and every mux arm / opcode dispatch is evaluated at runtime |
 //! | [`OptLevel::Scc`] | version 2 | *sparse conditional constant propagation*: hole values are substituted as constants, constant expressions are folded, and dead control paths are eliminated |
 //! | [`OptLevel::SccInline`] | version 3 | *function inlining*: the specialized AST is flattened into a linear bytecode program with no interpretive helper indirection |
+//! | [`OptLevel::Fused`] | version 4 (beyond the paper) | *whole-pipeline fusion*: every input mux, specialized ALU body, and output mux of all `depth × width` positions is compiled into one flat register program executed against a single preallocated scratch frame — zero heap allocations and zero string hashing per PHV |
 //!
 //! [`emit`] additionally renders the pipeline description as Rust source
 //! text at each optimization level, reproducing the paper's Fig. 6 samples
@@ -24,10 +26,12 @@
 pub mod bytecode;
 pub mod emit;
 pub mod eval;
+pub mod fused;
 pub mod opt;
 pub mod pipeline;
 
 pub use bytecode::BytecodeProgram;
+pub use fused::{FusedInstr, FusedPipeline};
 pub use opt::specialize;
 pub use pipeline::{expected_machine_code, AluUnit, Pipeline, PipelineSpec, Stage};
 
@@ -41,18 +45,40 @@ pub enum OptLevel {
     /// Version 3: SCC propagation plus function inlining.
     #[default]
     SccInline,
+    /// Version 4 (beyond the paper): whole-pipeline fusion into one flat
+    /// register program with a preallocated scratch frame.
+    Fused,
 }
 
 impl OptLevel {
-    /// All levels, in the order benchmarked by the paper's Table 1.
-    pub const ALL: [OptLevel; 3] = [OptLevel::Unoptimized, OptLevel::Scc, OptLevel::SccInline];
+    /// All levels, in the order benchmarked by the paper's Table 1
+    /// (followed by the beyond-paper fused level).
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::Unoptimized,
+        OptLevel::Scc,
+        OptLevel::SccInline,
+        OptLevel::Fused,
+    ];
 
-    /// Human-readable label matching Table 1's column headers.
+    /// Human-readable label matching Table 1's column headers (the fused
+    /// level extends the table beyond the paper).
     pub fn label(self) -> &'static str {
         match self {
             OptLevel::Unoptimized => "Unoptimized",
             OptLevel::Scc => "SCC propagation",
             OptLevel::SccInline => "+ Function inlining",
+            OptLevel::Fused => "+ Pipeline fusion",
+        }
+    }
+
+    /// Stable snake_case key used in machine-readable benchmark output
+    /// (`BENCH_scaling.json`).
+    pub fn key(self) -> &'static str {
+        match self {
+            OptLevel::Unoptimized => "unoptimized",
+            OptLevel::Scc => "scc",
+            OptLevel::SccInline => "scc_inline",
+            OptLevel::Fused => "fused",
         }
     }
 }

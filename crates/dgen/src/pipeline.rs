@@ -23,6 +23,7 @@ use druzhba_core::{Error, MachineCode, Phv, PipelineConfig, Result, Value};
 
 use crate::bytecode::BytecodeProgram;
 use crate::eval::eval_unoptimized;
+use crate::fused::FusedPipeline;
 use crate::opt::specialize;
 use crate::OptLevel;
 
@@ -146,6 +147,11 @@ pub struct AluUnit {
     mux_holes: HashMap<String, Value>,
     /// State storage (stateful ALUs; empty otherwise).
     state: Vec<Value>,
+    /// Reused per-execution operand buffer (no per-PHV allocation).
+    operand_buf: Vec<Value>,
+    /// Reused bytecode operand stack (compiled backend only), sized to the
+    /// program's `max_stack` at generation time.
+    stack_buf: Vec<Value>,
 }
 
 impl AluUnit {
@@ -181,45 +187,43 @@ impl AluUnit {
         }
     }
 
-    fn gather_operands(&self, phv: &Phv) -> Vec<Value> {
-        let n = self.base_spec.operand_count();
-        let mut ops = Vec::with_capacity(n);
+    /// Execute the ALU once against the stage-input PHV; returns the ALU's
+    /// PHV-visible output and commits any state update. The operand buffer
+    /// and (for the compiled backend) the bytecode operand stack are
+    /// generation-time allocations reused across PHVs.
+    pub fn execute(&mut self, phv: &Phv) -> Value {
+        self.operand_buf.clear();
         match &self.backend {
             Backend::Unoptimized { .. } => {
                 // Version 1: the input-mux helper reads its machine code
                 // from the hash map on every invocation.
-                for k in 0..n {
+                for k in 0..self.base_spec.operand_count() {
                     let sel = self
                         .mux_holes
                         .get(&format!("operand_mux_{k}"))
                         .copied()
                         .unwrap_or(0) as usize;
-                    ops.push(phv.get(sel));
+                    self.operand_buf.push(phv.get(sel));
                 }
             }
             _ => {
                 for &sel in &self.operand_sel {
-                    ops.push(phv.get(sel));
+                    self.operand_buf.push(phv.get(sel));
                 }
             }
         }
-        ops
-    }
-
-    /// Execute the ALU once against the stage-input PHV; returns the ALU's
-    /// PHV-visible output and commits any state update.
-    pub fn execute(&mut self, phv: &Phv) -> Value {
-        let operands = self.gather_operands(phv);
         match &self.backend {
             Backend::Unoptimized { holes } => {
-                eval_unoptimized(&self.base_spec, holes, &operands, &mut self.state).output
+                eval_unoptimized(&self.base_spec, holes, &self.operand_buf, &mut self.state).output
             }
             Backend::Specialized { spec } => {
                 // The specialized spec contains no holes; an empty map (no
                 // allocation) satisfies the evaluator's signature.
-                eval_unoptimized(spec, &HashMap::new(), &operands, &mut self.state).output
+                eval_unoptimized(spec, &HashMap::new(), &self.operand_buf, &mut self.state).output
             }
-            Backend::Compiled { program } => program.run(&operands, &mut self.state),
+            Backend::Compiled { program } => {
+                program.run_with(&self.operand_buf, &mut self.state, &mut self.stack_buf)
+            }
         }
     }
 
@@ -241,6 +245,9 @@ pub struct Stage {
     output_holes: HashMap<String, Value>,
     unoptimized: bool,
     stage_index: usize,
+    /// Reused per-execution ALU output buffers (no per-PHV allocation).
+    stateless_out: Vec<Value>,
+    stateful_out: Vec<Value>,
 }
 
 impl Stage {
@@ -269,28 +276,36 @@ impl Stage {
     /// Execute the stage: run every ALU against the input PHV, then apply
     /// the output muxes to produce the next PHV.
     pub fn execute(&mut self, input: &Phv) -> Phv {
-        let width = self.stateless.len();
-        let mut stateless_out = Vec::with_capacity(width);
-        for alu in &mut self.stateless {
-            stateless_out.push(alu.execute(input));
-        }
-        let mut stateful_out = Vec::with_capacity(width);
-        for alu in &mut self.stateful {
-            stateful_out.push(alu.execute(input));
-        }
-        let mut out = Phv::zeroed(input.len());
-        for container in 0..input.len() {
-            let sel = self.output_selection(container);
-            let v = if sel == 0 {
-                input.get(container)
-            } else if sel <= width {
-                stateless_out[sel - 1]
-            } else {
-                stateful_out[sel - 1 - width]
-            };
-            out.set(container, v);
-        }
+        let mut out = input.clone();
+        self.execute_in_place(&mut out);
         out
+    }
+
+    /// Execute the stage in place: every ALU reads the incoming PHV, then
+    /// the output muxes overwrite exactly the containers they drive
+    /// (pass-through containers are untouched). No heap allocation.
+    pub fn execute_in_place(&mut self, phv: &mut Phv) {
+        let width = self.stateless.len();
+        self.stateless_out.clear();
+        for alu in &mut self.stateless {
+            self.stateless_out.push(alu.execute(phv));
+        }
+        self.stateful_out.clear();
+        for alu in &mut self.stateful {
+            self.stateful_out.push(alu.execute(phv));
+        }
+        for container in 0..phv.len() {
+            let sel = self.output_selection(container);
+            if sel == 0 {
+                continue;
+            }
+            let v = if sel <= width {
+                self.stateless_out[sel - 1]
+            } else {
+                self.stateful_out[sel - 1 - width]
+            };
+            phv.set(container, v);
+        }
     }
 }
 
@@ -299,7 +314,11 @@ impl Stage {
 pub struct Pipeline {
     config: PipelineConfig,
     opt_level: OptLevel,
+    /// Per-stage structure (empty at [`OptLevel::Fused`], where the whole
+    /// pipeline is one register program).
     stages: Vec<Stage>,
+    /// The fused whole-pipeline register program ([`OptLevel::Fused`] only).
+    fused: Option<FusedPipeline>,
 }
 
 impl Pipeline {
@@ -314,6 +333,14 @@ impl Pipeline {
             return Err(err);
         }
         let cfg = spec.config;
+        if opt_level == OptLevel::Fused {
+            return Ok(Pipeline {
+                config: cfg,
+                opt_level,
+                stages: Vec::new(),
+                fused: Some(FusedPipeline::fuse(spec, mc)),
+            });
+        }
         let stateless_rc = Rc::new(spec.stateless_alu.clone());
         let stateful_rc = Rc::new(spec.stateful_alu.clone());
 
@@ -342,12 +369,15 @@ impl Pipeline {
                 output_holes,
                 unoptimized: opt_level == OptLevel::Unoptimized,
                 stage_index: stage_idx,
+                stateless_out: Vec::with_capacity(cfg.width),
+                stateful_out: Vec::with_capacity(cfg.width),
             });
         }
         Ok(Pipeline {
             config: cfg,
             opt_level,
             stages,
+            fused: None,
         })
     }
 
@@ -361,15 +391,33 @@ impl Pipeline {
         self.opt_level
     }
 
-    /// The pipeline's stages (for structural inspection).
+    /// The pipeline's stages (for structural inspection). Empty at
+    /// [`OptLevel::Fused`], where per-stage structure is compiled away into
+    /// one register program (see [`Pipeline::fused_program`]).
     pub fn stages(&self) -> &[Stage] {
         &self.stages
+    }
+
+    /// The fused whole-pipeline register program, at [`OptLevel::Fused`].
+    pub fn fused_program(&self) -> Option<&FusedPipeline> {
+        self.fused.as_ref()
     }
 
     /// Execute one stage against a PHV (used by the tick-accurate
     /// simulator, which holds one in-flight PHV per stage).
     pub fn execute_stage(&mut self, stage: usize, input: &Phv) -> Phv {
-        self.stages[stage].execute(input)
+        let mut out = input.clone();
+        self.execute_stage_in_place(stage, &mut out);
+        out
+    }
+
+    /// Execute one stage in place, reusing generation-time buffers: zero
+    /// heap allocations per call on every backend.
+    pub fn execute_stage_in_place(&mut self, stage: usize, phv: &mut Phv) {
+        match &mut self.fused {
+            Some(f) => f.execute_stage_in_place(stage, phv),
+            None => self.stages[stage].execute_in_place(phv),
+        }
     }
 
     /// Run a single PHV through every stage immediately.
@@ -380,25 +428,55 @@ impl Pipeline {
     /// checks by property test.
     pub fn process(&mut self, phv: &Phv) -> Phv {
         let mut cur = phv.clone();
-        for stage in &mut self.stages {
-            cur = stage.execute(&cur);
-        }
+        self.process_in_place(&mut cur);
         cur
+    }
+
+    /// Run a single PHV through every stage in place — the zero-allocation
+    /// fast path ([`OptLevel::Fused`] additionally performs no per-stage
+    /// dispatch at all).
+    pub fn process_in_place(&mut self, phv: &mut Phv) {
+        match &mut self.fused {
+            Some(f) => f.process_in_place(phv),
+            None => {
+                for stage in &mut self.stages {
+                    stage.execute_in_place(phv);
+                }
+            }
+        }
+    }
+
+    /// Push a batch of PHVs through the whole pipeline in order, each in
+    /// place — the batched entry point the fuzzing campaigns and
+    /// benchmarks drive.
+    pub fn process_batch(&mut self, phvs: &mut [Phv]) {
+        for phv in phvs {
+            self.process_in_place(phv);
+        }
     }
 
     /// Snapshot of every stateful ALU's state: `snapshot[stage][slot]`.
     pub fn state_snapshot(&self) -> StateSnapshot {
-        self.stages
-            .iter()
-            .map(|s| s.stateful.iter().map(|a| a.state.clone()).collect())
-            .collect()
+        match &self.fused {
+            Some(f) => f.state_snapshot(),
+            None => self
+                .stages
+                .iter()
+                .map(|s| s.stateful.iter().map(|a| a.state.clone()).collect())
+                .collect(),
+        }
     }
 
     /// Reset all stateful ALU state to zero.
     pub fn reset(&mut self) {
-        for stage in &mut self.stages {
-            for alu in &mut stage.stateful {
-                alu.reset();
+        match &mut self.fused {
+            Some(f) => f.reset(),
+            None => {
+                for stage in &mut self.stages {
+                    for alu in &mut stage.stateful {
+                        alu.reset();
+                    }
+                }
             }
         }
     }
@@ -435,11 +513,16 @@ fn build_unit(
         OptLevel::SccInline => Backend::Compiled {
             program: BytecodeProgram::compile(&specialize(base, &local_holes)),
         },
+        OptLevel::Fused => unreachable!("OptLevel::Fused builds a FusedPipeline, not AluUnits"),
     };
     let state_len = if kind == AluKind::Stateful {
         base.state_vars.len()
     } else {
         0
+    };
+    let stack_cap = match &backend {
+        Backend::Compiled { program } => program.max_stack(),
+        _ => 0,
     };
     AluUnit {
         kind,
@@ -450,6 +533,8 @@ fn build_unit(
         operand_sel,
         mux_holes,
         state: vec![0; state_len],
+        operand_buf: Vec::with_capacity(base.operand_count()),
+        stack_buf: Vec::with_capacity(stack_cap),
     }
 }
 
@@ -583,12 +668,14 @@ mod tests {
             for i in 0..10 {
                 let phv = Phv::new(gen.values(2));
                 let outs: Vec<Phv> = pipes.iter_mut().map(|p| p.process(&phv)).collect();
-                assert_eq!(outs[0], outs[1], "trial {trial} phv {i} unopt vs scc");
-                assert_eq!(outs[1], outs[2], "trial {trial} phv {i} scc vs inline");
+                for pair in outs.windows(2) {
+                    assert_eq!(pair[0], pair[1], "trial {trial} phv {i}");
+                }
             }
             let snaps: Vec<_> = pipes.iter().map(|p| p.state_snapshot()).collect();
-            assert_eq!(snaps[0], snaps[1], "trial {trial} state");
-            assert_eq!(snaps[1], snaps[2], "trial {trial} state");
+            for pair in snaps.windows(2) {
+                assert_eq!(pair[0], pair[1], "trial {trial} state");
+            }
         }
     }
 
@@ -606,6 +693,48 @@ mod tests {
             .flatten()
             .flatten()
             .all(|&v| v == 0));
+    }
+
+    #[test]
+    fn fused_pipeline_has_program_not_stages() {
+        let spec = small_spec();
+        let mc = zero_machine_code(&spec);
+        let p = Pipeline::generate(&spec, &mc, OptLevel::Fused).unwrap();
+        assert!(p.stages().is_empty(), "fusion compiles stages away");
+        assert!(p.fused_program().is_some());
+        assert_eq!(p.opt_level(), OptLevel::Fused);
+    }
+
+    #[test]
+    fn process_batch_matches_sequential_processing() {
+        use druzhba_core::ValueGen;
+        let spec = PipelineSpec::new(
+            PipelineConfig::new(2, 2),
+            atom("pred_raw").unwrap(),
+            atom("stateless_arith").unwrap(),
+        )
+        .unwrap();
+        let mut gen = ValueGen::new(4242, 32);
+        let mc = MachineCode::from_pairs(expected_machine_code(&spec).into_iter().map(
+            |(name, domain)| {
+                let bound = domain.bound().min(1 << 8) as u32;
+                (name, gen.value_below(bound))
+            },
+        ));
+        for level in OptLevel::ALL {
+            let mut sequential = Pipeline::generate(&spec, &mc, level).unwrap();
+            let mut batched = Pipeline::generate(&spec, &mc, level).unwrap();
+            let phvs: Vec<Phv> = (0..30).map(|_| Phv::new(gen.values(2))).collect();
+            let expected: Vec<Phv> = phvs.iter().map(|p| sequential.process(p)).collect();
+            let mut batch = phvs;
+            batched.process_batch(&mut batch);
+            assert_eq!(batch, expected, "{level:?}");
+            assert_eq!(
+                batched.state_snapshot(),
+                sequential.state_snapshot(),
+                "{level:?}"
+            );
+        }
     }
 
     #[test]

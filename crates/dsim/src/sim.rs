@@ -87,6 +87,12 @@ impl Simulator {
     /// Execute one simulation tick: optionally inject a PHV into stage 0,
     /// run every occupied stage on its read half, then move write halves to
     /// read halves. Returns the PHV exiting the final stage, if any.
+    ///
+    /// PHVs are *moved* between the halves and every stage executes in
+    /// place against generation-time scratch buffers, so on the optimized
+    /// backends a tick performs no heap allocation: the injected PHV's
+    /// buffer is the one that eventually exits. (The deliberately slow
+    /// version-1 backend still allocates per hash-map hole lookup.)
     pub fn tick(&mut self, inject: Option<Phv>) -> Option<Phv> {
         let depth = self.pipeline.config().depth;
         self.read[0] = inject;
@@ -95,9 +101,10 @@ impl Simulator {
         // Stages are independent within a tick (they operate on different
         // PHVs), so iteration order is immaterial.
         for stage in 0..depth {
-            self.write[stage + 1] = self.read[stage]
-                .take()
-                .map(|phv| self.pipeline.execute_stage(stage, &phv));
+            self.write[stage + 1] = self.read[stage].take().map(|mut phv| {
+                self.pipeline.execute_stage_in_place(stage, &mut phv);
+                phv
+            });
         }
 
         // Beginning of the next tick: write halves become read halves.
@@ -112,9 +119,13 @@ impl Simulator {
     /// Run a whole input trace through the pipeline: one PHV enters per
     /// tick, and draining ticks flush the pipe. The returned trace contains
     /// every PHV in exit order plus the final state snapshot.
+    ///
+    /// Each input PHV is cloned exactly once — at injection, where the
+    /// clone becomes the output buffer that is mutated in place as it moves
+    /// through the pipe. No further per-stage allocation occurs.
     pub fn run(&mut self, input: &Trace) -> Trace {
         let mut out = Vec::with_capacity(input.len());
-        let mut pending = input.phvs.iter().cloned();
+        let mut pending = input.phvs.iter().map(Phv::clone);
         let depth = self.pipeline.config().depth;
         // n injection ticks + depth drain ticks empty the pipe.
         for _ in 0..input.len() + depth {

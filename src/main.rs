@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! druzhba compile <file.domino> --depth D --width W --atom NAME [-o mc.txt]
-//! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+//! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B] [--runs R] [--jobs J]
 //! druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
-//! druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2]
+//! druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
 //! druzhba atoms
 //! druzhba programs
 //! ```
@@ -20,7 +20,7 @@ use druzhba::chipmunk::{compile, CompiledProgram, CompiledSpec, CompilerConfig};
 use druzhba::dgen::emit::emit_pipeline;
 use druzhba::dgen::OptLevel;
 use druzhba::domino::{parse_program, DominoProgram};
-use druzhba::dsim::testing::{fuzz_test, FuzzConfig};
+use druzhba::dsim::testing::{fuzz_campaign, fuzz_test, CampaignConfig, FuzzConfig};
 use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
 
 fn main() -> ExitCode {
@@ -56,8 +56,9 @@ const USAGE: &str = "druzhba — programmable switch simulation for compiler tes
 USAGE:
   druzhba compile <file.domino> --depth D --width W --atom NAME [-o out.txt]
   druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+                  [--runs R --jobs J]   (R > 1: parallel seeded campaign)
   druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
-  druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2]
+  druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
   druzhba atoms      list the ALU DSL atom library
   druzhba programs   list the Table 1 benchmark programs";
 
@@ -167,7 +168,11 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     report(&compiled);
     let num_phvs = args.get_usize("phvs", 50_000)?;
     let bits = args.get_u32("bits", 10)?;
-    let mut spec = CompiledSpec::new(program, &compiled);
+    let runs = args.get_usize("runs", 1)?;
+    let jobs = args.get_usize("jobs", 0)?;
+    if jobs > 0 && runs <= 1 {
+        return Err("--jobs shards a multi-run campaign; pass --runs R (R > 1) with it".into());
+    }
     let fuzz_cfg = FuzzConfig {
         num_phvs,
         input_bits: bits,
@@ -175,10 +180,44 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         state_cells: compiled.state_cells.clone(),
         ..FuzzConfig::default()
     };
+    if runs > 1 {
+        // Parallel campaign: `runs` independently seeded Fig. 5 workflows
+        // sharded across worker threads, deterministic per run index.
+        let campaign_cfg = CampaignConfig {
+            runs,
+            workers: if jobs == 0 {
+                CampaignConfig::default().workers
+            } else {
+                jobs
+            },
+            base: fuzz_cfg,
+        };
+        let campaign = fuzz_campaign(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            OptLevel::Fused,
+            || CompiledSpec::new(program.clone(), &compiled),
+            &campaign_cfg,
+        );
+        let (passed, incompatible, mismatched) = campaign.counts();
+        println!(
+            "campaign: {runs} runs x {num_phvs} PHVs at {bits}-bit inputs on {} workers \
+             -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
+            campaign_cfg.workers
+        );
+        return match campaign.first_failure() {
+            None => Ok(()),
+            Some(f) => Err(format!(
+                "fuzzing found a divergence (replay with seed {:#x}): {:?}",
+                f.seed, f.verdict
+            )),
+        };
+    }
+    let mut spec = CompiledSpec::new(program, &compiled);
     let report = fuzz_test(
         &compiled.pipeline_spec,
         &compiled.machine_code,
-        OptLevel::SccInline,
+        OptLevel::Fused,
         &mut spec,
         &fuzz_cfg,
     );
@@ -240,7 +279,8 @@ fn cmd_emit(rest: &[String]) -> Result<(), String> {
         0 => OptLevel::Unoptimized,
         1 => OptLevel::Scc,
         2 => OptLevel::SccInline,
-        other => return Err(format!("--level must be 0, 1, or 2 (got {other})")),
+        3 => OptLevel::Fused,
+        other => return Err(format!("--level must be 0, 1, 2, or 3 (got {other})")),
     };
     let src = emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, level)
         .map_err(|e| e.to_string())?;

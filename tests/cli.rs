@@ -134,6 +134,57 @@ fn fuzz_passes_on_a_correct_compilation() {
 }
 
 #[test]
+fn fuzz_campaign_shards_runs_across_workers() {
+    let path = write_sampling();
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "fuzz",
+            path.to_str().unwrap(),
+            "--depth",
+            "2",
+            "--width",
+            "1",
+            "--atom",
+            "if_else_raw",
+            "--phvs",
+            "200",
+        ];
+        v.extend_from_slice(extra);
+        v.into_iter().map(String::from).collect::<Vec<_>>()
+    };
+    let out = druzhba(
+        &args(&["--runs", "4", "--jobs", "2"])
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("campaign: 4 runs x 200 PHVs"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("4 passed"), "stdout: {stdout}");
+
+    // --jobs without a multi-run campaign is an explicit error, not a
+    // silently serial run.
+    let out = druzhba(
+        &args(&["--jobs", "2"])
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--runs"), "stderr: {err}");
+}
+
+#[test]
 fn verify_exhausts_small_input_space() {
     let path = write_sampling();
     let out = druzhba(&[

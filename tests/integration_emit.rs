@@ -77,6 +77,12 @@ fn emission_shrinks_with_optimization() {
         .collect();
     assert!(sizes[0] > sizes[1], "SCC must shrink the description");
     assert!(sizes[1] > sizes[2], "inlining must shrink it further");
+    assert!(
+        sizes[2] > sizes[3],
+        "whole-pipeline fusion must shrink it further still ({} vs {})",
+        sizes[2],
+        sizes[3]
+    );
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests over the core invariants:
 //!
-//! - the three dgen backends are observationally equivalent for *any*
-//!   in-domain machine code and any PHV stream;
+//! - all four dgen backends (including the beyond-paper fused register
+//!   program) are observationally equivalent for *any* in-domain machine
+//!   code and any PHV stream;
 //! - tick-accurate simulation equals per-PHV immediate execution;
 //! - machine-code text round-trips;
 //! - ALU DSL mux/opt algebra;
@@ -58,8 +59,9 @@ fn phv_stream(len: usize, count: usize) -> impl Strategy<Value = Vec<Phv>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// For any machine code and any input PHVs, the unoptimized, SCC, and
-    /// inlined backends produce identical traces and final state.
+    /// For any machine code and any input PHVs, the unoptimized, SCC,
+    /// inlined, and fused backends produce identical traces and final
+    /// state.
     #[test]
     fn backends_equivalent_if_else_raw(
         mc in machine_code_strategy(&spec_for("if_else_raw", "stateless_full", 2, 2)),
@@ -73,11 +75,12 @@ proptest! {
             let mut sim = Simulator::new(pipeline);
             results.push(sim.run(&input));
         }
-        prop_assert_eq!(&results[0], &results[1]);
-        prop_assert_eq!(&results[1], &results[2]);
+        for pair in results.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
     }
 
-    /// Same equivalence for the two-state-variable pair atom.
+    /// Same four-backend equivalence for the two-state-variable pair atom.
     #[test]
     fn backends_equivalent_pair(
         mc in machine_code_strategy(&spec_for("pair", "stateless_arith", 1, 2)),
@@ -91,8 +94,29 @@ proptest! {
             let mut sim = Simulator::new(pipeline);
             results.push(sim.run(&input));
         }
-        prop_assert_eq!(&results[0], &results[1]);
-        prop_assert_eq!(&results[1], &results[2]);
+        for pair in results.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+
+    /// The fused register program is tick-accurate too: driving it through
+    /// the read-half/write-half simulator equals per-PHV batch processing.
+    #[test]
+    fn fused_ticked_equals_batched(
+        mc in machine_code_strategy(&spec_for("nested_ifs", "stateless_select", 3, 1)),
+        phvs in phv_stream(1, 20),
+    ) {
+        let spec = spec_for("nested_ifs", "stateless_select", 3, 1);
+        let input = Trace::from_phvs(phvs.clone());
+        let mut sim = Simulator::new(
+            Pipeline::generate(&spec, &mc, OptLevel::Fused).unwrap(),
+        );
+        let ticked = sim.run(&input);
+        let mut batched = Pipeline::generate(&spec, &mc, OptLevel::Fused).unwrap();
+        let mut batch = phvs;
+        batched.process_batch(&mut batch);
+        prop_assert_eq!(ticked.phvs, batch);
+        prop_assert_eq!(ticked.state.unwrap(), batched.state_snapshot());
     }
 
     /// Tick-accurate pipelined execution equals pushing each PHV through
