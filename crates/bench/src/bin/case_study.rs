@@ -20,14 +20,30 @@
 //!    every program (some programs have no range-sensitive guards), which
 //!    the report records faithfully.
 //!
+//! Every mismatch is reported with its delta-debugged counterexample (the
+//! failing 5000-packet trace reduced to the few packets and small values
+//! that actually matter), the way the hunt campaign reports divergences.
+//!
 //! Usage: `cargo run -p druzhba-bench --release --bin case_study`
 
 use druzhba_bench::compile_variant;
 use druzhba_chipmunk::{compile, SynthConfig};
 use druzhba_dgen::OptLevel;
 use druzhba_dsim::fault::FaultInjector;
+use druzhba_dsim::minimize::MinimizedCounterExample;
 use druzhba_dsim::testing::{fuzz_test, Verdict};
 use druzhba_programs::PROGRAMS;
+
+/// One-line rendering of a minimized counterexample for the report.
+fn minimized_line(mce: &MinimizedCounterExample) -> String {
+    let packets: Vec<String> = mce.input.phvs.iter().map(|p| p.to_string()).collect();
+    format!(
+        "minimized to {}/{} packet(s): [{}]",
+        mce.packets(),
+        mce.original_packets,
+        packets.join(", ")
+    )
+}
 
 fn main() {
     let mut correct = 0usize;
@@ -70,6 +86,9 @@ fn main() {
                             "  UNEXPECTED mismatch: {} at +({dd},{dw}): {:?}",
                             def.name, report.verdict
                         );
+                        if let Some(mce) = &report.minimized {
+                            println!("    {}", minimized_line(mce));
+                        }
                     }
                 }
                 Err(e) => println!("  {} at +({dd},{dw}) did not compile: {e}", def.name),
@@ -162,6 +181,9 @@ fn main() {
                     Verdict::Mismatch(m) => {
                         limited_range_failures += 1;
                         println!("  {:<20} 10-bit fuzzing caught it: {m}", def.name);
+                        if let Some(mce) = &report.minimized {
+                            println!("  {:<20} {}", "", minimized_line(mce));
+                        }
                     }
                     Verdict::Pass => println!(
                         "  {:<20} limited-range code happens to be correct at 10 bits",

@@ -41,6 +41,13 @@ impl Trace {
         self.phvs.is_empty()
     }
 
+    /// The first `len` PHVs as a new trace (no state snapshot). Used by
+    /// counterexample minimization: a prefix of a failing input trace is
+    /// the cheapest reduction candidate.
+    pub fn prefix(&self, len: usize) -> Trace {
+        Trace::from_phvs(self.phvs.iter().take(len).cloned().collect())
+    }
+
     /// Compare against another trace on the given container indices only.
     ///
     /// The compiler allocates a subset of PHV containers to program-visible
@@ -105,6 +112,18 @@ pub enum TraceMismatch {
         expected: Vec<Value>,
         actual: Vec<Value>,
     },
+}
+
+impl TraceMismatch {
+    /// The tick at which the divergence occurs, when it is tick-specific
+    /// (state mismatches are observed only after the whole trace).
+    /// Counterexample minimization truncates the failing trace here.
+    pub fn tick(&self) -> Option<usize> {
+        match self {
+            TraceMismatch::ContainerMismatch { tick, .. } => Some(*tick),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceMismatch {
@@ -200,6 +219,32 @@ mod tests {
                 actual: None
             })
         );
+    }
+
+    #[test]
+    fn prefix_takes_leading_phvs() {
+        let a = trace(&[&[1], &[2], &[3]]);
+        assert_eq!(a.prefix(2), trace(&[&[1], &[2]]));
+        assert_eq!(a.prefix(0).len(), 0);
+        assert_eq!(a.prefix(9), a);
+    }
+
+    #[test]
+    fn mismatch_tick_is_container_specific() {
+        let m = TraceMismatch::ContainerMismatch {
+            tick: 3,
+            container: 0,
+            expected: Some(1),
+            actual: Some(2),
+        };
+        assert_eq!(m.tick(), Some(3));
+        let s = TraceMismatch::StateMismatch {
+            stage: 0,
+            slot: 0,
+            expected: vec![],
+            actual: vec![],
+        };
+        assert_eq!(s.tick(), None);
     }
 
     #[test]

@@ -21,6 +21,56 @@ pub enum Fault {
     OutOfRangeValue { name: String, new: u32 },
 }
 
+/// The class of a [`Fault`], without its concrete location/values. Hunt
+/// campaigns seed mutants per class and report detection per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A pair deleted from the program (§5.2 "missing machine code pairs").
+    RemovedPair,
+    /// An in-domain value replacement (wrong behaviour, buildable).
+    MutatedValue,
+    /// An out-of-domain value (rejected at pipeline generation).
+    OutOfRangeValue,
+}
+
+impl FaultKind {
+    /// All three classes, in campaign order.
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::RemovedPair,
+        FaultKind::MutatedValue,
+        FaultKind::OutOfRangeValue,
+    ];
+
+    /// Stable snake_case label for machine-readable reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::RemovedPair => "removed_pair",
+            FaultKind::MutatedValue => "mutated_value",
+            FaultKind::OutOfRangeValue => "out_of_range_value",
+        }
+    }
+}
+
+impl Fault {
+    /// This fault's class.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::RemovedPair { .. } => FaultKind::RemovedPair,
+            Fault::MutatedValue { .. } => FaultKind::MutatedValue,
+            Fault::OutOfRangeValue { .. } => FaultKind::OutOfRangeValue,
+        }
+    }
+
+    /// The machine-code pair the fault targets.
+    pub fn name(&self) -> &str {
+        match self {
+            Fault::RemovedPair { name }
+            | Fault::MutatedValue { name, .. }
+            | Fault::OutOfRangeValue { name, .. } => name,
+        }
+    }
+}
+
 /// Deterministic generator of faulty machine-code variants.
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -32,6 +82,23 @@ impl FaultInjector {
     pub fn new(seed: u64) -> Self {
         FaultInjector {
             gen: ValueGen::new(seed, 32),
+        }
+    }
+
+    /// Inject one fault of the given class. [`FaultKind::RemovedPair`]
+    /// always succeeds; the other two return `None` when the program has
+    /// no suitable target (mutation targets *live* pairs, see
+    /// [`FaultInjector::mutate_live_value`]).
+    pub fn inject(
+        &mut self,
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+        kind: FaultKind,
+    ) -> Option<(MachineCode, Fault)> {
+        match kind {
+            FaultKind::RemovedPair => Some(self.remove_random_pair(mc)),
+            FaultKind::MutatedValue => self.mutate_live_value(spec, mc),
+            FaultKind::OutOfRangeValue => self.out_of_range_value(spec, mc),
         }
     }
 
@@ -64,6 +131,49 @@ impl FaultInjector {
             return None;
         }
         let (name, domain) = mutable[self.gen.value_below(mutable.len() as u32) as usize];
+        let old = mc.try_get(name)?;
+        let bound = domain.bound().min(1 << 16) as u32;
+        let mut new = self.gen.value_below(bound);
+        if new == old {
+            new = (new + 1) % bound;
+        }
+        let mut out = mc.clone();
+        out.set(name.clone(), new);
+        Some((
+            out,
+            Fault::MutatedValue {
+                name: name.clone(),
+                old,
+                new,
+            },
+        ))
+    }
+
+    /// Mutate one randomly chosen *live* pair — a pair the compiler
+    /// programmed to a nonzero value — to a different in-domain value.
+    ///
+    /// Most of a grid's machine code is dead (unused ALUs, untaken branches
+    /// of opcode-dispatched atoms), so a uniformly random mutation is
+    /// usually behaviourally neutral. The compiler only emits nonzero
+    /// values for primitives the program actually exercises, which makes
+    /// nonzero pairs the semantically loaded targets — the ones a mutation
+    /// campaign must be able to detect.
+    ///
+    /// Returns `None` if no live pair has more than one legal value.
+    pub fn mutate_live_value(
+        &mut self,
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+    ) -> Option<(MachineCode, Fault)> {
+        let expected = expected_machine_code(spec);
+        let live: Vec<_> = expected
+            .iter()
+            .filter(|(name, domain)| domain.bound() > 1 && mc.try_get(name).is_some_and(|v| v != 0))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let (name, domain) = live[self.gen.value_below(live.len() as u32) as usize];
         let old = mc.try_get(name)?;
         let bound = domain.bound().min(1 << 16) as u32;
         let mut new = self.gen.value_below(bound);
@@ -169,6 +279,58 @@ mod tests {
                 other => panic!("unexpected fault: {other:?}"),
             }
             assert_ne!(bad, mc);
+        }
+    }
+
+    #[test]
+    fn live_mutation_targets_programmed_pairs() {
+        let (spec, mut mc) = setup();
+        // Program a couple of live pairs the way a compiler would.
+        mc.set("output_mux_phv_0_0", 2);
+        mc.set("stateful_alu_0_0_const_0", 7);
+        let mut inj = FaultInjector::new(11);
+        for _ in 0..20 {
+            let (bad, fault) = inj.mutate_live_value(&spec, &mc).unwrap();
+            let Fault::MutatedValue { name, old, new } = &fault else {
+                panic!("unexpected fault: {fault:?}");
+            };
+            assert_ne!(old, new);
+            assert_ne!(*old, 0, "mutation must target a live (nonzero) pair");
+            assert_eq!(mc.try_get(name), Some(*old));
+            // Still buildable: the mutation stays in-domain.
+            Pipeline::generate(&spec, &bad, OptLevel::SccInline).unwrap();
+        }
+    }
+
+    #[test]
+    fn live_mutation_without_live_pairs_is_none() {
+        let (spec, mc) = setup(); // all-zero program: nothing is live
+        assert!(FaultInjector::new(1)
+            .mutate_live_value(&spec, &mc)
+            .is_none());
+    }
+
+    #[test]
+    fn kind_and_name_accessors() {
+        let f = Fault::MutatedValue {
+            name: "x".into(),
+            old: 1,
+            new: 2,
+        };
+        assert_eq!(f.kind(), FaultKind::MutatedValue);
+        assert_eq!(f.kind().key(), "mutated_value");
+        assert_eq!(f.name(), "x");
+        assert_eq!(FaultKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn inject_dispatches_by_kind() {
+        let (spec, mut mc) = setup();
+        mc.set("output_mux_phv_0_0", 1);
+        let mut inj = FaultInjector::new(5);
+        for kind in FaultKind::ALL {
+            let (_, fault) = inj.inject(&spec, &mc, kind).unwrap();
+            assert_eq!(fault.kind(), kind);
         }
     }
 

@@ -18,6 +18,7 @@ use druzhba_core::trace::TraceMismatch;
 use druzhba_core::{Error, MachineCode, Phv, Result, Trace};
 use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
 
+use crate::minimize::{minimize, MinimizeConfig, MinimizedCounterExample};
 use crate::sim::Simulator;
 use crate::testing::Specification;
 
@@ -67,6 +68,11 @@ pub enum VerifyOutcome {
         input: Trace,
         /// Where pipeline and specification disagree.
         mismatch: TraceMismatch,
+        /// The input further reduced by delta debugging (enumeration
+        /// order already biases toward small inputs, but value shrinking
+        /// and packet reduction usually tighten it more). Boxed to keep
+        /// the happy-path `Verified` variant small.
+        minimized: Option<Box<MinimizedCounterExample>>,
     },
 }
 
@@ -75,6 +81,32 @@ impl VerifyOutcome {
     pub fn verified(&self) -> bool {
         matches!(self, VerifyOutcome::Verified { .. })
     }
+}
+
+/// Delta-debug a concrete diverging input found by the enumeration (the
+/// odometer order already biases toward small values, but packet
+/// reduction and value shrinking usually tighten it further).
+fn minimize_counterexample(
+    pipeline_spec: &PipelineSpec,
+    mc: &MachineCode,
+    opt: OptLevel,
+    reference: &mut dyn Specification,
+    input: &Trace,
+    cfg: &VerifyConfig,
+) -> Option<Box<MinimizedCounterExample>> {
+    minimize(
+        pipeline_spec,
+        mc,
+        opt,
+        reference,
+        input,
+        &MinimizeConfig {
+            observable: cfg.observable.clone(),
+            state_cells: cfg.state_cells.clone(),
+            ..MinimizeConfig::default()
+        },
+    )
+    .map(Box::new)
 }
 
 /// Exhaustively check pipeline-vs-specification equivalence within the
@@ -86,8 +118,21 @@ pub fn verify_bounded(
     reference: &mut dyn Specification,
     cfg: &VerifyConfig,
 ) -> Result<VerifyOutcome> {
+    // Refuse domains we cannot actually enumerate rather than silently
+    // clamping: reporting "verified" over a smaller domain than requested
+    // would be a false proof.
+    if cfg.input_bits > 31 {
+        return Err(Error::Other {
+            message: format!(
+                "bounded verification supports at most 31-bit inputs \
+                 (requested {} bits); clamping would silently verify a \
+                 smaller domain than asked for",
+                cfg.input_bits
+            ),
+        });
+    }
     let slots = cfg.relevant_containers.len() * cfg.packets;
-    let values_per_slot = 1u64 << cfg.input_bits.min(31);
+    let values_per_slot = 1u64 << cfg.input_bits;
     // An overflowing case count certainly exceeds any budget.
     let cases = values_per_slot
         .checked_pow(slots as u32)
@@ -131,7 +176,12 @@ pub fn verify_bounded(
         let expected = Trace::from_phvs(input.phvs.iter().map(|p| reference.process(p)).collect());
 
         if let Some(mismatch) = expected.first_mismatch(&actual, cfg.observable.as_deref()) {
-            return Ok(VerifyOutcome::CounterExample { input, mismatch });
+            let minimized = minimize_counterexample(pipeline_spec, mc, opt, reference, &input, cfg);
+            return Ok(VerifyOutcome::CounterExample {
+                input,
+                mismatch,
+                minimized,
+            });
         }
         if !cfg.state_cells.is_empty() {
             let snapshot = actual.state.as_ref().expect("run records state");
@@ -143,6 +193,8 @@ pub fn verify_bounded(
                     .and_then(|vars| vars.get(var))
                     .copied();
                 if actual_v != expected_state.get(i).copied() {
+                    let minimized =
+                        minimize_counterexample(pipeline_spec, mc, opt, reference, &input, cfg);
                     return Ok(VerifyOutcome::CounterExample {
                         input,
                         mismatch: TraceMismatch::StateMismatch {
@@ -151,6 +203,7 @@ pub fn verify_bounded(
                             expected: expected_state.get(i).copied().into_iter().collect(),
                             actual: actual_v.into_iter().collect(),
                         },
+                        minimized,
                     });
                 }
             }
@@ -273,6 +326,58 @@ mod tests {
         let mut reference = accumulator_spec();
         let err = verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap_err();
         assert!(err.to_string().contains("shrink"));
+    }
+
+    #[test]
+    fn oversized_bit_widths_are_rejected_not_clamped() {
+        let (spec, mc) = setup();
+        let cfg = VerifyConfig {
+            input_bits: 40,
+            packets: 1,
+            relevant_containers: vec![0],
+            max_cases: u64::MAX,
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let err = verify_bounded(&spec, &mc, OptLevel::Scc, &mut reference, &cfg).unwrap_err();
+        assert!(err.to_string().contains("31-bit"), "{err}");
+    }
+
+    #[test]
+    fn counterexample_carries_a_reproducing_minimization() {
+        let (spec, mut mc) = setup();
+        mc.set("stateful_alu_0_0_arith_op_0", 1); // subtract instead of add
+        let cfg = VerifyConfig {
+            input_bits: 2,
+            packets: 3,
+            relevant_containers: vec![0],
+            observable: Some(vec![1]),
+            state_cells: vec![(0, 0, 0)],
+            ..VerifyConfig::default()
+        };
+        let mut reference = accumulator_spec();
+        let outcome = verify_bounded(&spec, &mc, OptLevel::Fused, &mut reference, &cfg).unwrap();
+        let VerifyOutcome::CounterExample {
+            input, minimized, ..
+        } = outcome
+        else {
+            panic!("expected counterexample");
+        };
+        let mce = minimized.expect("divergences carry a minimization");
+        assert!(mce.packets() <= input.len());
+        // Replaying the minimized input still diverges in the same class.
+        let mut reference = accumulator_spec();
+        let v = crate::testing::run_case(
+            &spec,
+            &mc,
+            OptLevel::Fused,
+            &mut reference,
+            &mce.input,
+            cfg.observable.as_deref(),
+            &cfg.state_cells,
+        );
+        assert_eq!(v.class(), mce.verdict.class());
+        assert!(!v.passed());
     }
 
     #[test]

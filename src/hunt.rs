@@ -1,0 +1,704 @@
+//! `druzhba hunt`: end-to-end mutation-driven bug-hunt campaigns over the
+//! Table 1 corpus.
+//!
+//! Gauntlet and FP4 (PAPERS.md) measure a compiler tester by its
+//! *detection power*: seed known faults, count how many the workflow
+//! catches, and report the survivors. This module turns
+//! [`druzhba_dsim::fault`] from a test fixture into that campaign:
+//!
+//! 1. every selected corpus program is compiled to known-good machine code;
+//! 2. a deterministic [`FaultInjector`] seeds `mutants_per_class` mutants
+//!    for each of the three [`FaultKind`] classes. Value mutations are
+//!    *screened for behavioral effect* first: a candidate that no probe
+//!    distinguishes from the baseline is an encoding variant (mutation
+//!    testing's "equivalent mutant"), not a fault, and is discarded and
+//!    redrawn. The probe's diverging traffic seed is kept as the mutant's
+//!    *witness*;
+//! 3. every mutant is evaluated on every requested [`OptLevel`] backend —
+//!    fresh seeded fuzzing first, then the witness seed, then bounded
+//!    exhaustive verification — sharded across OS threads via
+//!    [`run_sharded`] (the same worker pool behind `fuzz_campaign`);
+//! 4. every divergence is delta-debugged against the known-good baseline
+//!    ([`minimize_fault`]) so the report carries the essential machine-code
+//!    edits and a minimized reproducing input, not a raw 2000-packet dump.
+//!
+//! The split between [`Detection::Fuzz`] and [`Detection::Witness`] keeps
+//! the report honest: fresh-seed detections measure the workflow's
+//! ordinary power, witness detections mean "the fault is real but this
+//! backend's fresh seeds missed it".
+//!
+//! [`HuntReport::to_json`] renders the whole campaign machine-readably
+//! (detection rate, failure taxonomy, minimized traces); the schema is
+//! documented in DESIGN.md §7.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use druzhba_chipmunk::CompiledProgram;
+use druzhba_core::Trace;
+use druzhba_dgen::OptLevel;
+use druzhba_dsim::fault::{Fault, FaultInjector, FaultKind};
+use druzhba_dsim::minimize::{minimize_fault, MinimizeConfig, MinimizedCounterExample};
+use druzhba_dsim::testing::{fuzz_test, run_sharded, shard_seed, FuzzConfig, Verdict};
+use druzhba_dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
+use druzhba_dsim::TrafficGenerator;
+use druzhba_programs::{by_name, ProgramDef, PROGRAMS};
+
+/// Configuration of a hunt campaign.
+#[derive(Debug, Clone)]
+pub struct HuntConfig {
+    /// Corpus programs to hunt over (registry names); empty = all twelve.
+    pub programs: Vec<String>,
+    /// Mutants seeded per fault class per program.
+    pub mutants_per_class: usize,
+    /// Campaign seed: mutant selection and fuzz seeds all derive from it.
+    pub seed: u64,
+    /// Backends each mutant is evaluated on.
+    pub levels: Vec<OptLevel>,
+    /// PHVs per fuzz run.
+    pub fuzz_phvs: usize,
+    /// Independently seeded fuzz runs per (mutant, level) before falling
+    /// back to bounded verification.
+    pub fuzz_runs: usize,
+    /// Bit width of fuzzed container values.
+    pub input_bits: u32,
+    /// Bit width for the bounded-verification fallback.
+    pub verify_bits: u32,
+    /// Trace length for the bounded-verification fallback.
+    pub verify_packets: usize,
+    /// Worker threads for the evaluation shards.
+    pub workers: usize,
+}
+
+impl Default for HuntConfig {
+    fn default() -> Self {
+        HuntConfig {
+            programs: Vec::new(),
+            mutants_per_class: 2,
+            seed: 0x000D_122B,
+            levels: OptLevel::ALL.to_vec(),
+            fuzz_phvs: 2_000,
+            fuzz_runs: 2,
+            input_bits: 10,
+            verify_bits: 2,
+            verify_packets: 3,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// How (whether) one mutant evaluation detected its fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Detection {
+    /// Caught by fresh seeded fuzzing; the seed replays the failure via
+    /// `druzhba fuzz --seed`.
+    Fuzz {
+        /// The traffic seed of the diverging run.
+        seed: u64,
+    },
+    /// Missed by this evaluation's fresh seeds, caught by the screening
+    /// probe's witness seed (replayable the same way).
+    Witness {
+        /// The witness traffic seed.
+        seed: u64,
+    },
+    /// Caught by bounded exhaustive verification.
+    Verify,
+    /// Survived everything — under this budget the mutant is
+    /// indistinguishable from the baseline (a mutation-testing
+    /// "survivor").
+    Undetected,
+}
+
+/// Outcome of evaluating one mutant on one backend.
+#[derive(Debug, Clone)]
+pub struct MutantOutcome {
+    /// Corpus program name.
+    pub program: &'static str,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Backend evaluated.
+    pub level: OptLevel,
+    /// How the fault was detected, if at all.
+    pub detection: Detection,
+    /// The observed divergence (`None` when undetected).
+    pub verdict: Option<Verdict>,
+    /// Minimized counterexample for the divergence (`None` when
+    /// undetected).
+    pub minimized: Option<MinimizedCounterExample>,
+}
+
+impl MutantOutcome {
+    /// True if the fault was detected on this backend.
+    pub fn detected(&self) -> bool {
+        !matches!(self.detection, Detection::Undetected)
+    }
+}
+
+/// Aggregate result of a hunt campaign.
+#[derive(Debug, Clone)]
+pub struct HuntReport {
+    /// One outcome per (program, mutant, level) evaluation, in
+    /// deterministic campaign order.
+    pub outcomes: Vec<MutantOutcome>,
+    /// Value-mutation candidates discarded by screening as behaviorally
+    /// neutral (mutation testing's "equivalent mutants").
+    pub neutral_discarded: usize,
+    /// The configuration that produced the report (echoed into the JSON).
+    pub config: HuntConfig,
+}
+
+impl HuntReport {
+    /// Total evaluations.
+    pub fn evaluations(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Detected evaluations.
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected()).count()
+    }
+
+    /// Evaluations that survived the whole workflow.
+    pub fn undetected(&self) -> Vec<&MutantOutcome> {
+        self.outcomes.iter().filter(|o| !o.detected()).collect()
+    }
+
+    /// Detected fraction over all evaluations (1.0 for an empty campaign).
+    pub fn detection_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.detected() as f64 / self.evaluations() as f64
+    }
+
+    /// Evaluation count per detector (`"fuzz"`, `"witness"`, `"verify"`,
+    /// `"none"`).
+    pub fn by_detector(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for o in &self.outcomes {
+            let key = match o.detection {
+                Detection::Fuzz { .. } => "fuzz",
+                Detection::Witness { .. } => "witness",
+                Detection::Verify => "verify",
+                Detection::Undetected => "none",
+            };
+            *out.entry(key).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// `(total, detected)` per fault class.
+    pub fn by_fault_kind(&self) -> BTreeMap<FaultKind, (usize, usize)> {
+        let mut out = BTreeMap::new();
+        for o in &self.outcomes {
+            let e = out.entry(o.fault.kind()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += usize::from(o.detected());
+        }
+        out
+    }
+
+    /// Failure taxonomy: evaluation count per observed verdict class
+    /// (snake_case keys; undetected evaluations count under `"pass"`).
+    pub fn taxonomy(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for o in &self.outcomes {
+            let key = o.verdict.as_ref().map_or("pass", |v| v.class().key());
+            *out.entry(key).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Render the campaign as a JSON document (schema: DESIGN.md §7).
+    /// Hand-written — the vendored `serde` is a no-op stand-in.
+    pub fn to_json(&self) -> String {
+        let cfg = &self.config;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"config\": {{");
+        let _ = writeln!(s, "    \"seed\": {},", cfg.seed);
+        let _ = writeln!(s, "    \"mutants_per_class\": {},", cfg.mutants_per_class);
+        let levels: Vec<String> = cfg
+            .levels
+            .iter()
+            .map(|l| format!("\"{}\"", l.key()))
+            .collect();
+        let _ = writeln!(s, "    \"levels\": [{}],", levels.join(", "));
+        let _ = writeln!(s, "    \"fuzz_phvs\": {},", cfg.fuzz_phvs);
+        let _ = writeln!(s, "    \"fuzz_runs\": {},", cfg.fuzz_runs);
+        let _ = writeln!(s, "    \"input_bits\": {},", cfg.input_bits);
+        let _ = writeln!(s, "    \"verify_bits\": {},", cfg.verify_bits);
+        let _ = writeln!(s, "    \"verify_packets\": {}", cfg.verify_packets);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"summary\": {{");
+        let _ = writeln!(s, "    \"evaluations\": {},", self.evaluations());
+        let _ = writeln!(s, "    \"detected\": {},", self.detected());
+        let _ = writeln!(s, "    \"detection_rate\": {:.4},", self.detection_rate());
+        let _ = writeln!(s, "    \"neutral_discarded\": {},", self.neutral_discarded);
+        let by_detector: Vec<String> = self
+            .by_detector()
+            .into_iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect();
+        let _ = writeln!(s, "    \"by_detector\": {{{}}},", by_detector.join(", "));
+        let by_fault: Vec<String> = self
+            .by_fault_kind()
+            .into_iter()
+            .map(|(kind, (total, detected))| {
+                format!(
+                    "\"{}\": {{\"total\": {total}, \"detected\": {detected}}}",
+                    kind.key()
+                )
+            })
+            .collect();
+        let _ = writeln!(s, "    \"by_fault\": {{{}}},", by_fault.join(", "));
+        let taxonomy: Vec<String> = self
+            .taxonomy()
+            .into_iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect();
+        let _ = writeln!(s, "    \"taxonomy\": {{{}}}", taxonomy.join(", "));
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"mutants\": [");
+        let rows: Vec<String> = self.outcomes.iter().map(mutant_json).collect();
+        let _ = writeln!(s, "{}", rows.join(",\n"));
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn esc(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn mutant_json(o: &MutantOutcome) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "    {{\"program\": \"{}\", ", o.program);
+    let fault = match &o.fault {
+        Fault::RemovedPair { name } => {
+            format!(
+                "{{\"kind\": \"removed_pair\", \"name\": \"{}\"}}",
+                esc(name)
+            )
+        }
+        Fault::MutatedValue { name, old, new } => format!(
+            "{{\"kind\": \"mutated_value\", \"name\": \"{}\", \"old\": {old}, \"new\": {new}}}",
+            esc(name)
+        ),
+        Fault::OutOfRangeValue { name, new } => format!(
+            "{{\"kind\": \"out_of_range_value\", \"name\": \"{}\", \"new\": {new}}}",
+            esc(name)
+        ),
+    };
+    let _ = write!(s, "\"fault\": {fault}, \"level\": \"{}\", ", o.level.key());
+    match &o.detection {
+        Detection::Fuzz { seed } => {
+            let _ = write!(s, "\"detected_by\": \"fuzz\", \"seed\": {seed}, ");
+        }
+        Detection::Witness { seed } => {
+            let _ = write!(s, "\"detected_by\": \"witness\", \"seed\": {seed}, ");
+        }
+        Detection::Verify => {
+            let _ = write!(s, "\"detected_by\": \"verify\", ");
+        }
+        Detection::Undetected => {
+            let _ = write!(s, "\"detected_by\": \"none\", ");
+        }
+    }
+    let verdict = o
+        .verdict
+        .as_ref()
+        .map_or("null".to_string(), |v| format!("\"{}\"", v.class().key()));
+    let _ = write!(s, "\"verdict\": {verdict}, ");
+    match &o.minimized {
+        None => {
+            let _ = write!(s, "\"minimized\": null}}");
+        }
+        Some(mce) => {
+            let packets: Vec<String> = mce
+                .input
+                .phvs
+                .iter()
+                .map(|p| {
+                    let vals: Vec<String> = (0..p.len()).map(|c| p.get(c).to_string()).collect();
+                    format!("[{}]", vals.join(", "))
+                })
+                .collect();
+            let edits = match &mce.essential_edits {
+                None => "null".to_string(),
+                Some(edits) => {
+                    let rows: Vec<String> = edits
+                        .iter()
+                        .map(|e| {
+                            format!(
+                                "{{\"name\": \"{}\", \"good\": {}, \"bad\": {}}}",
+                                esc(&e.name),
+                                e.good.map_or("null".to_string(), |v| v.to_string()),
+                                e.bad.map_or("null".to_string(), |v| v.to_string()),
+                            )
+                        })
+                        .collect();
+                    format!("[{}]", rows.join(", "))
+                }
+            };
+            let mismatch = match &mce.verdict {
+                Verdict::Mismatch(m) => format!("\"{}\"", esc(&m.to_string())),
+                Verdict::Incompatible(e) => format!("\"{}\"", esc(&e.to_string())),
+                Verdict::Pass => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "\"minimized\": {{\"original_packets\": {}, \"packets\": {}, \
+                 \"input\": [{}], \"mismatch\": {mismatch}, \
+                 \"essential_edits\": {edits}, \"checks\": {}}}}}",
+                mce.original_packets,
+                mce.packets(),
+                packets.join(", "),
+                mce.checks,
+            );
+        }
+    }
+    s
+}
+
+/// One seeded mutant awaiting evaluation.
+struct Mutant {
+    program: usize,
+    fault: Fault,
+    mc: druzhba_core::MachineCode,
+    /// Traffic seed under which the screening probe saw the divergence
+    /// (`None` for faults that are detected structurally, or that the
+    /// probe caught only via bounded verification).
+    witness: Option<u64>,
+}
+
+/// Run a hunt campaign. Deterministic: outcomes are a pure function of the
+/// configuration, independent of worker count.
+pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
+    let defs: Vec<&'static ProgramDef> = if cfg.programs.is_empty() {
+        PROGRAMS.iter().collect()
+    } else {
+        cfg.programs
+            .iter()
+            .map(|name| {
+                by_name(name)
+                    .ok_or_else(|| format!("unknown program `{name}` (see `druzhba programs`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if cfg.levels.is_empty() {
+        return Err("hunt needs at least one optimization level".into());
+    }
+    // The verification fallback must actually be runnable: an unusable
+    // bound would silently disable the phase (screening would then discard
+    // verify-only-detectable mutants as "neutral"), which is exactly the
+    // weaker-than-requested behavior verify_bounded itself refuses.
+    if cfg.verify_bits > 31 {
+        return Err(format!(
+            "--verify-bits {} exceeds the 31-bit bounded-verification limit",
+            cfg.verify_bits
+        ));
+    }
+
+    // Compile every program up front (synthesis is the expensive,
+    // cache-shared step; doing it before sharding keeps workers pure).
+    let compiled: Vec<CompiledProgram> = defs
+        .iter()
+        .map(|def| {
+            def.compile_cached()
+                .map_err(|e| format!("{}: {e}", def.name))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Seed mutants deterministically, per program, per fault class. Value
+    // mutations are screened for behavioral effect; screening probes and
+    // redraws both derive from the campaign seed, so the mutant set is a
+    // pure function of the configuration.
+    let mut mutants: Vec<Mutant> = Vec::new();
+    let mut neutral_discarded = 0usize;
+    let mut candidate_counter = 0u64;
+    for (pi, (def, comp)) in defs.iter().zip(&compiled).enumerate() {
+        let mut injector = FaultInjector::new(shard_seed(cfg.seed, pi as u64));
+        for kind in FaultKind::ALL {
+            let mut seeded = Vec::new();
+            // Draw until `mutants_per_class` *distinct* behavioral faults
+            // are seeded (the injector may revisit a pair, and screened
+            // candidates may prove neutral); bounded retries keep
+            // degenerate programs from spinning.
+            for _ in 0..cfg.mutants_per_class * 10 {
+                if seeded.len() >= cfg.mutants_per_class {
+                    break;
+                }
+                let Some((mc, fault)) =
+                    injector.inject(&comp.pipeline_spec, &comp.machine_code, kind)
+                else {
+                    break;
+                };
+                if seeded.contains(&fault) {
+                    continue;
+                }
+                let witness = match kind {
+                    // Structural faults are rejected at pipeline
+                    // generation on every backend — no probe needed.
+                    FaultKind::RemovedPair | FaultKind::OutOfRangeValue => None,
+                    FaultKind::MutatedValue => {
+                        let probe_seed = shard_seed(cfg.seed ^ 0x5343_524E, candidate_counter);
+                        candidate_counter += 1;
+                        match screen_mutant(cfg, def, comp, &mc, probe_seed) {
+                            // No probe distinguishes the candidate from
+                            // the baseline: an encoding variant, not a
+                            // fault — discard and redraw.
+                            None => {
+                                neutral_discarded += 1;
+                                continue;
+                            }
+                            Some(witness) => witness,
+                        }
+                    }
+                };
+                seeded.push(fault.clone());
+                mutants.push(Mutant {
+                    program: pi,
+                    fault,
+                    mc,
+                    witness,
+                });
+            }
+            if seeded.is_empty() && kind != FaultKind::MutatedValue {
+                return Err(format!(
+                    "{}: could not seed any {} fault",
+                    def.name,
+                    kind.key()
+                ));
+            }
+        }
+    }
+
+    // Every (mutant, level) pair is one evaluation task.
+    let tasks: Vec<(usize, OptLevel)> = mutants
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, _)| cfg.levels.iter().map(move |&l| (mi, l)))
+        .collect();
+    let mutants = &mutants;
+    let defs = &defs;
+    let compiled = &compiled;
+    let outcomes = run_sharded(tasks, cfg.workers, |task_index, (mi, level)| {
+        evaluate(cfg, defs, compiled, &mutants[mi], level, task_index as u64)
+    });
+    Ok(HuntReport {
+        outcomes,
+        neutral_discarded,
+        config: cfg.clone(),
+    })
+}
+
+/// Probe a value-mutation candidate for behavioral effect: seeded fuzz
+/// runs, then bounded verification, against the interpreter spec. Returns
+/// `None` when nothing distinguishes the candidate from the baseline
+/// (presumed-equivalent mutant), `Some(Some(seed))` when fuzzing found a
+/// diverging traffic seed, and `Some(None)` when only bounded
+/// verification caught it (verification is deterministic, so every
+/// evaluation's own verify phase will re-find it).
+fn screen_mutant(
+    cfg: &HuntConfig,
+    def: &ProgramDef,
+    comp: &CompiledProgram,
+    mc: &druzhba_core::MachineCode,
+    probe_seed: u64,
+) -> Option<Option<u64>> {
+    let mut reference = def.interpreter_spec(comp);
+    for run in 0..cfg.fuzz_runs.max(1) {
+        let seed = shard_seed(probe_seed, run as u64);
+        let fuzz_cfg = FuzzConfig {
+            num_phvs: cfg.fuzz_phvs,
+            seed,
+            input_bits: cfg.input_bits,
+            observable: Some(comp.observable_containers()),
+            state_cells: comp.state_cells.clone(),
+            minimize: false,
+        };
+        let report = fuzz_test(
+            &comp.pipeline_spec,
+            mc,
+            OptLevel::SccInline,
+            &mut reference,
+            &fuzz_cfg,
+        );
+        if !report.passed() {
+            return Some(Some(seed));
+        }
+    }
+    match verify_bounded(
+        &comp.pipeline_spec,
+        mc,
+        OptLevel::SccInline,
+        &mut reference,
+        &hunt_verify_config(cfg, comp),
+    ) {
+        Ok(VerifyOutcome::CounterExample { .. }) => Some(None),
+        _ => None,
+    }
+}
+
+/// The bounded-verification fallback configuration shared by screening
+/// and evaluation (the budget cap keeps wide-input programs from blowing
+/// up the enumeration; an over-budget domain simply skips the fallback).
+fn hunt_verify_config(cfg: &HuntConfig, comp: &CompiledProgram) -> VerifyConfig {
+    VerifyConfig {
+        input_bits: cfg.verify_bits,
+        packets: cfg.verify_packets,
+        relevant_containers: (0..comp.input_fields.len()).collect(),
+        observable: Some(comp.observable_containers()),
+        state_cells: comp.state_cells.clone(),
+        max_cases: 1 << 16,
+    }
+}
+
+/// Evaluate one mutant on one backend: seeded fuzz runs, bounded-verify
+/// fallback, then minimization of whatever divergence was found.
+fn evaluate(
+    cfg: &HuntConfig,
+    defs: &[&'static ProgramDef],
+    compiled: &[CompiledProgram],
+    mutant: &Mutant,
+    level: OptLevel,
+    task_index: u64,
+) -> MutantOutcome {
+    let def = defs[mutant.program];
+    let comp = &compiled[mutant.program];
+    let mut reference = def.interpreter_spec(comp);
+    let minimize_cfg = MinimizeConfig {
+        observable: Some(comp.observable_containers()),
+        state_cells: comp.state_cells.clone(),
+        ..MinimizeConfig::default()
+    };
+
+    // One fuzz round against the mutant; on divergence, the failing input
+    // is rebuilt and delta-debugged against the known-good baseline so the
+    // counterexample carries the essential machine-code edits.
+    let fuzz_round = |seed: u64, reference: &mut druzhba_chipmunk::CompiledSpec| {
+        let fuzz_cfg = FuzzConfig {
+            num_phvs: cfg.fuzz_phvs,
+            seed,
+            input_bits: cfg.input_bits,
+            observable: Some(comp.observable_containers()),
+            state_cells: comp.state_cells.clone(),
+            minimize: false,
+        };
+        let report = fuzz_test(&comp.pipeline_spec, &mutant.mc, level, reference, &fuzz_cfg);
+        if report.passed() {
+            return None;
+        }
+        let input =
+            TrafficGenerator::new(seed, comp.pipeline_spec.config.phv_length, cfg.input_bits)
+                .trace(cfg.fuzz_phvs);
+        let minimized = minimize_fault(
+            &comp.pipeline_spec,
+            &comp.machine_code,
+            &mutant.mc,
+            level,
+            reference,
+            &input,
+            &minimize_cfg,
+        )
+        .map(|(_, mce)| mce);
+        Some((report.verdict, minimized))
+    };
+
+    // Phase 1: fresh seeded fuzzing (measures ordinary detection power).
+    let task_seed = shard_seed(cfg.seed ^ 0x4855_4E54, task_index); // "HUNT"
+    for run in 0..cfg.fuzz_runs {
+        let seed = shard_seed(task_seed, run as u64);
+        if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
+            return MutantOutcome {
+                program: def.name,
+                fault: mutant.fault.clone(),
+                level,
+                detection: Detection::Fuzz { seed },
+                verdict: Some(verdict),
+                minimized,
+            };
+        }
+    }
+
+    // Phase 2: the screening probe's witness seed — a known-diverging
+    // input stream; backends are observationally equivalent, so it fires
+    // regardless of which level the probe ran on.
+    if let Some(seed) = mutant.witness {
+        if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
+            return MutantOutcome {
+                program: def.name,
+                fault: mutant.fault.clone(),
+                level,
+                detection: Detection::Witness { seed },
+                verdict: Some(verdict),
+                minimized,
+            };
+        }
+    }
+
+    // Phase 3: bounded exhaustive verification over the input fields.
+    if let Ok(VerifyOutcome::CounterExample {
+        input, mismatch, ..
+    }) = verify_bounded(
+        &comp.pipeline_spec,
+        &mutant.mc,
+        level,
+        &mut reference,
+        &hunt_verify_config(cfg, comp),
+    ) {
+        let minimized = minimize_fault(
+            &comp.pipeline_spec,
+            &comp.machine_code,
+            &mutant.mc,
+            level,
+            &mut reference,
+            &input,
+            &minimize_cfg,
+        )
+        .map(|(_, mce)| mce);
+        return MutantOutcome {
+            program: def.name,
+            fault: mutant.fault.clone(),
+            level,
+            detection: Detection::Verify,
+            verdict: Some(Verdict::Mismatch(mismatch)),
+            minimized,
+        };
+    }
+
+    MutantOutcome {
+        program: def.name,
+        fault: mutant.fault.clone(),
+        level,
+        detection: Detection::Undetected,
+        verdict: None,
+        minimized: None,
+    }
+}
+
+/// Replay one trace through the Fig. 5 differential check (used by hunt's
+/// tests and by callers that want to re-validate a minimized trace).
+pub fn replay(
+    comp: &CompiledProgram,
+    def: &ProgramDef,
+    mc: &druzhba_core::MachineCode,
+    level: OptLevel,
+    input: &Trace,
+) -> Verdict {
+    let mut reference = def.interpreter_spec(comp);
+    druzhba_dsim::testing::run_case(
+        &comp.pipeline_spec,
+        mc,
+        level,
+        &mut reference,
+        input,
+        Some(&comp.observable_containers()),
+        &comp.state_cells,
+    )
+}

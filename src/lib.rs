@@ -1,4 +1,8 @@
-//! Umbrella crate re-exporting the Druzhba public API.
+//! Umbrella crate re-exporting the Druzhba public API, plus the
+//! [`hunt`] mutation-campaign orchestrator (it needs the corpus, the
+//! compiler, and the simulator together, so it lives above all of them).
+pub mod hunt;
+
 pub use druzhba_alu_dsl as alu_dsl;
 pub use druzhba_chipmunk as chipmunk;
 pub use druzhba_core as core;

@@ -3,9 +3,13 @@
 //!
 //! ```text
 //! druzhba compile <file.domino> --depth D --width W --atom NAME [-o mc.txt]
-//! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B] [--runs R] [--jobs J]
+//! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+//!                 [--seed S] [--level L|all] [--runs R] [--jobs J] [--edit name=v,...]
 //! druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
+//!                 [--level L|all]
 //! druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
+//! druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level L|all]
+//!                 [--phvs N] [--bits B] [--runs R] [--jobs J] [--out FILE]
 //! druzhba atoms
 //! druzhba programs
 //! ```
@@ -20,8 +24,10 @@ use druzhba::chipmunk::{compile, CompiledProgram, CompiledSpec, CompilerConfig};
 use druzhba::dgen::emit::emit_pipeline;
 use druzhba::dgen::OptLevel;
 use druzhba::domino::{parse_program, DominoProgram};
+use druzhba::dsim::minimize::MinimizedCounterExample;
 use druzhba::dsim::testing::{fuzz_campaign, fuzz_test, CampaignConfig, FuzzConfig};
 use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
+use druzhba::hunt::{hunt, HuntConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +40,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "emit" => cmd_emit(&args[1..]),
+        "hunt" => cmd_hunt(&args[1..]),
         "atoms" => cmd_atoms(),
         "programs" => cmd_programs(),
         "help" | "--help" | "-h" => {
@@ -56,9 +63,17 @@ const USAGE: &str = "druzhba — programmable switch simulation for compiler tes
 USAGE:
   druzhba compile <file.domino> --depth D --width W --atom NAME [-o out.txt]
   druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
+                  [--seed S] [--level 0|1|2|3|all]
+                  [--edit name=v,name=-]  (apply machine-code edits, `-` removes;
+                                           replays a hunt report's essential_edits)
                   [--runs R --jobs J]   (R > 1: parallel seeded campaign)
   druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
+                  [--level 0|1|2|3|all]  (default: all backends)
   druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
+  druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level 0|1|2|3|all]
+                  [--phvs N] [--bits B] [--runs R] [--jobs J]
+                  [--verify-bits B] [--verify-packets N] [--out FILE]
+                  mutation campaign over the Table 1 corpus (JSON report)
   druzhba atoms      list the ALU DSL atom library
   druzhba programs   list the Table 1 benchmark programs";
 
@@ -112,6 +127,98 @@ impl Args {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    /// Seeds are printed as `0x…` in failure messages, so the flag accepts
+    /// both decimal and `0x`-prefixed hex — replay instructions must paste
+    /// back verbatim.
+    fn get_seed(&self, key: &str, default: u64) -> Result<u64, String> {
+        let Some(raw) = self.get(key) else {
+            return Ok(default);
+        };
+        let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => raw.parse(),
+        };
+        parsed.map_err(|_| format!("--{key}: bad seed `{raw}` (decimal or 0x-hex)"))
+    }
+
+    /// Optimization levels: a single level, or `all` for every backend.
+    fn get_levels(&self, key: &str, default: &[OptLevel]) -> Result<Vec<OptLevel>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(raw) => parse_levels(raw),
+        }
+    }
+}
+
+fn parse_level(tok: &str) -> Result<OptLevel, String> {
+    match tok {
+        "0" | "unoptimized" => Ok(OptLevel::Unoptimized),
+        "1" | "scc" => Ok(OptLevel::Scc),
+        "2" | "scc_inline" => Ok(OptLevel::SccInline),
+        "3" | "fused" => Ok(OptLevel::Fused),
+        other => Err(format!(
+            "--level must be 0|1|2|3 (or unoptimized|scc|scc_inline|fused) or `all`, got `{other}`"
+        )),
+    }
+}
+
+fn parse_levels(raw: &str) -> Result<Vec<OptLevel>, String> {
+    if raw == "all" {
+        return Ok(OptLevel::ALL.to_vec());
+    }
+    raw.split(',').map(|tok| parse_level(tok.trim())).collect()
+}
+
+/// Apply `--edit name=value,name=-` machine-code edits (a `-` value
+/// removes the pair). This is how a hunt report's `essential_edits`
+/// replay from the CLI: the compiler regenerates the known-good program,
+/// and the edits re-create the mutant the campaign diverged on.
+fn apply_edits(mc: &mut druzhba::core::MachineCode, raw: &str) -> Result<(), String> {
+    for tok in raw.split(',') {
+        let tok = tok.trim();
+        let Some((name, value)) = tok.split_once('=') else {
+            return Err(format!(
+                "--edit: expected `name=value` or `name=-`, got `{tok}`"
+            ));
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if !mc.contains(name) {
+            return Err(format!("--edit: `{name}` is not a machine-code pair"));
+        }
+        if value == "-" {
+            mc.remove(name);
+        } else {
+            let v: u32 = value
+                .parse()
+                .map_err(|_| format!("--edit: bad value `{value}` for `{name}`"))?;
+            mc.set(name.to_string(), v);
+        }
+    }
+    Ok(())
+}
+
+/// Print a minimized counterexample the way a bug report wants it: the
+/// reduced packet sequence plus (for hunts) the essential machine-code
+/// delta.
+fn print_minimized(mce: &MinimizedCounterExample) {
+    println!(
+        "minimized counterexample: {} of {} packet(s), {} differential check(s)",
+        mce.packets(),
+        mce.original_packets,
+        mce.checks
+    );
+    for (i, phv) in mce.input.phvs.iter().enumerate() {
+        println!("  packet {i}: {phv}");
+    }
+    if let Some(edits) = &mce.essential_edits {
+        for e in edits {
+            println!(
+                "  essential edit: {} (good {:?} -> bad {:?})",
+                e.name, e.good, e.bad
+            );
         }
     }
 }
@@ -168,68 +275,102 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     report(&compiled);
     let num_phvs = args.get_usize("phvs", 50_000)?;
     let bits = args.get_u32("bits", 10)?;
+    let seed = args.get_seed("seed", FuzzConfig::default().seed)?;
+    let levels = args.get_levels("level", &[OptLevel::Fused])?;
     let runs = args.get_usize("runs", 1)?;
     let jobs = args.get_usize("jobs", 0)?;
     if jobs > 0 && runs <= 1 {
         return Err("--jobs shards a multi-run campaign; pass --runs R (R > 1) with it".into());
     }
+    let mut machine_code = compiled.machine_code.clone();
+    if let Some(raw) = args.get("edit") {
+        apply_edits(&mut machine_code, raw)?;
+        eprintln!("applied machine-code edit(s): {raw}");
+    }
+    let replay_edit = args
+        .get("edit")
+        .map(|raw| format!(" --edit '{raw}'"))
+        .unwrap_or_default();
     let fuzz_cfg = FuzzConfig {
         num_phvs,
+        seed,
         input_bits: bits,
         observable: Some(compiled.observable_containers()),
         state_cells: compiled.state_cells.clone(),
         ..FuzzConfig::default()
     };
-    if runs > 1 {
-        // Parallel campaign: `runs` independently seeded Fig. 5 workflows
-        // sharded across worker threads, deterministic per run index.
-        let campaign_cfg = CampaignConfig {
-            runs,
-            workers: if jobs == 0 {
-                CampaignConfig::default().workers
-            } else {
-                jobs
-            },
-            base: fuzz_cfg,
-        };
-        let campaign = fuzz_campaign(
+    for &level in &levels {
+        if runs > 1 {
+            // Parallel campaign: `runs` independently seeded Fig. 5
+            // workflows sharded across worker threads, deterministic per
+            // run index.
+            let campaign_cfg = CampaignConfig {
+                runs,
+                workers: if jobs == 0 {
+                    CampaignConfig::default().workers
+                } else {
+                    jobs
+                },
+                base: fuzz_cfg.clone(),
+            };
+            let campaign = fuzz_campaign(
+                &compiled.pipeline_spec,
+                &machine_code,
+                level,
+                || CompiledSpec::new(program.clone(), &compiled),
+                &campaign_cfg,
+            );
+            let (passed, incompatible, mismatched) = campaign.counts();
+            println!(
+                "campaign[{}]: {runs} runs x {num_phvs} PHVs at {bits}-bit inputs on {} \
+                 workers -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
+                level.key(),
+                campaign_cfg.workers
+            );
+            if let Some(f) = campaign.first_failure() {
+                if let Some(mce) = &f.minimized {
+                    print_minimized(mce);
+                }
+                return Err(format!(
+                    "fuzzing found a divergence at level {} (replay with \
+                     `--seed {:#x} --level {} --phvs {num_phvs} --bits {bits}{replay_edit}`): {:?}",
+                    level.key(),
+                    f.seed,
+                    level.key(),
+                    f.verdict
+                ));
+            }
+            continue;
+        }
+        let mut spec = CompiledSpec::new(program.clone(), &compiled);
+        let report = fuzz_test(
             &compiled.pipeline_spec,
-            &compiled.machine_code,
-            OptLevel::Fused,
-            || CompiledSpec::new(program.clone(), &compiled),
-            &campaign_cfg,
+            &machine_code,
+            level,
+            &mut spec,
+            &fuzz_cfg,
         );
-        let (passed, incompatible, mismatched) = campaign.counts();
         println!(
-            "campaign: {runs} runs x {num_phvs} PHVs at {bits}-bit inputs on {} workers \
-             -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
-            campaign_cfg.workers
+            "fuzz[{}]: {} PHVs at {bits}-bit inputs (seed {:#x}) -> {:?}",
+            level.key(),
+            report.phvs_tested,
+            report.seed,
+            report.verdict
         );
-        return match campaign.first_failure() {
-            None => Ok(()),
-            Some(f) => Err(format!(
-                "fuzzing found a divergence (replay with seed {:#x}): {:?}",
-                f.seed, f.verdict
-            )),
-        };
+        if !report.passed() {
+            if let Some(mce) = &report.minimized {
+                print_minimized(mce);
+            }
+            return Err(format!(
+                "fuzzing found a divergence at level {} (replay with \
+                 `--seed {:#x} --level {} --phvs {num_phvs} --bits {bits}{replay_edit}`)",
+                level.key(),
+                report.seed,
+                level.key()
+            ));
+        }
     }
-    let mut spec = CompiledSpec::new(program, &compiled);
-    let report = fuzz_test(
-        &compiled.pipeline_spec,
-        &compiled.machine_code,
-        OptLevel::Fused,
-        &mut spec,
-        &fuzz_cfg,
-    );
-    println!(
-        "fuzz: {} PHVs at {bits}-bit inputs -> {:?}",
-        report.phvs_tested, report.verdict
-    );
-    if report.passed() {
-        Ok(())
-    } else {
-        Err("fuzzing found a divergence".into())
-    }
+    Ok(())
 }
 
 fn cmd_verify(rest: &[String]) -> Result<(), String> {
@@ -238,38 +379,132 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     report(&compiled);
     let bits = args.get_u32("bits", 2)?;
     let packets = args.get_usize("packets", 3)?;
-    let mut spec = CompiledSpec::new(program, &compiled);
-    let outcome = verify_bounded(
-        &compiled.pipeline_spec,
-        &compiled.machine_code,
-        OptLevel::SccInline,
-        &mut spec,
-        &VerifyConfig {
-            input_bits: bits,
-            packets,
-            relevant_containers: (0..compiled.input_fields.len()).collect(),
-            observable: Some(compiled.observable_containers()),
-            state_cells: compiled.state_cells.clone(),
-            max_cases: 10_000_000,
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    match outcome {
-        VerifyOutcome::Verified { cases } => {
-            println!(
-                "verified: all {cases} input trace(s) of {packets} packet(s) at \
-                 {bits}-bit inputs agree with the specification"
-            );
-            Ok(())
-        }
-        VerifyOutcome::CounterExample { input, mismatch } => {
-            println!("counterexample: {mismatch}");
-            for (i, phv) in input.phvs.iter().enumerate() {
-                println!("  packet {i}: {phv}");
+    // Default: cover every backend — a divergence between levels is
+    // exactly the compiler-testing signal this tool exists for.
+    let levels = args.get_levels("level", &OptLevel::ALL)?;
+    for &level in &levels {
+        let mut spec = CompiledSpec::new(program.clone(), &compiled);
+        let outcome = verify_bounded(
+            &compiled.pipeline_spec,
+            &compiled.machine_code,
+            level,
+            &mut spec,
+            &VerifyConfig {
+                input_bits: bits,
+                packets,
+                relevant_containers: (0..compiled.input_fields.len()).collect(),
+                observable: Some(compiled.observable_containers()),
+                state_cells: compiled.state_cells.clone(),
+                max_cases: 10_000_000,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        match outcome {
+            VerifyOutcome::Verified { cases } => {
+                println!(
+                    "verified[{}]: all {cases} input trace(s) of {packets} packet(s) at \
+                     {bits}-bit inputs agree with the specification",
+                    level.key()
+                );
             }
-            Err("verification found a divergence".into())
+            VerifyOutcome::CounterExample {
+                input,
+                mismatch,
+                minimized,
+            } => {
+                println!("counterexample[{}]: {mismatch}", level.key());
+                for (i, phv) in input.phvs.iter().enumerate() {
+                    println!("  packet {i}: {phv}");
+                }
+                if let Some(mce) = &minimized {
+                    print_minimized(mce);
+                }
+                return Err(format!(
+                    "verification found a divergence at level {}",
+                    level.key()
+                ));
+            }
         }
     }
+    Ok(())
+}
+
+fn cmd_hunt(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    if let Some(file) = &args.file {
+        return Err(format!(
+            "hunt runs over the built-in corpus (unexpected argument `{file}`); \
+             select programs with --programs a,b,c"
+        ));
+    }
+    let defaults = HuntConfig::default();
+    let cfg = HuntConfig {
+        programs: args
+            .get("programs")
+            .map(|raw| raw.split(',').map(|s| s.trim().to_string()).collect())
+            .unwrap_or_default(),
+        mutants_per_class: args.get_usize("mutants", defaults.mutants_per_class)?,
+        seed: args.get_seed("seed", defaults.seed)?,
+        levels: args.get_levels("level", &defaults.levels)?,
+        fuzz_phvs: args.get_usize("phvs", defaults.fuzz_phvs)?,
+        fuzz_runs: args.get_usize("runs", defaults.fuzz_runs)?,
+        input_bits: args.get_u32("bits", defaults.input_bits)?,
+        verify_bits: args.get_u32("verify-bits", defaults.verify_bits)?,
+        verify_packets: args.get_usize("verify-packets", defaults.verify_packets)?,
+        workers: match args.get_usize("jobs", 0)? {
+            0 => defaults.workers,
+            jobs => jobs,
+        },
+    };
+    let report = hunt(&cfg)?;
+
+    // Human summary on stderr, machine-readable JSON on stdout (or --out),
+    // so `druzhba hunt > report.json` composes.
+    for o in &report.outcomes {
+        if o.detected() {
+            continue;
+        }
+        eprintln!(
+            "SURVIVOR: {} {:?} at level {} went undetected",
+            o.program,
+            o.fault,
+            o.level.key()
+        );
+    }
+    let by_fault = report.by_fault_kind();
+    for (kind, (total, detected)) in &by_fault {
+        eprintln!("hunt: {:<18} {detected}/{total} detected", kind.key());
+    }
+    if report.neutral_discarded > 0 {
+        eprintln!(
+            "hunt: {} behaviorally neutral mutation candidate(s) screened out",
+            report.neutral_discarded
+        );
+    }
+    eprintln!(
+        "hunt: {} evaluation(s) over {} backend(s) -> {}/{} detected ({:.1}%)",
+        report.evaluations(),
+        cfg.levels.len(),
+        report.detected(),
+        report.evaluations(),
+        report.detection_rate() * 100.0
+    );
+    let json = report.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("hunt report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    let undetected = report.evaluations() - report.detected();
+    if undetected > 0 {
+        return Err(format!(
+            "hunt: {undetected} of {} injected-fault evaluation(s) went undetected",
+            report.evaluations()
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_emit(rest: &[String]) -> Result<(), String> {

@@ -165,7 +165,7 @@ fn fuzz_campaign_shards_runs_across_workers() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("campaign: 4 runs x 200 PHVs"),
+        stdout.contains("campaign[fused]: 4 runs x 200 PHVs"),
         "stdout: {stdout}"
     );
     assert!(stdout.contains("4 passed"), "stdout: {stdout}");
@@ -182,6 +182,167 @@ fn fuzz_campaign_shards_runs_across_workers() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--runs"), "stderr: {err}");
+}
+
+#[test]
+fn fuzz_accepts_hex_seed_and_reports_it() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "fuzz",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--phvs",
+        "200",
+        "--seed",
+        "0xBEEF",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The seed is echoed so failing runs paste straight back into --seed.
+    assert!(stdout.contains("seed 0xbeef"), "stdout: {stdout}");
+
+    // A malformed seed is a flag error, not a silent default.
+    let path = write_sampling();
+    let out = druzhba(&[
+        "fuzz",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--seed",
+        "xyz",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad seed"), "stderr: {err}");
+}
+
+#[test]
+fn fuzz_level_all_exercises_every_backend() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "fuzz",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--phvs",
+        "200",
+        "--level",
+        "all",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for level in ["unoptimized", "scc", "scc_inline", "fused"] {
+        assert!(
+            stdout.contains(&format!("fuzz[{level}]")),
+            "missing level `{level}` in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_edit_diverges_and_printed_seed_replays_it() {
+    let path = write_sampling();
+    let base = |extra: &[&str]| {
+        let mut v = vec![
+            "fuzz",
+            path.to_str().unwrap(),
+            "--depth",
+            "2",
+            "--width",
+            "1",
+            "--atom",
+            "if_else_raw",
+            "--phvs",
+            "200",
+        ];
+        v.extend_from_slice(extra);
+        v.into_iter().map(String::from).collect::<Vec<_>>()
+    };
+    // Reroute the sample-flag output mux: a mutant the fuzzer must catch.
+    let args = base(&["--edit", "stateful_alu_0_0_const_0=8"]);
+    let out = druzhba(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!out.status.success(), "the edit must diverge");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The failure prints a minimized counterexample and an actionable
+    // replay line carrying the seed and the edit.
+    assert!(
+        stdout.contains("minimized counterexample"),
+        "stdout: {stdout}"
+    );
+    assert!(stderr.contains("--seed 0x"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--edit 'stateful_alu_0_0_const_0=8'"),
+        "stderr: {stderr}"
+    );
+    // Extract the printed seed and paste it back: same divergence.
+    let seed = stderr
+        .split("--seed ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("failure message carries a seed")
+        .to_string();
+    let args = base(&["--edit", "stateful_alu_0_0_const_0=8", "--seed", &seed]);
+    let out = druzhba(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!out.status.success(), "replay must reproduce");
+    let replay_err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        replay_err.contains(&format!("--seed {seed}")),
+        "replay stderr: {replay_err}"
+    );
+
+    // Unknown pair names are flag errors, not silent no-ops.
+    let args = base(&["--edit", "no_such_pair=1"]);
+    let out = druzhba(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a machine-code pair"), "stderr: {err}");
+}
+
+#[test]
+fn fuzz_rejects_unknown_level() {
+    let path = write_sampling();
+    let out = druzhba(&[
+        "fuzz",
+        path.to_str().unwrap(),
+        "--depth",
+        "2",
+        "--width",
+        "1",
+        "--atom",
+        "if_else_raw",
+        "--level",
+        "9",
+    ]);
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--level"), "stderr: {err}");
 }
 
 #[test]
@@ -209,6 +370,59 @@ fn verify_exhausts_small_input_space() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("verified"), "stdout: {stdout}");
+    // Default coverage: every backend is differentially verified.
+    for level in ["unoptimized", "scc", "scc_inline", "fused"] {
+        assert!(
+            stdout.contains(&format!("verified[{level}]")),
+            "missing level `{level}` in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn hunt_smoke_detects_all_faults_and_emits_json() {
+    let out = druzhba(&[
+        "hunt",
+        "--programs",
+        "sampling",
+        "--mutants",
+        "1",
+        "--phvs",
+        "400",
+        "--runs",
+        "1",
+        "--jobs",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("\"detection_rate\": 1.0000"),
+        "stdout: {stdout}"
+    );
+    for key in [
+        "\"removed_pair\"",
+        "\"mutated_value\"",
+        "\"out_of_range_value\"",
+        "\"minimized\"",
+        "\"essential_edits\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in:\n{stdout}");
+    }
+    assert!(stderr.contains("detected"), "stderr: {stderr}");
+}
+
+#[test]
+fn hunt_rejects_unknown_program() {
+    let out = druzhba(&["hunt", "--programs", "nonexistent_program"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown program"), "stderr: {err}");
 }
 
 #[test]

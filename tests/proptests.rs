@@ -173,6 +173,174 @@ proptest! {
     }
 }
 
+mod minimize_props {
+    use super::*;
+    use druzhba::dsim::fault::FaultInjector;
+    use druzhba::dsim::minimize::{minimize, minimize_fault, MinimizeConfig};
+    use druzhba::dsim::testing::{fuzz_test, run_case, ClosureSpec, FuzzConfig, Specification};
+    use druzhba::dsim::TrafficGenerator;
+
+    /// 1-stage accumulator grid with the correct machine code: state +=
+    /// container 0, old state -> container 1.
+    fn accumulator() -> (PipelineSpec, MachineCode) {
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(1, 1, 2),
+            atom("raw").unwrap(),
+            atom("stateless_mux").unwrap(),
+        )
+        .unwrap();
+        let mut mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        mc.set("output_mux_phv_0_1", 2);
+        (spec, mc)
+    }
+
+    fn accumulator_spec() -> impl Specification {
+        ClosureSpec::new(
+            0u32,
+            |state: &mut u32, input: &Phv| {
+                let old = *state;
+                *state = state.wrapping_add(input.get(0));
+                Phv::new(vec![input.get(0), old])
+            },
+            |s| vec![*s],
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Minimization soundness over random single-pair mutations: when
+        /// a fuzz run fails, its minimized counterexample (a) reproduces
+        /// the same verdict class, (b) is never longer than the fuzzed
+        /// trace, and (c) never grows any container value.
+        #[test]
+        fn minimized_counterexample_is_sound(
+            fault_seed in 0u64..10_000,
+            traffic_seed in 0u64..10_000,
+        ) {
+            let (spec, good) = accumulator();
+            let mut injector = FaultInjector::new(fault_seed);
+            let Some((bad, _fault)) = injector.mutate_random_value(&spec, &good) else {
+                return Ok(());
+            };
+            let cfg = FuzzConfig {
+                num_phvs: 120,
+                seed: traffic_seed,
+                state_cells: vec![(0, 0, 0)],
+                ..FuzzConfig::default()
+            };
+            let mut reference = accumulator_spec();
+            let report = fuzz_test(&spec, &bad, OptLevel::SccInline, &mut reference, &cfg);
+            if report.passed() {
+                // Behaviorally neutral mutation: nothing to minimize.
+                prop_assert!(report.minimized.is_none());
+                return Ok(());
+            }
+            let mce = report.minimized.expect("failures carry a counterexample");
+            prop_assert_eq!(mce.verdict.class(), report.verdict.class());
+            prop_assert!(mce.packets() <= cfg.num_phvs);
+            prop_assert!(mce.packets() <= mce.original_packets);
+            // Replay from scratch: the minimized input still fails the
+            // same way.
+            let mut reference = accumulator_spec();
+            let v = run_case(
+                &spec,
+                &bad,
+                OptLevel::SccInline,
+                &mut reference,
+                &mce.input,
+                None,
+                &cfg.state_cells,
+            );
+            prop_assert_eq!(v.class(), report.verdict.class());
+        }
+
+        /// Fault-aware minimization always pins the injected pair: with a
+        /// known-good baseline, the essential edit set is exactly the one
+        /// mutation (when it diverges at all), and the reduced machine
+        /// code equals the baseline outside it.
+        #[test]
+        fn essential_edits_pin_the_injected_fault(
+            fault_seed in 0u64..10_000,
+            traffic_seed in 0u64..10_000,
+        ) {
+            let (spec, good) = accumulator();
+            let mut injector = FaultInjector::new(fault_seed);
+            let Some((bad, fault)) = injector.mutate_random_value(&spec, &good) else {
+                return Ok(());
+            };
+            let input = TrafficGenerator::new(traffic_seed, 2, 10).trace(120);
+            let mut reference = accumulator_spec();
+            let cfg = MinimizeConfig {
+                state_cells: vec![(0, 0, 0)],
+                ..MinimizeConfig::default()
+            };
+            let Some((reduced, mce)) = minimize_fault(
+                &spec,
+                &good,
+                &bad,
+                OptLevel::Fused,
+                &mut reference,
+                &input,
+                &cfg,
+            ) else {
+                return Ok(()); // neutral mutation
+            };
+            let edits = mce.essential_edits.expect("baseline given");
+            prop_assert_eq!(edits.len(), 1);
+            prop_assert_eq!(edits[0].name.as_str(), fault.name());
+            // Resetting the essential edit recovers the baseline program.
+            let mut restored = reduced;
+            match edits[0].good {
+                Some(v) => restored.set(edits[0].name.clone(), v),
+                None => { restored.remove(&edits[0].name); }
+            }
+            prop_assert_eq!(restored, good);
+        }
+
+        /// Minimization is idempotent enough to trust: minimizing an
+        /// already-minimized input cannot grow it.
+        #[test]
+        fn minimization_never_grows(
+            fault_seed in 0u64..10_000,
+            traffic_seed in 0u64..10_000,
+        ) {
+            let (spec, good) = accumulator();
+            let mut injector = FaultInjector::new(fault_seed);
+            let Some((bad, _)) = injector.mutate_random_value(&spec, &good) else {
+                return Ok(());
+            };
+            let input = TrafficGenerator::new(traffic_seed, 2, 10).trace(80);
+            let cfg = MinimizeConfig {
+                state_cells: vec![(0, 0, 0)],
+                ..MinimizeConfig::default()
+            };
+            let mut reference = accumulator_spec();
+            let Some(first) =
+                minimize(&spec, &bad, OptLevel::Scc, &mut reference, &input, &cfg)
+            else {
+                return Ok(());
+            };
+            let mut reference = accumulator_spec();
+            let second = minimize(
+                &spec,
+                &bad,
+                OptLevel::Scc,
+                &mut reference,
+                &first.input,
+                &cfg,
+            )
+            .expect("a minimized counterexample still diverges");
+            prop_assert!(second.packets() <= first.packets());
+            prop_assert_eq!(second.verdict.class(), first.verdict.class());
+        }
+    }
+}
+
 mod drmt_props {
     use super::*;
     use druzhba::drmt::schedule::{check_schedule, solve, solve_optimal, ScheduleConfig};
