@@ -90,7 +90,27 @@ impl CompiledProgram {
     }
 }
 
-/// Compile a validated Domino program.
+/// Compile a validated Domino program onto the `depth × width` grid of
+/// the given [`CompilerConfig`], producing machine code plus the
+/// container layout and observable outputs the fuzz harness asserts on.
+///
+/// Synthesis is deterministic: the same program and configuration always
+/// produce the same machine code, which is why fuzz/hunt seeds replay.
+///
+/// ```
+/// use druzhba_chipmunk::{compile, CompilerConfig};
+/// use druzhba_domino::parse_program;
+///
+/// let program = parse_program(
+///     "state int count = 0;\n\
+///      if (count == 9) { count = 0; pkt.sample = 1; }\n\
+///      else { count = count + 1; pkt.sample = 0; }\n",
+/// )
+/// .unwrap();
+/// let compiled = compile(&program, &CompilerConfig::new(2, 1, "if_else_raw")).unwrap();
+/// assert_eq!(compiled.machine_code.try_get("stateful_alu_0_0_const_0"), Some(9));
+/// assert!(compiled.output_fields.contains_key("sample"));
+/// ```
 pub fn compile(program: &DominoProgram, cfg: &CompilerConfig) -> Result<CompiledProgram> {
     // Pipeline state powers up zeroed; nonzero initials would need a
     // preamble the hardware model does not have.

@@ -22,16 +22,26 @@
 //! (the real Druzhba compiles this generated source together with dsim; as a
 //! library we both emit the source and execute semantically identical
 //! in-process backends).
+//!
+//! Beyond the ALU path, [`mat`] applies the same four-backend scheme to
+//! the paper's §4 P4 direction: from a resolved P4 program, populated
+//! table entries, and an RMT lowering
+//! ([`druzhba_p4::lower::RmtLowering`]), [`MatPipeline::generate`] builds
+//! an executable *match-action* pipeline — interpretive, resolved,
+//! per-table bytecode, or whole-pipeline fused — that dsim's `p4` module
+//! differentially fuzzes against the reference interpreter.
 
 pub mod bytecode;
 pub mod emit;
 pub mod eval;
 pub mod fused;
+pub mod mat;
 pub mod opt;
 pub mod pipeline;
 
 pub use bytecode::BytecodeProgram;
 pub use fused::{FusedInstr, FusedPipeline};
+pub use mat::{emit_mat_pipeline, MatInstr, MatPipeline};
 pub use opt::specialize;
 pub use pipeline::{expected_machine_code, AluUnit, Pipeline, PipelineSpec, Stage};
 

@@ -43,7 +43,16 @@ pub use interp::Interpreter;
 
 use druzhba_core::Result;
 
-/// Parse and validate a Domino-subset program.
+/// Parse and validate a Domino-subset program (one packet transaction:
+/// `state int` declarations followed by straight-line statements).
+///
+/// ```
+/// let program = druzhba_domino::parse_program(
+///     "state int count = 0;\ncount = count + pkt.len;\n",
+/// )
+/// .unwrap();
+/// assert_eq!(program.state_vars.len(), 1);
+/// ```
 pub fn parse_program(source: &str) -> Result<DominoProgram> {
     let tokens = lexer::lex(source)?;
     let program = parser::parse(&tokens)?;

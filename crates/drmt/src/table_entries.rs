@@ -1,9 +1,7 @@
-//! The table-entry configuration format (paper §4.2).
-//!
-//! *"The configuration format for the table entries primarily consists of
-//! (1) the table that the entry will be added to, (2) the packet field to
-//! be matched on, (3) the type of match to perform (e.g. ternary, exact),
-//! and (4) the corresponding action to be executed if there is a match."*
+//! The table-entry configuration format (paper §4.2) — re-exported from
+//! [`druzhba_p4::tables`], where the format and the shared match engine
+//! now live so the dRMT machine, the reference interpreter, and the
+//! lowered RMT pipeline all match packets through one engine.
 //!
 //! One entry per line:
 //!
@@ -13,181 +11,7 @@
 //! forward : ethernet.dst=99 => drop_it()
 //! ```
 //!
-//! The match *kind* comes from the table's `reads` declaration: `exact`
-//! entries give a value, `ternary` entries may add `/mask`, `lpm` entries
-//! may add `/prefix_len`. Entries match in file order (first hit wins,
-//! except `lpm` fields which prefer the longest prefix among hits).
+//! See [`druzhba_p4::tables`] for the full format and the
+//! [`bind`](druzhba_p4::tables::bind)-time validation rules.
 
-use druzhba_core::{Error, Result, Value};
-use druzhba_p4::ast::FieldRef;
-
-/// A match pattern for one field.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MatchPattern {
-    pub field: FieldRef,
-    pub value: Value,
-    /// Ternary mask or LPM prefix length (interpretation depends on the
-    /// table's declared match kind).
-    pub qualifier: Option<Value>,
-}
-
-/// One table entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TableEntry {
-    pub table: String,
-    pub matches: Vec<MatchPattern>,
-    pub action: String,
-    pub args: Vec<Value>,
-    /// File order; lower wins on ties.
-    pub priority: usize,
-}
-
-/// Parse a table-entries file.
-pub fn parse_entries(text: &str) -> Result<Vec<TableEntry>> {
-    let mut entries = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let err = |message: String| Error::Other {
-            message: format!("table entries line {}: {message}", lineno + 1),
-        };
-        let (head, action_part) = line
-            .split_once("=>")
-            .ok_or_else(|| err("missing `=>`".into()))?;
-        let (table, match_part) = head
-            .split_once(':')
-            .ok_or_else(|| err("missing `:` after table name".into()))?;
-        let table = table.trim().to_string();
-        if table.is_empty() {
-            return Err(err("empty table name".into()));
-        }
-
-        let mut matches = Vec::new();
-        let match_part = match_part.trim();
-        if !match_part.is_empty() {
-            for clause in match_part.split(',') {
-                let clause = clause.trim();
-                let (field_txt, value_txt) = clause
-                    .split_once('=')
-                    .ok_or_else(|| err(format!("match clause `{clause}` missing `=`")))?;
-                let (header, field) = field_txt
-                    .trim()
-                    .split_once('.')
-                    .ok_or_else(|| err(format!("field `{field_txt}` must be header.field")))?;
-                let (value_txt, qualifier) = match value_txt.split_once('/') {
-                    Some((v, q)) => (v, Some(parse_value(q.trim()).map_err(&err)?)),
-                    None => (value_txt, None),
-                };
-                let value = parse_value(value_txt.trim()).map_err(&err)?;
-                matches.push(MatchPattern {
-                    field: FieldRef {
-                        header: header.trim().to_string(),
-                        field: field.trim().to_string(),
-                    },
-                    value,
-                    qualifier,
-                });
-            }
-        }
-
-        let action_part = action_part.trim();
-        let (action, args) = match action_part.split_once('(') {
-            Some((name, rest)) => {
-                let rest = rest
-                    .strip_suffix(')')
-                    .ok_or_else(|| err("missing `)` after action arguments".into()))?;
-                let args: Result<Vec<Value>> = rest
-                    .split(',')
-                    .map(str::trim)
-                    .filter(|s| !s.is_empty())
-                    .map(|s| parse_value(s).map_err(&err))
-                    .collect();
-                (name.trim().to_string(), args?)
-            }
-            None => (action_part.to_string(), Vec::new()),
-        };
-        if action.is_empty() {
-            return Err(err("empty action name".into()));
-        }
-        entries.push(TableEntry {
-            table,
-            matches,
-            action,
-            args,
-            priority: entries.len(),
-        });
-    }
-    Ok(entries)
-}
-
-fn parse_value(s: &str) -> std::result::Result<Value, String> {
-    let parsed = if let Some(hex) = s.strip_prefix("0x") {
-        Value::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    parsed.map_err(|_| format!("bad value `{s}`"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_exact_entry() {
-        let entries = parse_entries("fwd : eth.dst=42 => set_port(3)\n").unwrap();
-        assert_eq!(entries.len(), 1);
-        let e = &entries[0];
-        assert_eq!(e.table, "fwd");
-        assert_eq!(e.matches.len(), 1);
-        assert_eq!(e.matches[0].value, 42);
-        assert_eq!(e.matches[0].qualifier, None);
-        assert_eq!(e.action, "set_port");
-        assert_eq!(e.args, vec![3]);
-    }
-
-    #[test]
-    fn parses_ternary_mask_and_hex() {
-        let entries =
-            parse_entries("acl : ip.proto=0x6/0xff, ip.dst=10/0xf0 => drop_it()\n").unwrap();
-        let e = &entries[0];
-        assert_eq!(e.matches[0].value, 6);
-        assert_eq!(e.matches[0].qualifier, Some(255));
-        assert_eq!(e.matches[1].qualifier, Some(240));
-        assert!(e.args.is_empty());
-    }
-
-    #[test]
-    fn parses_multiple_entries_with_priority() {
-        let text = "t : f.a=1 => x()\n# comment\n\nt : f.a=2 => y(9, 10)\n";
-        let entries = parse_entries(text).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].priority, 0);
-        assert_eq!(entries[1].priority, 1);
-        assert_eq!(entries[1].args, vec![9, 10]);
-    }
-
-    #[test]
-    fn action_without_parens_allowed() {
-        let entries = parse_entries("t : f.a=1 => just_do_it\n").unwrap();
-        assert_eq!(entries[0].action, "just_do_it");
-    }
-
-    #[test]
-    fn empty_match_list_allowed() {
-        // A catch-all entry (matches everything).
-        let entries = parse_entries("t :  => default_path(1)\n").unwrap();
-        assert!(entries[0].matches.is_empty());
-    }
-
-    #[test]
-    fn rejects_malformed_lines() {
-        assert!(parse_entries("t f.a=1 => x\n").is_err());
-        assert!(parse_entries("t : f.a=1 x()\n").is_err());
-        assert!(parse_entries("t : fa=1 => x\n").is_err());
-        assert!(parse_entries("t : f.a=zz => x\n").is_err());
-        assert!(parse_entries("t : f.a=1 => x(1\n").is_err());
-    }
-}
+pub use druzhba_p4::tables::{parse_entries, MatchPattern, TableEntry};

@@ -63,7 +63,7 @@ impl PacketGen {
         }
         let id = self.next_id;
         self.next_id += 1;
-        Packet::new(id, fields)
+        Packet::from_fields(id, fields)
     }
 
     /// Generate `n` packets.

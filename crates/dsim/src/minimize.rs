@@ -99,11 +99,17 @@ impl MinimizedCounterExample {
 }
 
 /// The delta-debugging engine: owns the differential-check budget.
+///
+/// The engine is *oracle-generic*: it knows nothing about pipelines or
+/// specifications, only that a candidate `(program, input)` pair can be
+/// differentially evaluated to a [`Verdict`]. The ALU workflow passes a
+/// [`run_case`] closure over `(PipelineSpec, OptLevel, Specification)`;
+/// the P4 workflow ([`crate::p4`]) passes an interpreter-vs-match-action
+/// closure — both share every reduction strategy below.
 struct Minimizer<'a> {
-    pipeline_spec: &'a PipelineSpec,
-    opt: OptLevel,
-    reference: &'a mut dyn Specification,
-    cfg: &'a MinimizeConfig,
+    /// Differential oracle: evaluate one `(machine code, input)` pair.
+    oracle: &'a mut dyn FnMut(&MachineCode, &[Phv]) -> Verdict,
+    max_checks: usize,
     checks: usize,
 }
 
@@ -112,19 +118,11 @@ impl Minimizer<'_> {
     /// `None` when the budget is exhausted (callers treat that as "does
     /// not reproduce", which is always sound).
     fn check(&mut self, mc: &MachineCode, phvs: &[Phv]) -> Option<Verdict> {
-        if self.checks >= self.cfg.max_checks {
+        if self.checks >= self.max_checks {
             return None;
         }
         self.checks += 1;
-        Some(run_case(
-            self.pipeline_spec,
-            mc,
-            self.opt,
-            self.reference,
-            &Trace::from_phvs(phvs.to_vec()),
-            self.cfg.observable.as_deref(),
-            &self.cfg.state_cells,
-        ))
+        Some((self.oracle)(mc, phvs))
     }
 
     /// Evaluate a candidate and return its verdict if it reproduces the
@@ -342,11 +340,10 @@ pub fn minimize(
     input: &Trace,
     cfg: &MinimizeConfig,
 ) -> Option<MinimizedCounterExample> {
+    let mut oracle = differential_oracle(pipeline_spec, opt, reference, cfg);
     let mut m = Minimizer {
-        pipeline_spec,
-        opt,
-        reference,
-        cfg,
+        oracle: &mut oracle,
+        max_checks: cfg.max_checks,
         checks: 0,
     };
     let original = m.check(mc, &input.phvs)?;
@@ -355,6 +352,63 @@ pub fn minimize(
         return None;
     }
     let (phvs, verdict) = m.minimize_trace(mc, input, original, target);
+    Some(MinimizedCounterExample {
+        input: Trace::from_phvs(phvs),
+        verdict,
+        original_packets: input.len(),
+        essential_edits: None,
+        checks: m.checks,
+    })
+}
+
+/// The standard ALU-pipeline differential oracle used by [`minimize`] and
+/// [`minimize_fault`]: one [`run_case`] per candidate.
+fn differential_oracle<'a>(
+    pipeline_spec: &'a PipelineSpec,
+    opt: OptLevel,
+    reference: &'a mut dyn Specification,
+    cfg: &'a MinimizeConfig,
+) -> impl FnMut(&MachineCode, &[Phv]) -> Verdict + 'a {
+    move |mc, phvs| {
+        run_case(
+            pipeline_spec,
+            mc,
+            opt,
+            reference,
+            &Trace::from_phvs(phvs.to_vec()),
+            cfg.observable.as_deref(),
+            &cfg.state_cells,
+        )
+    }
+}
+
+/// Minimize a failing input trace against an arbitrary differential
+/// oracle — the program under test is fixed inside the closure (the P4
+/// workflow's interpreter-vs-pipeline check, a cross-model comparison,
+/// or anything else that maps an input trace to a [`Verdict`]).
+///
+/// Runs the same reduction pipeline as [`minimize`] — truncation at the
+/// diverging tick, prefix halving, packet ddmin, value shrinking — under
+/// the same `max_checks` budget. Returns `None` when `input` does not
+/// diverge.
+pub fn minimize_trace_with(
+    oracle: &mut dyn FnMut(&[Phv]) -> Verdict,
+    input: &Trace,
+    max_checks: usize,
+) -> Option<MinimizedCounterExample> {
+    let fixed = MachineCode::new();
+    let mut adapted = |_: &MachineCode, phvs: &[Phv]| oracle(phvs);
+    let mut m = Minimizer {
+        oracle: &mut adapted,
+        max_checks,
+        checks: 0,
+    };
+    let original = m.check(&fixed, &input.phvs)?;
+    let target = original.class();
+    if target == VerdictClass::Pass {
+        return None;
+    }
+    let (phvs, verdict) = m.minimize_trace(&fixed, input, original, target);
     Some(MinimizedCounterExample {
         input: Trace::from_phvs(phvs),
         verdict,
@@ -381,11 +435,10 @@ pub fn minimize_fault(
     input: &Trace,
     cfg: &MinimizeConfig,
 ) -> Option<(MachineCode, MinimizedCounterExample)> {
+    let mut oracle = differential_oracle(pipeline_spec, opt, reference, cfg);
     let mut m = Minimizer {
-        pipeline_spec,
-        opt,
-        reference,
-        cfg,
+        oracle: &mut oracle,
+        max_checks: cfg.max_checks,
         checks: 0,
     };
     let original = m.check(bad, &input.phvs)?;

@@ -60,6 +60,18 @@ impl Hlir {
     pub fn table_index(&self, name: &str) -> Option<usize> {
         self.tables.iter().position(|t| t.name == name)
     }
+
+    /// Whether a header instance is valid at ingress. Metadata is always
+    /// valid; a header is valid iff the (linear, unconditional) parser
+    /// extracts it — so validity is a static property of the program, not
+    /// of individual packets.
+    pub fn header_valid(&self, name: &str) -> bool {
+        match self.program.header(name) {
+            Some(h) if h.metadata => true,
+            Some(_) => self.program.parser_extracts.iter().any(|e| e == name),
+            None => false,
+        }
+    }
 }
 
 /// Resolve and analyse a parsed program.

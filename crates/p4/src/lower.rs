@@ -1,0 +1,338 @@
+//! RMT lowering: place a resolved P4 program onto the feed-forward
+//! match-action pipeline model.
+//!
+//! Two placement decisions turn an [`Hlir`] into something the simulated
+//! RMT pipeline can execute:
+//!
+//! 1. **Field layout** ([`FieldLayout`]): every packet field (header and
+//!    metadata, in declaration order) gets one PHV container, plus one
+//!    trailing container carrying the drop flag — so a packet *is* a
+//!    [`Phv`] and the whole dsim trace/differential
+//!    machinery applies unchanged.
+//! 2. **Stage assignment** ([`lower`]): tables are placed into pipeline
+//!    stages from the dependency DAG ([`crate::deps`]). A *match* or
+//!    *action* dependency forces the later table into a strictly later
+//!    stage (its match reads the stage-entry snapshot, which cannot see a
+//!    same-stage write); a *successor* dependency may share a stage
+//!    (guards are static in this model, so predication is free). Stage
+//!    capacity is bounded by [`RmtConfig::tables_per_stage`]; tables that
+//!    do not fit spill to the next stage, and programs that exceed
+//!    [`RmtConfig::max_stages`] are rejected — the P4 analog of "machine
+//!    code incompatible with the pipeline".
+//!
+//! The stage-snapshot execution discipline (matches read stage-entry
+//! values, actions apply in control order) is implemented by dgen's `mat`
+//! backends; DESIGN.md §8 documents the full semantics.
+
+use druzhba_core::{Error, Phv, Result, Value};
+
+use crate::ast::FieldRef;
+use crate::deps::{build_dag, DependencyKind};
+use crate::exec::Packet;
+use crate::hlir::Hlir;
+
+/// Capacity of the simulated RMT match-action pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmtConfig {
+    /// Maximum pipeline depth (stages).
+    pub max_stages: usize,
+    /// Maximum tables placed in one stage.
+    pub tables_per_stage: usize,
+}
+
+impl Default for RmtConfig {
+    fn default() -> Self {
+        // RMT-paper proportions: 32 physical stages; the per-stage table
+        // budget is a scaled-down crossbar/TCAM capacity.
+        RmtConfig {
+            max_stages: 32,
+            tables_per_stage: 8,
+        }
+    }
+}
+
+/// The field-to-container layout: container `i` holds field `i` in
+/// declaration order, and one extra trailing container holds the drop
+/// flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    fields: Vec<(FieldRef, u32)>,
+}
+
+impl FieldLayout {
+    /// The layout of a resolved program.
+    pub fn new(hlir: &Hlir) -> Self {
+        FieldLayout {
+            fields: hlir.fields.clone(),
+        }
+    }
+
+    /// All laid-out fields with widths, in container order.
+    pub fn fields(&self) -> &[(FieldRef, u32)] {
+        &self.fields
+    }
+
+    /// PHV length: one container per field plus the drop flag.
+    pub fn phv_length(&self) -> usize {
+        self.fields.len() + 1
+    }
+
+    /// Container index of a field.
+    pub fn container(&self, f: &FieldRef) -> Option<usize> {
+        self.fields.iter().position(|(g, _)| g == f)
+    }
+
+    /// The drop-flag container index (the last container).
+    pub fn drop_flag(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Render a packet as a PHV under this layout.
+    pub fn packet_to_phv(&self, packet: &Packet) -> Phv {
+        let mut values: Vec<Value> = self.fields.iter().map(|(f, _)| packet.get(f)).collect();
+        values.push(Value::from(packet.dropped));
+        Phv::new(values)
+    }
+
+    /// Rebuild a packet from a PHV under this layout.
+    ///
+    /// # Panics
+    /// Panics if the PHV is shorter than the layout.
+    pub fn phv_to_packet(&self, id: u64, phv: &Phv) -> Packet {
+        let mut packet = Packet::from_fields(
+            id,
+            self.fields
+                .iter()
+                .enumerate()
+                .map(|(i, (f, _))| (f.clone(), phv.get(i)))
+                .collect(),
+        );
+        packet.dropped = phv.get(self.drop_flag()) != 0;
+        packet
+    }
+}
+
+/// A lowered program: the container layout plus the table-to-stage
+/// placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmtLowering {
+    /// Field-to-container layout.
+    pub layout: FieldLayout,
+    /// `stage_of[t]` — pipeline stage of applied table `t`.
+    pub stage_of: Vec<usize>,
+    /// `stages[s]` — applied-table indices placed in stage `s`, in control
+    /// order.
+    pub stages: Vec<Vec<usize>>,
+}
+
+impl RmtLowering {
+    /// Pipeline depth (number of occupied stages).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Lower a resolved program onto the RMT pipeline model (see the module
+/// docs for the placement rules).
+pub fn lower(hlir: &Hlir, cfg: &RmtConfig) -> Result<RmtLowering> {
+    let dag = build_dag(hlir);
+    let n = hlir.tables.len();
+    if n > 0 && cfg.tables_per_stage == 0 {
+        return Err(Error::Other {
+            message: "tables_per_stage must be at least 1".into(),
+        });
+    }
+    let mut stage_of = vec![0usize; n];
+    let mut occupancy: Vec<usize> = Vec::new();
+    for t in 0..n {
+        // Earliest stage permitted by the dependency DAG.
+        let mut min_stage = 0;
+        for e in dag.predecessors(t) {
+            let required = match e.kind {
+                DependencyKind::Match | DependencyKind::Action => stage_of[e.from] + 1,
+                DependencyKind::Successor => stage_of[e.from],
+            };
+            min_stage = min_stage.max(required);
+        }
+        // First stage at or after min_stage with table capacity left
+        // (bounded: max_stages is re-checked below, and each occupied
+        // stage holds at least one table).
+        let mut stage = min_stage;
+        while stage < cfg.max_stages
+            && occupancy.get(stage).copied().unwrap_or(0) >= cfg.tables_per_stage
+        {
+            stage += 1;
+        }
+        if stage >= cfg.max_stages {
+            return Err(Error::Other {
+                message: format!(
+                    "table `{}` needs stage {stage} but the pipeline has only {} stage(s)",
+                    hlir.tables[t].name, cfg.max_stages
+                ),
+            });
+        }
+        if occupancy.len() <= stage {
+            occupancy.resize(stage + 1, 0);
+        }
+        occupancy[stage] += 1;
+        stage_of[t] = stage;
+    }
+    let num_stages = occupancy.len();
+    let mut stages: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+    for (t, &s) in stage_of.iter().enumerate() {
+        stages[s].push(t);
+    }
+    Ok(RmtLowering {
+        layout: FieldLayout::new(hlir),
+        stage_of,
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_p4;
+
+    const PRELUDE: &str = "header_type h_t { fields { a : 32; b : 32; c : 32; } }\n\
+                           header h_t pkt;\nmetadata h_t meta;\n\
+                           parser start { extract(pkt); return ingress; }\n";
+
+    #[test]
+    fn layout_assigns_containers_in_declaration_order() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t); }}"
+        );
+        let hlir = parse_p4(&src).unwrap();
+        let layout = FieldLayout::new(&hlir);
+        assert_eq!(layout.phv_length(), 7, "6 fields + drop flag");
+        assert_eq!(
+            layout.container(&FieldRef {
+                header: "meta".into(),
+                field: "b".into()
+            }),
+            Some(4)
+        );
+        assert_eq!(layout.drop_flag(), 6);
+    }
+
+    #[test]
+    fn packet_phv_roundtrip() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t); }}"
+        );
+        let hlir = parse_p4(&src).unwrap();
+        let layout = FieldLayout::new(&hlir);
+        let mut packet = Packet::new(7, [(("pkt", "a"), 11), (("meta", "c"), 22)]);
+        packet.dropped = true;
+        let phv = layout.packet_to_phv(&packet);
+        assert_eq!(phv.get(0), 11);
+        assert_eq!(phv.get(5), 22);
+        assert_eq!(phv.get(6), 1);
+        let back = layout.phv_to_packet(7, &phv);
+        assert_eq!(back.get_named("pkt", "a"), 11);
+        assert_eq!(back.get_named("meta", "c"), 22);
+        assert!(back.dropped);
+    }
+
+    #[test]
+    fn match_dependency_forces_later_stage() {
+        let src = format!(
+            "{PRELUDE}\
+             action w() {{ modify_field(meta.a, 1); }}\n\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let lowering = lower(&parse_p4(&src).unwrap(), &RmtConfig::default()).unwrap();
+        assert_eq!(lowering.stage_of, vec![0, 1]);
+        assert_eq!(lowering.num_stages(), 2);
+    }
+
+    #[test]
+    fn independent_tables_share_a_stage() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             action m() {{ modify_field(meta.b, 2); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ m; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); }}"
+        );
+        let lowering = lower(&parse_p4(&src).unwrap(), &RmtConfig::default()).unwrap();
+        assert_eq!(lowering.stage_of, vec![0, 0]);
+        assert_eq!(lowering.stages, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn successor_dependency_may_share_a_stage() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); if (valid(pkt)) {{ apply(t2); }} }}"
+        );
+        let lowering = lower(&parse_p4(&src).unwrap(), &RmtConfig::default()).unwrap();
+        assert_eq!(lowering.stage_of, vec![0, 0]);
+    }
+
+    #[test]
+    fn capacity_spills_to_the_next_stage() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             table t2 {{ reads {{ pkt.b : exact; }} actions {{ n; }} }}\n\
+             table t3 {{ reads {{ pkt.c : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); apply(t3); }}"
+        );
+        let cfg = RmtConfig {
+            max_stages: 4,
+            tables_per_stage: 2,
+        };
+        let lowering = lower(&parse_p4(&src).unwrap(), &cfg).unwrap();
+        assert_eq!(lowering.stage_of, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn over_deep_program_rejected() {
+        let src = format!(
+            "{PRELUDE}\
+             action w1() {{ modify_field(meta.a, 1); }}\n\
+             action w2() {{ modify_field(meta.b, meta.a); }}\n\
+             action n() {{ modify_field(meta.c, meta.b); }}\n\
+             table t1 {{ reads {{ pkt.a : exact; }} actions {{ w1; }} }}\n\
+             table t2 {{ reads {{ meta.a : exact; }} actions {{ w2; }} }}\n\
+             table t3 {{ reads {{ meta.b : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t1); apply(t2); apply(t3); }}"
+        );
+        let cfg = RmtConfig {
+            max_stages: 2,
+            tables_per_stage: 8,
+        };
+        assert!(lower(&parse_p4(&src).unwrap(), &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_table_capacity_rejected_not_looped() {
+        let src = format!(
+            "{PRELUDE}\
+             action n() {{ no_op(); }}\n\
+             table t {{ reads {{ pkt.a : exact; }} actions {{ n; }} }}\n\
+             control ingress {{ apply(t); }}"
+        );
+        let cfg = RmtConfig {
+            max_stages: 32,
+            tables_per_stage: 0,
+        };
+        assert!(lower(&parse_p4(&src).unwrap(), &cfg).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+// A ternary ACL in front of a destination rewrite.
+//
+// acl: masked matches over protocol and source address decide drop vs.
+// pass (first hit wins — entry priority is file order); rewrite: an
+// independent exact table that rewrites the destination, placeable in
+// the same stage as the ACL (no data dependency between them).
+
+header_type ip_t {
+    fields {
+        src : 16;
+        dst : 16;
+        proto : 8;
+    }
+}
+
+header ip_t ip;
+
+parser start {
+    extract(ip);
+    return ingress;
+}
+
+counter acl_drops { instance_count : 4; }
+
+action deny(reason) {
+    count(acl_drops, reason);
+    drop();
+}
+
+action allow() {
+    no_op();
+}
+
+action rewrite(addr) {
+    modify_field(ip.dst, addr);
+}
+
+table acl {
+    reads {
+        ip.proto : ternary;
+        ip.src : ternary;
+    }
+    actions { deny; allow; }
+    size : 32;
+    default_action : allow;
+}
+
+table rewrite_dst {
+    reads { ip.dst : exact; }
+    actions { rewrite; }
+    size : 16;
+}
+
+control ingress {
+    apply(acl);
+    apply(rewrite_dst);
+}

@@ -1,0 +1,61 @@
+// A per-class byte meter over registers.
+//
+// classify: ternary match on the flow id picks a meter class; meter:
+// reads the class's running total, adds the packet length, writes it
+// back, and mirrors the pre-update total into metadata (an action
+// dependency chain through meta.class, then register state carried
+// across packets — the stateful behavior differential fuzzing must track
+// exactly).
+
+header_type pkt_t {
+    fields {
+        flow : 16;
+        len : 16;
+    }
+}
+
+header_type meta_t {
+    fields {
+        class : 8;
+        total : 32;
+    }
+}
+
+header pkt_t pkt;
+metadata meta_t meta;
+
+parser start {
+    extract(pkt);
+    return ingress;
+}
+
+register bytes { width : 32; instance_count : 4; }
+counter metered { instance_count : 4; }
+
+action set_class(c) {
+    modify_field(meta.class, c);
+}
+
+action meter_update() {
+    register_read(meta.total, bytes, meta.class);
+    add_to_field(meta.total, pkt.len);
+    register_write(bytes, meta.class, meta.total);
+    count(metered, meta.class);
+}
+
+table classify {
+    reads { pkt.flow : ternary; }
+    actions { set_class; }
+    size : 16;
+}
+
+table meter {
+    reads { meta.class : ternary; }
+    actions { meter_update; }
+    size : 4;
+}
+
+control ingress {
+    apply(classify);
+    apply(meter);
+}

@@ -1,0 +1,58 @@
+// Validity-guarded processing: the tunnel header is declared but never
+// extracted by the parser, so it is statically invalid — the `valid()`
+// conditional's then-branch is dead and the else-branch always runs
+// (dead-table elimination on the compiled backends must agree with the
+// interpreter here).
+
+header_type base_t {
+    fields {
+        dst : 16;
+        mark : 8;
+    }
+}
+
+header_type tunnel_t {
+    fields {
+        vni : 24;
+    }
+}
+
+header base_t base;
+header tunnel_t tunnel;
+
+parser start {
+    extract(base);
+    return ingress;
+}
+
+counter mirrored { instance_count : 2; }
+
+action tag_tunnel() {
+    modify_field(base.mark, 2);
+    count(mirrored, 1);
+}
+
+action tag_plain(tag) {
+    modify_field(base.mark, tag);
+    count(mirrored, 0);
+}
+
+table tunnel_path {
+    reads { tunnel.vni : ternary; }
+    actions { tag_tunnel; }
+    size : 4;
+}
+
+table plain_path {
+    reads { base.dst : exact; }
+    actions { tag_plain; }
+    size : 16;
+}
+
+control ingress {
+    if (valid(tunnel)) {
+        apply(tunnel_path);
+    } else {
+        apply(plain_path);
+    }
+}

@@ -1,0 +1,60 @@
+// L2 forwarding with per-port egress counting.
+//
+// forward: exact match on the destination address, binds the egress port
+// (action parameter) or drops on miss; egress_count: matches the port
+// written by forward (a match dependency, so it lands one stage later)
+// and counts the packet against that port's counter.
+
+header_type ethernet_t {
+    fields {
+        dst : 16;
+        src : 16;
+        etype : 16;
+    }
+}
+
+header_type meta_t {
+    fields {
+        port : 8;
+    }
+}
+
+header ethernet_t ethernet;
+metadata meta_t meta;
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+
+counter egress_pkts { instance_count : 8; }
+
+action set_port(port) {
+    modify_field(meta.port, port);
+}
+
+action toss() {
+    drop();
+}
+
+action tally() {
+    count(egress_pkts, meta.port);
+}
+
+table forward {
+    reads { ethernet.dst : exact; }
+    actions { set_port; toss; }
+    size : 64;
+    default_action : toss;
+}
+
+table egress_count {
+    reads { meta.port : ternary; }
+    actions { tally; }
+    size : 8;
+}
+
+control ingress {
+    apply(forward);
+    apply(egress_count);
+}

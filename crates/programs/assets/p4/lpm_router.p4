@@ -1,0 +1,63 @@
+// Longest-prefix-match IP routing with a next-hop resolution chain.
+//
+// route: LPM over the destination address picks a next hop (longest
+// prefix wins over entry order); resolve: exact match on the chosen next
+// hop binds the egress port — a match dependency on route, so the chain
+// needs two pipeline stages. last_hop records the most recent next hop
+// per prefix class in a register.
+
+header_type ip_t {
+    fields {
+        dst : 32;
+        ttl : 8;
+    }
+}
+
+header_type meta_t {
+    fields {
+        nhop : 16;
+        port : 8;
+    }
+}
+
+header ip_t ip;
+metadata meta_t meta;
+
+parser start {
+    extract(ip);
+    return ingress;
+}
+
+register last_hop { width : 32; instance_count : 4; }
+
+action set_nhop(hop, class) {
+    modify_field(meta.nhop, hop);
+    register_write(last_hop, class, hop);
+    subtract_from_field(ip.ttl, 1);
+}
+
+action set_port(port) {
+    modify_field(meta.port, port);
+}
+
+action unreachable() {
+    drop();
+}
+
+table route {
+    reads { ip.dst : lpm; }
+    actions { set_nhop; unreachable; }
+    size : 64;
+    default_action : unreachable;
+}
+
+table resolve {
+    reads { meta.nhop : exact; }
+    actions { set_port; }
+    size : 16;
+}
+
+control ingress {
+    apply(route);
+    apply(resolve);
+}

@@ -17,6 +17,10 @@
 //! guard against common-mode bugs: the fuzz harness can check the pipeline
 //! against either.
 
+pub mod p4corpus;
+
+pub use p4corpus::{p4_by_name, P4ProgramDef, P4_PROGRAMS};
+
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 

@@ -1,7 +1,11 @@
-//! Umbrella crate re-exporting the Druzhba public API, plus the
-//! [`hunt`] mutation-campaign orchestrator (it needs the corpus, the
-//! compiler, and the simulator together, so it lives above all of them).
+//! Umbrella crate re-exporting the Druzhba public API, plus the two
+//! orchestrators that need the corpus, the compilers, and the simulators
+//! together and therefore live above all of them: [`hunt`] (machine-code
+//! mutation campaigns over the Domino corpus) and [`p4hunt`] (table/
+//! action mutation campaigns and the cross-model dRMT-vs-RMT check over
+//! the P4 corpus).
 pub mod hunt;
+pub mod p4hunt;
 
 pub use druzhba_alu_dsl as alu_dsl;
 pub use druzhba_chipmunk as chipmunk;

@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! druzhba compile <file.domino> --depth D --width W --atom NAME [-o mc.txt]
+//! druzhba compile <file.p4> [--entries FILE] [--stages N] [-o report.txt]
 //! druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
 //!                 [--seed S] [--level L|all] [--runs R] [--jobs J] [--edit name=v,...]
 //! druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
 //!                 [--level L|all]
 //! druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
+//! druzhba emit    <file.p4> [--entries FILE] [--level 0|1|2|3]
 //! druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level L|all]
 //!                 [--phvs N] [--bits B] [--runs R] [--jobs J] [--out FILE]
+//! druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--phvs N] [--bits B]
+//!                 [--seed S] [--level L|all] [--runs R] [--jobs J] [--mutants N]
+//!                 [--stages N] [--tables-per-stage T] [--cross-model on|off] [--out FILE]
 //! druzhba atoms
 //! druzhba programs
 //! ```
@@ -22,12 +27,21 @@ use std::process::ExitCode;
 
 use druzhba::chipmunk::{compile, CompiledProgram, CompiledSpec, CompilerConfig};
 use druzhba::dgen::emit::emit_pipeline;
+use druzhba::dgen::mat::emit_mat_pipeline;
 use druzhba::dgen::OptLevel;
 use druzhba::domino::{parse_program, DominoProgram};
+use druzhba::drmt::{solve, ScheduleConfig};
 use druzhba::dsim::minimize::MinimizedCounterExample;
+use druzhba::dsim::p4::{
+    p4_fuzz_campaign, p4_fuzz_test, P4CampaignConfig, P4FuzzConfig, P4Workload,
+};
 use druzhba::dsim::testing::{fuzz_campaign, fuzz_test, CampaignConfig, FuzzConfig};
 use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
 use druzhba::hunt::{hunt, HuntConfig};
+use druzhba::p4::deps::build_dag;
+use druzhba::p4::lower::RmtConfig;
+use druzhba::p4hunt::{cross_model_check, p4_hunt_workloads, P4HuntConfig};
+use druzhba::programs::{p4_by_name, P4_PROGRAMS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +55,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "emit" => cmd_emit(&args[1..]),
         "hunt" => cmd_hunt(&args[1..]),
+        "p4-fuzz" => cmd_p4_fuzz(&args[1..]),
         "atoms" => cmd_atoms(),
         "programs" => cmd_programs(),
         "help" | "--help" | "-h" => {
@@ -62,6 +77,9 @@ const USAGE: &str = "druzhba — programmable switch simulation for compiler tes
 
 USAGE:
   druzhba compile <file.domino> --depth D --width W --atom NAME [-o out.txt]
+  druzhba compile <file.p4> [--entries FILE] [--stages N] [--tables-per-stage T] [-o out.txt]
+                  (P4 inputs print the RMT lowering: container map, stage map,
+                   bound entries, dRMT schedule)
   druzhba fuzz    <file.domino> --depth D --width W --atom NAME [--phvs N] [--bits B]
                   [--seed S] [--level 0|1|2|3|all]
                   [--edit name=v,name=-]  (apply machine-code edits, `-` removes;
@@ -70,12 +88,23 @@ USAGE:
   druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
                   [--level 0|1|2|3|all]  (default: all backends)
   druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
+  druzhba emit    <file.p4> [--entries FILE] [--level 0|1|2|3] [--stages N]
+                  (render the lowered match-action pipeline at that backend)
   druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level 0|1|2|3|all]
                   [--phvs N] [--bits B] [--runs R] [--jobs J]
                   [--verify-bits B] [--verify-packets N] [--out FILE]
                   mutation campaign over the Table 1 corpus (JSON report)
+  druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--phvs N] [--bits B]
+                  [--seed S] [--level 0|1|2|3|all] [--runs R --jobs J]
+                  [--stages N] [--tables-per-stage T] [--cross-model on|off]
+                  differential fuzz: reference interpreter vs. the lowered RMT
+                  match-action pipeline on every backend, plus a cross-model
+                  dRMT-vs-RMT check; no positional = the whole P4 corpus
+  druzhba p4-fuzz --mutants N [...same flags...] [--out FILE]
+                  table/action-fault mutation campaign (JSON report; nonzero
+                  exit if any injected fault survives)
   druzhba atoms      list the ALU DSL atom library
-  druzhba programs   list the Table 1 benchmark programs";
+  druzhba programs   list the Table 1 benchmark programs and the P4 corpus";
 
 /// Minimal flag parser: positional file plus `--key value` pairs.
 struct Args {
@@ -225,12 +254,308 @@ fn print_minimized(mce: &MinimizedCounterExample) {
 
 fn load(args: &Args) -> Result<(DominoProgram, CompilerConfig), String> {
     let file = args.file.as_deref().ok_or("missing <file.domino>")?;
+    if is_p4_path(file) {
+        return Err(format!(
+            "`{file}` is a P4 program; use `druzhba p4-fuzz` for differential \
+             testing (compile/emit accept .p4 directly)"
+        ));
+    }
     let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let program = parse_program(&source).map_err(|e| e.to_string())?;
     let depth = args.get_usize("depth", 4)?;
     let width = args.get_usize("width", 2)?;
     let atom = args.get("atom").unwrap_or("pred_raw");
     Ok((program, CompilerConfig::new(depth, width, atom)))
+}
+
+fn is_p4_path(file: &str) -> bool {
+    std::path::Path::new(file)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("p4"))
+}
+
+/// The RMT grid flags shared by the P4 paths.
+fn rmt_config(args: &Args) -> Result<RmtConfig, String> {
+    let defaults = RmtConfig::default();
+    Ok(RmtConfig {
+        max_stages: args.get_usize("stages", defaults.max_stages)?,
+        tables_per_stage: args.get_usize("tables-per-stage", defaults.tables_per_stage)?,
+    })
+}
+
+/// Load one P4 target: a `.p4` file (entries from `--entries` or the
+/// sibling `.entries` file) or a corpus program name.
+fn load_p4_target(args: &Args, positional: &str) -> Result<(String, P4Workload), String> {
+    let cfg = rmt_config(args)?;
+    if is_p4_path(positional) {
+        let source = std::fs::read_to_string(positional)
+            .map_err(|e| format!("cannot read `{positional}`: {e}"))?;
+        let entries_path = match args.get("entries") {
+            Some(path) => std::path::PathBuf::from(path),
+            None => std::path::Path::new(positional).with_extension("entries"),
+        };
+        let entries_text = std::fs::read_to_string(&entries_path).map_err(|e| {
+            format!(
+                "cannot read table entries `{}`: {e} (pass --entries FILE)",
+                entries_path.display()
+            )
+        })?;
+        let name = std::path::Path::new(positional)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| positional.to_string());
+        let workload =
+            P4Workload::parse(&source, &entries_text, &cfg).map_err(|e| e.to_string())?;
+        Ok((name, workload))
+    } else {
+        let def = p4_by_name(positional).ok_or_else(|| {
+            format!("`{positional}` is neither a .p4 file nor a P4 corpus program")
+        })?;
+        let workload =
+            P4Workload::parse(def.source, def.entries, &cfg).map_err(|e| e.to_string())?;
+        Ok((def.name.to_string(), workload))
+    }
+}
+
+/// All selected P4 targets: the positional one, or the whole corpus.
+fn load_p4_targets(args: &Args) -> Result<Vec<(String, P4Workload)>, String> {
+    match args.file.as_deref() {
+        Some(positional) => Ok(vec![load_p4_target(args, positional)?]),
+        None => {
+            let cfg = rmt_config(args)?;
+            P4_PROGRAMS
+                .iter()
+                .map(|def| {
+                    P4Workload::parse(def.source, def.entries, &cfg)
+                        .map(|w| (def.name.to_string(), w))
+                        .map_err(|e| format!("{}: {e}", def.name))
+                })
+                .collect()
+        }
+    }
+}
+
+/// The `compile` report for a P4 input: the RMT lowering as text.
+fn p4_lowering_report(name: &str, workload: &P4Workload) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let layout = &workload.lowering.layout;
+    let _ = writeln!(s, "# p4 lowering: {name}");
+    for (i, (f, w)) in layout.fields().iter().enumerate() {
+        let _ = writeln!(s, "container[{i}] = {f} ({w} bits)");
+    }
+    let _ = writeln!(s, "container[{}] = <drop flag>", layout.drop_flag());
+    for (stage, tables) in workload.lowering.stages.iter().enumerate() {
+        for &t in tables {
+            let info = &workload.hlir.tables[t];
+            let decl = workload.hlir.program.table(&info.name).expect("resolved");
+            let entries = workload
+                .entries
+                .iter()
+                .filter(|e| e.table == info.name)
+                .count();
+            let default = decl
+                .default_action
+                .as_deref()
+                .map(|d| format!(", default {d}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "stage {stage}: table {} ({entries} entr{}{default})",
+                info.name,
+                if entries == 1 { "y" } else { "ies" }
+            );
+        }
+    }
+    let dag = build_dag(&workload.hlir);
+    match solve(&dag, &ScheduleConfig::default()) {
+        Ok(schedule) => {
+            let _ = writeln!(
+                s,
+                "drmt schedule: makespan {} (match slots {:?}, action slots {:?})",
+                schedule.makespan(),
+                schedule.match_slot,
+                schedule.action_slot
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(s, "drmt schedule: unschedulable ({e})");
+        }
+    }
+    s
+}
+
+fn cmd_compile_p4(args: &Args, file: &str) -> Result<(), String> {
+    let (name, workload) = load_p4_target(args, file)?;
+    eprintln!(
+        "lowered: {} field container(s) + drop flag, {} stage(s), {} table(s), {} entr(ies)",
+        workload.lowering.layout.fields().len(),
+        workload.lowering.num_stages(),
+        workload.hlir.tables.len(),
+        workload.entries.len()
+    );
+    let report = p4_lowering_report(&name, &workload);
+    match args.get("o") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("lowering report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
+fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let targets = load_p4_targets(&args)?;
+    let mutants = args.get_usize("mutants", 0)?;
+    let num_phvs = args.get_usize("phvs", if mutants > 0 { 2_000 } else { 10_000 })?;
+    let bits = args.get_u32("bits", 16)?;
+    let seed = args.get_seed("seed", P4FuzzConfig::default().seed)?;
+    let levels = args.get_levels("level", &OptLevel::ALL)?;
+    let runs = args.get_usize("runs", if mutants > 0 { 2 } else { 1 })?;
+    let jobs = args.get_usize("jobs", 0)?;
+    if jobs > 0 && runs <= 1 && mutants == 0 {
+        return Err("--jobs shards a multi-run campaign; pass --runs R (R > 1) with it".into());
+    }
+
+    if mutants > 0 {
+        // Mutation campaign: seed table/action faults, require detection.
+        let defaults = P4HuntConfig::default();
+        let cfg = P4HuntConfig {
+            programs: Vec::new(),
+            mutants_per_class: mutants,
+            seed,
+            levels,
+            fuzz_phvs: num_phvs,
+            fuzz_runs: runs,
+            input_bits: bits,
+            workers: if jobs == 0 { defaults.workers } else { jobs },
+        };
+        let report = p4_hunt_workloads(&cfg, &targets);
+        for o in &report.outcomes {
+            if !o.detected() {
+                eprintln!(
+                    "SURVIVOR: {} {:?} at level {} went undetected",
+                    o.program,
+                    o.fault,
+                    o.level.key()
+                );
+            }
+        }
+        for (kind, (total, detected)) in &report.by_fault_kind() {
+            eprintln!("p4-hunt: {:<14} {detected}/{total} detected", kind.key());
+        }
+        if report.neutral_discarded > 0 {
+            eprintln!(
+                "p4-hunt: {} behaviorally neutral candidate(s) screened out",
+                report.neutral_discarded
+            );
+        }
+        eprintln!(
+            "p4-hunt: {} evaluation(s) -> {}/{} detected ({:.1}%)",
+            report.evaluations(),
+            report.detected(),
+            report.evaluations(),
+            report.detection_rate() * 100.0
+        );
+        let json = report.to_json();
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                eprintln!("p4-hunt report written to {path}");
+            }
+            None => print!("{json}"),
+        }
+        let undetected = report.evaluations() - report.detected();
+        if undetected > 0 {
+            return Err(format!(
+                "p4-hunt: {undetected} of {} injected-fault evaluation(s) went undetected",
+                report.evaluations()
+            ));
+        }
+        return Ok(());
+    }
+
+    for (name, workload) in &targets {
+        for &level in &levels {
+            let fuzz_cfg = P4FuzzConfig {
+                num_phvs,
+                seed,
+                input_bits: bits,
+                minimize: true,
+            };
+            if runs > 1 {
+                let campaign_cfg = P4CampaignConfig {
+                    runs,
+                    workers: if jobs == 0 {
+                        P4CampaignConfig::default().workers
+                    } else {
+                        jobs
+                    },
+                    base: fuzz_cfg,
+                };
+                let campaign = p4_fuzz_campaign(workload, &workload.entries, level, &campaign_cfg);
+                let (passed, incompatible, mismatched) = campaign.counts();
+                println!(
+                    "p4-fuzz[{name}:{}]: {runs} runs x {num_phvs} packets at {bits}-bit inputs \
+                     -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
+                    level.key()
+                );
+                if let Some(f) = campaign.first_failure() {
+                    if let Some(mce) = &f.minimized {
+                        print_minimized(mce);
+                    }
+                    return Err(format!(
+                        "p4 fuzzing found a divergence in `{name}` at level {} (replay with \
+                         `--seed {:#x} --level {} --phvs {num_phvs} --bits {bits}`): {:?}",
+                        level.key(),
+                        f.seed,
+                        level.key(),
+                        f.verdict
+                    ));
+                }
+                continue;
+            }
+            let report = p4_fuzz_test(workload, &workload.entries, level, &fuzz_cfg);
+            println!(
+                "p4-fuzz[{name}:{}]: {} packets at {bits}-bit inputs (seed {:#x}) -> {:?}",
+                level.key(),
+                report.phvs_tested,
+                report.seed,
+                report.verdict
+            );
+            if !report.passed() {
+                if let Some(mce) = &report.minimized {
+                    print_minimized(mce);
+                }
+                return Err(format!(
+                    "p4 fuzzing found a divergence in `{name}` at level {} (replay with \
+                     `--seed {:#x} --level {} --phvs {num_phvs} --bits {bits}`)",
+                    level.key(),
+                    report.seed,
+                    level.key()
+                ));
+            }
+        }
+        if args.get("cross-model") != Some("off") {
+            let packets = num_phvs.min(1_000);
+            let xm = cross_model_check(workload, seed, packets, bits)?;
+            match &xm.drmt_skipped {
+                None => println!(
+                    "cross-model[{name}]: interpreter == RMT(fused) == dRMT over {} packets \
+                     (dRMT makespan {}, RMT stages {})",
+                    xm.packets, xm.drmt_makespan, xm.rmt_stages
+                ),
+                Some(reason) => println!(
+                    "cross-model[{name}]: interpreter == RMT(fused) over {} packets \
+                     (RMT stages {}; dRMT leg skipped: {reason})",
+                    xm.packets, xm.rmt_stages
+                ),
+            }
+        }
+    }
+    Ok(())
 }
 
 fn compile_from(args: &Args) -> Result<(DominoProgram, CompiledProgram), String> {
@@ -256,6 +581,9 @@ fn report(compiled: &CompiledProgram) {
 
 fn cmd_compile(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
+    if let Some(file) = args.file.clone().filter(|f| is_p4_path(f)) {
+        return cmd_compile_p4(&args, &file);
+    }
     let (_, compiled) = compile_from(&args)?;
     report(&compiled);
     match args.get("o") {
@@ -509,7 +837,6 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
 
 fn cmd_emit(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
-    let (_, compiled) = compile_from(&args)?;
     let level = match args.get_usize("level", 2)? {
         0 => OptLevel::Unoptimized,
         1 => OptLevel::Scc,
@@ -517,6 +844,14 @@ fn cmd_emit(rest: &[String]) -> Result<(), String> {
         3 => OptLevel::Fused,
         other => return Err(format!("--level must be 0, 1, 2, or 3 (got {other})")),
     };
+    if let Some(file) = args.file.clone().filter(|f| is_p4_path(f)) {
+        let (_, workload) = load_p4_target(&args, &file)?;
+        let src = emit_mat_pipeline(&workload.hlir, &workload.entries, &workload.lowering, level)
+            .map_err(|e| e.to_string())?;
+        print!("{src}");
+        return Ok(());
+    }
+    let (_, compiled) = compile_from(&args)?;
     let src = emit_pipeline(&compiled.pipeline_spec, &compiled.machine_code, level)
         .map_err(|e| e.to_string())?;
     print!("{src}");
@@ -555,6 +890,11 @@ fn cmd_programs() -> Result<(), String> {
             def.stateful_atom,
             def.name
         );
+    }
+    println!();
+    println!("{:<20} {:>6}  description", "p4 program", "stages");
+    for def in &P4_PROGRAMS {
+        println!("{:<20} {:>6}  {}", def.name, def.stages, def.description);
     }
     Ok(())
 }
