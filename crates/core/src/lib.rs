@@ -16,6 +16,7 @@
 
 pub mod asm;
 pub mod config;
+pub mod coverage;
 pub mod error;
 pub mod machine_code;
 pub mod names;
@@ -26,6 +27,7 @@ pub mod value;
 
 pub use asm::Assembler;
 pub use config::PipelineConfig;
+pub use coverage::CoverageMap;
 pub use error::{Error, Result};
 pub use machine_code::MachineCode;
 pub use phv::Phv;

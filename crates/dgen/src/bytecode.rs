@@ -10,6 +10,7 @@
 //! a small stack machine with no recursion or dispatch on expression shape.
 
 use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt, UnOp};
+use druzhba_core::coverage::{edge_id, CoverageMap};
 use druzhba_core::value::{self, Value};
 
 use crate::eval::{apply_binop, apply_unop};
@@ -103,6 +104,20 @@ impl BytecodeProgram {
         state: &mut [Value],
         stack: &mut Vec<Value>,
     ) -> Value {
+        self.run_with_coverage(operands, state, stack, None, 0)
+    }
+
+    /// Execute like [`BytecodeProgram::run_with`], optionally recording a
+    /// coverage edge per conditional-jump decision (`(site, pc, taken)`).
+    /// The instrumented path still performs no heap allocation.
+    pub fn run_with_coverage(
+        &self,
+        operands: &[Value],
+        state: &mut [Value],
+        stack: &mut Vec<Value>,
+        mut cov: Option<&mut CoverageMap>,
+        site: u32,
+    ) -> Value {
         let default_output = state.first().copied().unwrap_or(0);
         stack.clear();
         let mut pc = 0usize;
@@ -126,7 +141,11 @@ impl BytecodeProgram {
                 }
                 Instr::JumpIfZero(target) => {
                     let v = stack.pop().expect("stack underflow");
-                    if !value::truthy(v) {
+                    let taken = !value::truthy(v);
+                    if let Some(cov) = cov.as_deref_mut() {
+                        cov.hit(edge_id(site, pc as u32, Value::from(taken)));
+                    }
+                    if taken {
                         pc = target as usize;
                         continue;
                     }

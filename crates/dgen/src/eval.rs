@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt, UnOp};
+use druzhba_core::coverage::{edge_id, CoverageMap};
 use druzhba_core::value::{self, Value};
 
 /// Result of executing an ALU body once.
@@ -110,12 +111,31 @@ pub fn eval_unoptimized(
     operands: &[Value],
     state: &mut [Value],
 ) -> AluOutcome {
+    eval_with_coverage(spec, holes, operands, state, None, 0)
+}
+
+/// Execute an ALU body like [`eval_unoptimized`], optionally recording
+/// coverage edges into `cov`: one edge per `if` statement (which arm ran),
+/// per relational-operator outcome, and per mux/opt/opcode selection. The
+/// `site` identifies the ALU's grid position so distinct ALUs map to
+/// distinct edges; event ordinals are assigned in execution order.
+pub fn eval_with_coverage(
+    spec: &AluSpec,
+    holes: &HashMap<String, Value>,
+    operands: &[Value],
+    state: &mut [Value],
+    cov: Option<&mut CoverageMap>,
+    site: u32,
+) -> AluOutcome {
     let default_output = state.first().copied().unwrap_or(0);
     let mut ev = Evaluator {
         spec,
         holes,
         operands,
         state,
+        cov,
+        site,
+        event: 0,
     };
     let output = ev.run_stmts(&spec.body).unwrap_or(default_output);
     AluOutcome { output }
@@ -126,12 +146,27 @@ struct Evaluator<'a> {
     holes: &'a HashMap<String, Value>,
     operands: &'a [Value],
     state: &'a mut [Value],
+    /// Coverage sink (None = uninstrumented execution, zero overhead
+    /// beyond one branch per recorded event site).
+    cov: Option<&'a mut CoverageMap>,
+    site: u32,
+    /// Running ordinal of recorded events within this execution.
+    event: u32,
 }
 
 impl Evaluator<'_> {
     fn hole(&self, name: &str) -> Value {
         // Version-1 semantics: one hash lookup per access.
         self.holes.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one coverage event (no-op when uninstrumented).
+    #[inline]
+    fn note(&mut self, outcome: Value) {
+        if let Some(cov) = self.cov.as_deref_mut() {
+            cov.hit(edge_id(self.site, self.event, outcome));
+            self.event += 1;
+        }
     }
 
     fn var(&self, name: &str) -> Value {
@@ -157,9 +192,10 @@ impl Evaluator<'_> {
                 }
                 Stmt::If { arms, else_body } => {
                     let mut taken = false;
-                    for (cond, body) in arms {
+                    for (arm, (cond, body)) in arms.iter().enumerate() {
                         if value::truthy(self.eval(cond)) {
                             taken = true;
+                            self.note(arm as Value + 1);
                             if let Some(v) = self.run_stmts(body) {
                                 return Some(v);
                             }
@@ -167,6 +203,7 @@ impl Evaluator<'_> {
                         }
                     }
                     if !taken {
+                        self.note(0);
                         if let Some(v) = self.run_stmts(else_body) {
                             return Some(v);
                         }
@@ -187,23 +224,33 @@ impl Evaluator<'_> {
             Expr::CConst { hole } => self.hole(hole),
             Expr::Opt { hole, arg } => {
                 let x = self.eval(arg);
-                opt(self.hole(hole), x)
+                let sel = self.hole(hole);
+                self.note(sel);
+                opt(sel, x)
             }
             Expr::Mux2 { hole, a, b } => {
                 let (a, b) = (self.eval(a), self.eval(b));
-                mux2(self.hole(hole), a, b)
+                let sel = self.hole(hole);
+                self.note(sel);
+                mux2(sel, a, b)
             }
             Expr::Mux3 { hole, a, b, c } => {
                 let (a, b, c) = (self.eval(a), self.eval(b), self.eval(c));
-                mux3(self.hole(hole), a, b, c)
+                let sel = self.hole(hole);
+                self.note(sel);
+                mux3(sel, a, b, c)
             }
             Expr::RelOp { hole, a, b } => {
                 let (a, b) = (self.eval(a), self.eval(b));
-                rel_op(self.hole(hole), a, b)
+                let v = rel_op(self.hole(hole), a, b);
+                self.note(v);
+                v
             }
             Expr::ArithOp { hole, a, b } => {
                 let (a, b) = (self.eval(a), self.eval(b));
-                arith_op(self.hole(hole), a, b)
+                let op = self.hole(hole);
+                self.note(op & 1);
+                arith_op(op, a, b)
             }
             Expr::Binary { op, l, r } => {
                 let (l, r) = (self.eval(l), self.eval(r));

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 
 use druzhba_alu_dsl::{AluSpec, BinOp, Expr, Stmt, UnOp};
+use druzhba_core::coverage::{edge_id, CoverageMap};
 use druzhba_core::names::{self, AluKind};
 use druzhba_core::trace::StateSnapshot;
 use druzhba_core::value::{self, Value};
@@ -247,18 +248,53 @@ impl FusedPipeline {
 
     /// Push one PHV through every stage, in place and allocation-free.
     pub fn process_in_place(&mut self, phv: &mut Phv) {
+        self.process_in_place_cov(phv, None);
+    }
+
+    /// Like [`FusedPipeline::process_in_place`], optionally recording a
+    /// coverage edge per conditional-jump decision plus one edge per
+    /// executed stage (so branch-free programs still produce a signal
+    /// whose hit-count buckets track trace length). The instrumented tick
+    /// loop is still allocation-free — recording is one masked index and
+    /// a saturating increment per event.
+    pub fn process_in_place_cov(&mut self, phv: &mut Phv, mut cov: Option<&mut CoverageMap>) {
         debug_assert_eq!(phv.len(), self.phv_len);
+        if let Some(cov) = cov.as_deref_mut() {
+            for stage in 0..self.stage_bounds.len() {
+                cov.hit(edge_id(FUSED_SITE, 0x8000 + stage as u32, 0));
+            }
+        }
         load_phv(&mut self.frame, phv.containers());
-        exec_range(&self.instrs, &mut self.frame, 0, self.instrs.len());
+        exec_range(&self.instrs, &mut self.frame, 0, self.instrs.len(), cov);
         phv.copy_from_slice(&self.frame[..self.phv_len]);
     }
 
     /// Execute a single stage in place (the tick-accurate simulator holds
     /// one in-flight PHV per stage).
     pub fn execute_stage_in_place(&mut self, stage: usize, phv: &mut Phv) {
+        self.execute_stage_in_place_cov(stage, phv, None);
+    }
+
+    /// Like [`FusedPipeline::execute_stage_in_place`], with optional
+    /// branch-coverage recording.
+    pub fn execute_stage_in_place_cov(
+        &mut self,
+        stage: usize,
+        phv: &mut Phv,
+        mut cov: Option<&mut CoverageMap>,
+    ) {
+        if let Some(cov) = cov.as_deref_mut() {
+            cov.hit(edge_id(FUSED_SITE, 0x8000 + stage as u32, 0));
+        }
         let (start, end) = self.stage_bounds[stage];
         load_phv(&mut self.frame, phv.containers());
-        exec_range(&self.instrs, &mut self.frame, start as usize, end as usize);
+        exec_range(
+            &self.instrs,
+            &mut self.frame,
+            start as usize,
+            end as usize,
+            cov,
+        );
         phv.copy_from_slice(&self.frame[..self.phv_len]);
     }
 
@@ -340,6 +376,10 @@ pub(crate) fn stage_out_muxes(
     (out_sel, live_stateless)
 }
 
+/// Site tag distinguishing fused-program edges from the staged backends'
+/// per-ALU edges.
+const FUSED_SITE: u32 = 0x00F0_05ED;
+
 /// Copy the PHV into the frame's container window. A plain indexed loop:
 /// PHVs are a handful of containers, where the loop beats `memcpy`'s call
 /// overhead (the frame is always at least `phv.len()` registers).
@@ -352,13 +392,30 @@ fn load_phv(frame: &mut [Value], phv: &[Value]) {
 
 /// Execute `instrs[start..end]` against the frame.
 ///
+/// `cov`, when present, receives one edge per conditional-jump decision
+/// (`(FUSED_SITE, pc, taken)`) — a masked index and a saturating
+/// increment, preserving the loop's zero-allocation invariant.
+///
 /// SAFETY: all register and jump indices were proven in-bounds by
 /// `FusedPipeline::check_invariants` at construction (registers < frame
 /// length, targets ≤ instruction count), so the hot loop elides bounds
 /// checks — this interpreter is the per-PHV inner loop of the whole
 /// simulator. Debug builds keep the checks as assertions.
 #[inline]
-fn exec_range(instrs: &[FusedInstr], frame: &mut [Value], start: usize, end: usize) {
+fn exec_range(
+    instrs: &[FusedInstr],
+    frame: &mut [Value],
+    start: usize,
+    end: usize,
+    mut cov: Option<&mut CoverageMap>,
+) {
+    macro_rules! branch {
+        ($pc:expr, $taken:expr) => {
+            if let Some(cov) = cov.as_deref_mut() {
+                cov.hit(edge_id(FUSED_SITE, $pc as u32, u32::from($taken)));
+            }
+        };
+    }
     debug_assert!(end <= instrs.len());
     let mut pc = start;
     while pc < end {
@@ -391,19 +448,25 @@ fn exec_range(instrs: &[FusedInstr], frame: &mut [Value], start: usize, end: usi
                 set_reg!(dst, apply_unop(op, reg!(src)));
             }
             FusedInstr::JumpIfZero { src, target } => {
-                if !value::truthy(reg!(src)) {
+                let taken = !value::truthy(reg!(src));
+                branch!(pc, taken);
+                if taken {
                     pc = target as usize;
                     continue;
                 }
             }
             FusedInstr::CmpJumpIfZero { op, l, r, target } => {
-                if !value::truthy(apply_binop(op, reg!(l), reg!(r))) {
+                let taken = !value::truthy(apply_binop(op, reg!(l), reg!(r)));
+                branch!(pc, taken);
+                if taken {
                     pc = target as usize;
                     continue;
                 }
             }
             FusedInstr::CmpImmJumpIfZero { op, l, imm, target } => {
-                if !value::truthy(apply_binop(op, reg!(l), imm)) {
+                let taken = !value::truthy(apply_binop(op, reg!(l), imm));
+                branch!(pc, taken);
+                if taken {
                     pc = target as usize;
                     continue;
                 }

@@ -17,12 +17,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use druzhba_alu_dsl::{AluSpec, HoleDomain};
+use druzhba_core::coverage::{edge_id, CoverageMap};
 use druzhba_core::names::{self, AluKind};
 use druzhba_core::trace::StateSnapshot;
 use druzhba_core::{Error, MachineCode, Phv, PipelineConfig, Result, Value};
 
 use crate::bytecode::BytecodeProgram;
-use crate::eval::eval_unoptimized;
 use crate::fused::FusedPipeline;
 use crate::opt::specialize;
 use crate::OptLevel;
@@ -152,6 +152,8 @@ pub struct AluUnit {
     /// Reused bytecode operand stack (compiled backend only), sized to the
     /// program's `max_stack` at generation time.
     stack_buf: Vec<Value>,
+    /// Precomputed coverage site id for this grid position.
+    site: u32,
 }
 
 impl AluUnit {
@@ -192,6 +194,14 @@ impl AluUnit {
     /// and (for the compiled backend) the bytecode operand stack are
     /// generation-time allocations reused across PHVs.
     pub fn execute(&mut self, phv: &Phv) -> Value {
+        self.execute_cov(phv, None)
+    }
+
+    /// Like [`AluUnit::execute`], optionally recording coverage edges:
+    /// the operand-mux selections feeding this execution plus the body's
+    /// branch/opcode-arm decisions (see [`crate::eval::eval_with_coverage`]
+    /// and [`BytecodeProgram::run_with_coverage`]).
+    pub fn execute_cov(&mut self, phv: &Phv, mut cov: Option<&mut CoverageMap>) -> Value {
         self.operand_buf.clear();
         match &self.backend {
             Backend::Unoptimized { .. } => {
@@ -212,18 +222,46 @@ impl AluUnit {
                 }
             }
         }
+        if let Some(cov) = cov.as_deref_mut() {
+            // Input-mux selection edges: resolved at generation time, so
+            // they vary with the machine code, not the input — they give
+            // mutated programs distinct coverage signatures.
+            for (k, &sel) in self.operand_sel.iter().enumerate() {
+                cov.hit(edge_id(self.site, 0x4000 + k as u32, sel as Value));
+            }
+        }
         match &self.backend {
             Backend::Unoptimized { holes } => {
-                eval_unoptimized(&self.base_spec, holes, &self.operand_buf, &mut self.state).output
+                crate::eval::eval_with_coverage(
+                    &self.base_spec,
+                    holes,
+                    &self.operand_buf,
+                    &mut self.state,
+                    cov,
+                    self.site,
+                )
+                .output
             }
             Backend::Specialized { spec } => {
                 // The specialized spec contains no holes; an empty map (no
                 // allocation) satisfies the evaluator's signature.
-                eval_unoptimized(spec, &HashMap::new(), &self.operand_buf, &mut self.state).output
+                crate::eval::eval_with_coverage(
+                    spec,
+                    &HashMap::new(),
+                    &self.operand_buf,
+                    &mut self.state,
+                    cov,
+                    self.site,
+                )
+                .output
             }
-            Backend::Compiled { program } => {
-                program.run_with(&self.operand_buf, &mut self.state, &mut self.stack_buf)
-            }
+            Backend::Compiled { program } => program.run_with_coverage(
+                &self.operand_buf,
+                &mut self.state,
+                &mut self.stack_buf,
+                cov,
+                self.site,
+            ),
         }
     }
 
@@ -285,17 +323,33 @@ impl Stage {
     /// the output muxes overwrite exactly the containers they drive
     /// (pass-through containers are untouched). No heap allocation.
     pub fn execute_in_place(&mut self, phv: &mut Phv) {
+        self.execute_in_place_cov(phv, None);
+    }
+
+    /// Like [`Stage::execute_in_place`], optionally recording coverage:
+    /// every ALU's input-mux and body edges plus this stage's output-mux
+    /// selections. Still allocation-free.
+    pub fn execute_in_place_cov(&mut self, phv: &mut Phv, mut cov: Option<&mut CoverageMap>) {
         let width = self.stateless.len();
         self.stateless_out.clear();
         for alu in &mut self.stateless {
-            self.stateless_out.push(alu.execute(phv));
+            self.stateless_out
+                .push(alu.execute_cov(phv, cov.as_deref_mut()));
         }
         self.stateful_out.clear();
         for alu in &mut self.stateful {
-            self.stateful_out.push(alu.execute(phv));
+            self.stateful_out
+                .push(alu.execute_cov(phv, cov.as_deref_mut()));
         }
         for container in 0..phv.len() {
             let sel = self.output_selection(container);
+            if let Some(cov) = cov.as_deref_mut() {
+                cov.hit(edge_id(
+                    0x0A00_0000 | self.stage_index as u32,
+                    container as u32,
+                    sel as Value,
+                ));
+            }
             if sel == 0 {
                 continue;
             }
@@ -319,6 +373,9 @@ pub struct Pipeline {
     stages: Vec<Stage>,
     /// The fused whole-pipeline register program ([`OptLevel::Fused`] only).
     fused: Option<FusedPipeline>,
+    /// Optional execution-coverage map ([`Pipeline::enable_coverage`]);
+    /// allocated once, reused allocation-free across PHVs.
+    cov: Option<Box<CoverageMap>>,
 }
 
 impl Pipeline {
@@ -339,6 +396,7 @@ impl Pipeline {
                 opt_level,
                 stages: Vec::new(),
                 fused: Some(FusedPipeline::fuse(spec, mc)),
+                cov: None,
             });
         }
         let stateless_rc = Rc::new(spec.stateless_alu.clone());
@@ -378,7 +436,33 @@ impl Pipeline {
             opt_level,
             stages,
             fused: None,
+            cov: None,
         })
+    }
+
+    /// Attach (or reset) an execution-coverage map: subsequent PHVs record
+    /// branch, mux-selection, and opcode-arm edges into it. One allocation
+    /// here; the instrumented tick loop itself stays allocation-free on
+    /// every backend.
+    pub fn enable_coverage(&mut self) {
+        match &mut self.cov {
+            Some(cov) => cov.clear(),
+            None => self.cov = Some(Box::new(CoverageMap::new())),
+        }
+    }
+
+    /// The coverage accumulated since [`Pipeline::enable_coverage`], if
+    /// enabled.
+    pub fn coverage(&self) -> Option<&CoverageMap> {
+        self.cov.as_deref()
+    }
+
+    /// Zero the attached coverage map (no-op when disabled), keeping its
+    /// allocation for the next execution.
+    pub fn clear_coverage(&mut self) {
+        if let Some(cov) = &mut self.cov {
+            cov.clear();
+        }
     }
 
     /// The pipeline's dimensions.
@@ -414,9 +498,10 @@ impl Pipeline {
     /// Execute one stage in place, reusing generation-time buffers: zero
     /// heap allocations per call on every backend.
     pub fn execute_stage_in_place(&mut self, stage: usize, phv: &mut Phv) {
+        let cov = self.cov.as_deref_mut();
         match &mut self.fused {
-            Some(f) => f.execute_stage_in_place(stage, phv),
-            None => self.stages[stage].execute_in_place(phv),
+            Some(f) => f.execute_stage_in_place_cov(stage, phv, cov),
+            None => self.stages[stage].execute_in_place_cov(phv, cov),
         }
     }
 
@@ -436,11 +521,12 @@ impl Pipeline {
     /// fast path ([`OptLevel::Fused`] additionally performs no per-stage
     /// dispatch at all).
     pub fn process_in_place(&mut self, phv: &mut Phv) {
+        let mut cov = self.cov.as_deref_mut();
         match &mut self.fused {
-            Some(f) => f.process_in_place(phv),
+            Some(f) => f.process_in_place_cov(phv, cov),
             None => {
                 for stage in &mut self.stages {
-                    stage.execute_in_place(phv);
+                    stage.execute_in_place_cov(phv, cov.as_deref_mut());
                 }
             }
         }
@@ -535,6 +621,9 @@ fn build_unit(
         state: vec![0; state_len],
         operand_buf: Vec::with_capacity(base.operand_count()),
         stack_buf: Vec::with_capacity(stack_cap),
+        // Distinct coverage site per (kind, stage, slot): stateless and
+        // stateful ALUs at the same grid position must not collide.
+        site: ((kind as u32 + 1) << 20) | ((stage as u32) << 10) | slot as u32,
     }
 }
 
@@ -734,6 +823,70 @@ mod tests {
                 sequential.state_snapshot(),
                 "{level:?}"
             );
+        }
+    }
+
+    #[test]
+    fn coverage_records_input_dependent_edges_on_every_backend() {
+        // if_else_raw branches on a state/packet comparison, so different
+        // inputs reach different arms — coverage must see that.
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(2, 1, 2),
+            atom("if_else_raw").unwrap(),
+            atom("stateless_arith").unwrap(),
+        )
+        .unwrap();
+        let mut mc = zero_machine_code(&spec);
+        // Compare state against C()=1 (rel_op 2 is ==) so pkt values
+        // influence which arm runs on subsequent PHVs.
+        mc.set("stateful_alu_0_0_rel_op_0", 2);
+        mc.set("stateful_alu_0_0_mux3_0", 2);
+        mc.set("stateful_alu_0_0_const_0", 1);
+        for level in OptLevel::ALL {
+            let mut p = Pipeline::generate(&spec, &mc, level).unwrap();
+            assert!(p.coverage().is_none(), "{level:?}: off by default");
+            p.enable_coverage();
+            p.process(&Phv::new(vec![0, 0]));
+            let low = p.coverage().unwrap().clone();
+            assert!(low.edges_covered() > 0, "{level:?}: edges recorded");
+            p.clear_coverage();
+            p.reset();
+            p.process(&Phv::new(vec![1, 0]));
+            p.process(&Phv::new(vec![7, 0]));
+            let high = p.coverage().unwrap().clone();
+            assert_ne!(
+                low.signature(),
+                high.signature(),
+                "{level:?}: different inputs, different coverage"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_does_not_change_behaviour() {
+        use druzhba_core::ValueGen;
+        let spec = PipelineSpec::new(
+            PipelineConfig::new(2, 2),
+            atom("pred_raw").unwrap(),
+            atom("stateless_full").unwrap(),
+        )
+        .unwrap();
+        let mut gen = ValueGen::new(0xC0_7E57, 32);
+        let mc = MachineCode::from_pairs(expected_machine_code(&spec).into_iter().map(
+            |(name, domain)| {
+                let bound = domain.bound().min(1 << 8) as u32;
+                (name, gen.value_below(bound))
+            },
+        ));
+        for level in OptLevel::ALL {
+            let mut plain = Pipeline::generate(&spec, &mc, level).unwrap();
+            let mut inst = Pipeline::generate(&spec, &mc, level).unwrap();
+            inst.enable_coverage();
+            for _ in 0..20 {
+                let phv = Phv::new(gen.values(2));
+                assert_eq!(plain.process(&phv), inst.process(&phv), "{level:?}");
+            }
+            assert_eq!(plain.state_snapshot(), inst.state_snapshot());
         }
     }
 

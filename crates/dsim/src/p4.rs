@@ -85,12 +85,40 @@ impl P4Workload {
 
 /// One entry-derived value template for a field: materializing it yields
 /// a value that satisfies the source pattern (free bits randomized).
+/// Shared with the greybox mutation stack ([`crate::coverage`]), whose
+/// entry-aware mutator resamples single fields from the same templates.
 #[derive(Debug, Clone, Copy)]
-struct PatternSeed {
+pub(crate) struct PatternSeed {
     kind: druzhba_p4::ast::MatchKind,
     value: Value,
     qualifier: Option<Value>,
     width: u32,
+}
+
+/// Materialize a pattern template into a concrete field value: exact
+/// values verbatim, ternary with masked-out bits randomized, LPM prefixes
+/// with a random suffix. Deterministic per generator state.
+pub(crate) fn materialize_pattern(p: &PatternSeed, gen: &mut ValueGen) -> Value {
+    use druzhba_core::value::max_for_bits;
+    use druzhba_p4::ast::MatchKind;
+    let width_mask = max_for_bits(p.width);
+    let rand = gen.value();
+    match p.kind {
+        MatchKind::Exact => p.value,
+        MatchKind::Ternary => {
+            let mask = p.qualifier.unwrap_or(Value::MAX);
+            (p.value & mask) | (rand & !mask & width_mask)
+        }
+        MatchKind::Lpm => {
+            let len = p.qualifier.unwrap_or(p.width).min(p.width);
+            if len == 0 {
+                rand & width_mask
+            } else {
+                let shift = p.width - len;
+                ((p.value >> shift) << shift) | (rand & max_for_bits(shift))
+            }
+        }
+    }
 }
 
 /// Seeded packet-stream generator for a lowered program.
@@ -112,10 +140,10 @@ struct PatternSeed {
 pub struct P4Traffic {
     gen: ValueGen,
     /// Per container: the uniform-draw bit width (`None` = zero-init).
-    widths: Vec<Option<u32>>,
+    pub(crate) widths: Vec<Option<u32>>,
     /// Per container: entry-derived templates for fields that are
     /// matched on (empty = always uniform).
-    candidates: Vec<Vec<PatternSeed>>,
+    pub(crate) candidates: Vec<Vec<PatternSeed>>,
 }
 
 impl P4Traffic {
@@ -169,7 +197,6 @@ impl P4Traffic {
     /// Generate the next random packet (as a PHV under the layout).
     pub fn phv(&mut self) -> Phv {
         use druzhba_core::value::max_for_bits;
-        use druzhba_p4::ast::MatchKind;
         let mut values = Vec::with_capacity(self.widths.len());
         for (i, w) in self.widths.iter().enumerate() {
             let Some(bits) = w else {
@@ -180,24 +207,7 @@ impl P4Traffic {
             let biased = !cands.is_empty() && self.gen.value_below(2) == 1;
             let v = if biased {
                 let p = cands[self.gen.value_below(cands.len() as Value) as usize];
-                let width_mask = max_for_bits(p.width);
-                let rand = self.gen.value();
-                match p.kind {
-                    MatchKind::Exact => p.value,
-                    MatchKind::Ternary => {
-                        let mask = p.qualifier.unwrap_or(Value::MAX);
-                        (p.value & mask) | (rand & !mask & width_mask)
-                    }
-                    MatchKind::Lpm => {
-                        let len = p.qualifier.unwrap_or(p.width).min(p.width);
-                        if len == 0 {
-                            rand & width_mask
-                        } else {
-                            let shift = p.width - len;
-                            ((p.value >> shift) << shift) | (rand & max_for_bits(shift))
-                        }
-                    }
-                }
+                materialize_pattern(&p, &mut self.gen)
             } else {
                 self.gen.value() & max_for_bits(*bits)
             };
@@ -299,10 +309,23 @@ pub fn run_p4_case(
             Ok(p) => p,
             Err(e) => return Verdict::Incompatible(e),
         };
+    let mut interp = workload.interpreter();
+    p4_differential(&mut pipeline, &mut interp, input)
+}
+
+/// The differential core shared by [`run_p4_case`] and the greybox oracle
+/// ([`crate::coverage`]): run one input trace through an already-generated
+/// pipeline and reference interpreter (both assumed freshly reset) and
+/// compare output traces and final register/counter state. Coverage maps
+/// attached to either side keep accumulating as usual.
+pub(crate) fn p4_differential(
+    pipeline: &mut MatPipeline,
+    interp: &mut Interpreter,
+    input: &Trace,
+) -> Verdict {
     let actual = pipeline.run(input);
 
-    let mut interp = workload.interpreter();
-    let layout = &workload.lowering.layout;
+    let layout = pipeline.layout();
     let expected = Trace::from_phvs(
         input
             .phvs

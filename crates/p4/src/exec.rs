@@ -44,6 +44,7 @@
 
 use std::collections::BTreeMap;
 
+use druzhba_core::coverage::{edge_id, CoverageMap};
 use druzhba_core::{Result, Value};
 
 use crate::ast::{ActionArg, ActionDecl, FieldRef, Primitive};
@@ -227,6 +228,11 @@ pub fn initial_counters(hlir: &Hlir) -> BTreeMap<String, Vec<u64>> {
         .collect()
 }
 
+/// Coverage site tag for table-outcome edges (hit entry / default / skip).
+pub(crate) const COV_TABLE_SITE: u32 = 0x7AB1_E000;
+/// Coverage site tag for drop-transition edges.
+pub(crate) const COV_DROP_SITE: u32 = 0xD209_0000;
+
 /// The sequential reference interpreter.
 #[derive(Debug, Clone)]
 pub struct Interpreter {
@@ -234,6 +240,8 @@ pub struct Interpreter {
     tables: ProgramTables,
     registers: BTreeMap<String, Vec<Value>>,
     counters: BTreeMap<String, Vec<u64>>,
+    /// Optional execution-coverage map ([`Interpreter::enable_coverage`]).
+    cov: Option<Box<CoverageMap>>,
 }
 
 impl Interpreter {
@@ -246,13 +254,37 @@ impl Interpreter {
             counters: initial_counters(hlir),
             hlir: hlir.clone(),
             tables,
+            cov: None,
         })
     }
 
-    /// Reset registers and counters to their initial (zero) state.
+    /// Reset registers and counters to their initial (zero) state (the
+    /// coverage map, if any, is left as is — clear it separately).
     pub fn reset(&mut self) {
         self.registers = initial_registers(&self.hlir);
         self.counters = initial_counters(&self.hlir);
+    }
+
+    /// Attach (or reset) an execution-coverage map: subsequent packets
+    /// record table-hit/miss/default edges, action-taken edges, and drop
+    /// transitions into it. Recording is allocation-free.
+    pub fn enable_coverage(&mut self) {
+        match &mut self.cov {
+            Some(cov) => cov.clear(),
+            None => self.cov = Some(Box::new(CoverageMap::new())),
+        }
+    }
+
+    /// The coverage accumulated since [`Interpreter::enable_coverage`].
+    pub fn coverage(&self) -> Option<&CoverageMap> {
+        self.cov.as_deref()
+    }
+
+    /// Zero the attached coverage map (no-op when disabled).
+    pub fn clear_coverage(&mut self) {
+        if let Some(cov) = &mut self.cov {
+            cov.clear();
+        }
     }
 
     /// Run one packet through the applied tables in control order,
@@ -272,9 +304,21 @@ impl Interpreter {
             }
             let selected = self.tables.table(t).lookup(&mut |f| packet.get(f));
             let Some(sel) = selected else {
+                // Coverage: the table's skip edge (miss with no default).
+                if let Some(cov) = self.cov.as_deref_mut() {
+                    cov.hit(edge_id(COV_TABLE_SITE, t as u32, 0));
+                }
                 continue;
             };
             let (action_name, args, entry) = (sel.action.to_string(), sel.args.to_vec(), sel.entry);
+            if let Some(cov) = self.cov.as_deref_mut() {
+                // Table-outcome edge: which entry hit (or the default
+                // action, outcome 1). Entry → action binding is static,
+                // so this doubles as the action-taken edge.
+                let outcome = entry.map_or(1, |e| e as Value + 2);
+                cov.hit(edge_id(COV_TABLE_SITE, t as u32, outcome));
+            }
+            let was_dropped = packet.dropped;
             if let Some(action) = self.hlir.program.action(&action_name) {
                 execute_action(
                     action,
@@ -283,6 +327,12 @@ impl Interpreter {
                     &mut self.registers,
                     &mut self.counters,
                 );
+            }
+            if packet.dropped && !was_dropped {
+                // Drop edge, attributed to the table whose action fired it.
+                if let Some(cov) = self.cov.as_deref_mut() {
+                    cov.hit(edge_id(COV_DROP_SITE, t as u32, 1));
+                }
             }
             hits.push(TableHit {
                 table: t,

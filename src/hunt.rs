@@ -123,6 +123,13 @@ pub struct MutantOutcome {
     pub level: OptLevel,
     /// How the fault was detected, if at all.
     pub detection: Detection,
+    /// Differential batches executed up to and including the detecting
+    /// one (each fresh fuzz run, the witness replay, and the bounded
+    /// verification pass count as one batch; the full budget when
+    /// undetected). `BENCH_greybox.json` compares this
+    /// executions-to-detection figure against the greybox loop's
+    /// executions-to-first-divergence.
+    pub executions: usize,
     /// The observed divergence (`None` when undetected).
     pub verdict: Option<Verdict>,
     /// Minimized counterexample for the divergence (`None` when
@@ -309,6 +316,7 @@ fn mutant_json(o: &MutantOutcome) -> String {
             let _ = write!(s, "\"detected_by\": \"none\", ");
         }
     }
+    let _ = write!(s, "\"executions_to_detection\": {}, ", o.executions);
     let verdict = o
         .verdict
         .as_ref()
@@ -611,15 +619,20 @@ fn evaluate(
     };
 
     // Phase 1: fresh seeded fuzzing (measures ordinary detection power).
+    // `executions` counts differential batches across all phases so the
+    // report carries executions-to-detection per mutant.
+    let mut executions = 0usize;
     let task_seed = shard_seed(cfg.seed ^ 0x4855_4E54, task_index); // "HUNT"
     for run in 0..cfg.fuzz_runs {
         let seed = shard_seed(task_seed, run as u64);
+        executions += 1;
         if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
             return MutantOutcome {
                 program: def.name,
                 fault: mutant.fault.clone(),
                 level,
                 detection: Detection::Fuzz { seed },
+                executions,
                 verdict: Some(verdict),
                 minimized,
             };
@@ -630,12 +643,14 @@ fn evaluate(
     // input stream; backends are observationally equivalent, so it fires
     // regardless of which level the probe ran on.
     if let Some(seed) = mutant.witness {
+        executions += 1;
         if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
             return MutantOutcome {
                 program: def.name,
                 fault: mutant.fault.clone(),
                 level,
                 detection: Detection::Witness { seed },
+                executions,
                 verdict: Some(verdict),
                 minimized,
             };
@@ -643,6 +658,7 @@ fn evaluate(
     }
 
     // Phase 3: bounded exhaustive verification over the input fields.
+    executions += 1;
     if let Ok(VerifyOutcome::CounterExample {
         input, mismatch, ..
     }) = verify_bounded(
@@ -667,6 +683,7 @@ fn evaluate(
             fault: mutant.fault.clone(),
             level,
             detection: Detection::Verify,
+            executions,
             verdict: Some(Verdict::Mismatch(mismatch)),
             minimized,
         };
@@ -677,6 +694,7 @@ fn evaluate(
         fault: mutant.fault.clone(),
         level,
         detection: Detection::Undetected,
+        executions,
         verdict: None,
         minimized: None,
     }

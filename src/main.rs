@@ -31,6 +31,7 @@ use druzhba::dgen::mat::emit_mat_pipeline;
 use druzhba::dgen::OptLevel;
 use druzhba::domino::{parse_program, DominoProgram};
 use druzhba::drmt::{solve, ScheduleConfig};
+use druzhba::dsim::coverage::{greybox_fuzz_test, p4_greybox_fuzz_test, GreyboxConfig};
 use druzhba::dsim::minimize::MinimizedCounterExample;
 use druzhba::dsim::p4::{
     p4_fuzz_campaign, p4_fuzz_test, P4CampaignConfig, P4FuzzConfig, P4Workload,
@@ -85,6 +86,10 @@ USAGE:
                   [--edit name=v,name=-]  (apply machine-code edits, `-` removes;
                                            replays a hunt report's essential_edits)
                   [--runs R --jobs J]   (R > 1: parallel seeded campaign)
+                  [--greybox E]         (coverage-guided campaign with an E-execution
+                                         budget; tune with --gb-packets P
+                                         --gb-max-packets N --corpus N --merge-every M
+                                         --jobs J; see docs/FUZZING.md)
   druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
                   [--level 0|1|2|3|all]  (default: all backends)
   druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
@@ -100,6 +105,9 @@ USAGE:
                   differential fuzz: reference interpreter vs. the lowered RMT
                   match-action pipeline on every backend, plus a cross-model
                   dRMT-vs-RMT check; no positional = the whole P4 corpus
+  druzhba p4-fuzz --greybox E [--mutate-entries on|off] [...same flags...]
+                  coverage-guided differential campaign over packets and (by
+                  default) table entries; same tuning flags as fuzz --greybox
   druzhba p4-fuzz --mutants N [...same flags...] [--out FILE]
                   table/action-fault mutation campaign (JSON report; nonzero
                   exit if any injected fault survives)
@@ -250,6 +258,75 @@ fn print_minimized(mce: &MinimizedCounterExample) {
             );
         }
     }
+}
+
+/// Build the greybox configuration from the flags shared by
+/// `fuzz --greybox` and `p4-fuzz --greybox` (`--gb-packets`, `--corpus`,
+/// `--merge-every`, `--jobs`; defaults in [`GreyboxConfig`]).
+fn greybox_config(
+    args: &Args,
+    executions: usize,
+    seed: u64,
+    bits: u32,
+) -> Result<GreyboxConfig, String> {
+    let defaults = GreyboxConfig::default();
+    Ok(GreyboxConfig {
+        executions,
+        packets: args.get_usize("gb-packets", defaults.packets)?,
+        max_packets: args.get_usize("gb-max-packets", defaults.max_packets)?,
+        seed,
+        input_bits: bits,
+        corpus_max: args.get_usize("corpus", defaults.corpus_max)?,
+        workers: match args.get_usize("jobs", 0)? {
+            0 => defaults.workers,
+            jobs => jobs,
+        },
+        merge_every: args.get_usize("merge-every", defaults.merge_every)?,
+        initial_seeds: defaults.initial_seeds,
+        minimize: true,
+    })
+}
+
+/// One-line greybox campaign summary (the JSON-schema fields, human
+/// formatted): executions, edges, corpus, and where the first divergence
+/// landed.
+fn print_greybox(
+    label: &str,
+    level: OptLevel,
+    cfg: &GreyboxConfig,
+    report: &druzhba::dsim::GreyboxReport,
+) {
+    let outcome = match report.first_divergence {
+        Some(at) => format!("first divergence at execution {at}"),
+        None => "no divergence".to_string(),
+    };
+    println!(
+        "greybox[{label}:{}]: {} executions x {} packets on {} workers \
+         ({} merge rounds) -> {} edges covered, corpus {}, {outcome}",
+        level.key(),
+        report.executions,
+        cfg.packets,
+        cfg.workers,
+        report.rounds,
+        report.edges_covered,
+        report.corpus_size,
+    );
+}
+
+/// The replay recipe for a greybox divergence: the campaign is a pure
+/// function of (seed, jobs), so re-running with both reproduces it
+/// byte-identically. `mode` carries campaign-mode flags that change the
+/// search space (e.g. `--mutate-entries off`).
+fn greybox_replay(cfg: &GreyboxConfig, mode: &str) -> String {
+    let cap = if cfg.max_packets == 0 {
+        String::new()
+    } else {
+        format!(" --gb-max-packets {}", cfg.max_packets)
+    };
+    format!(
+        "--greybox {} --seed {:#x} --jobs {} --gb-packets {} --corpus {} --merge-every {}{cap}{mode}",
+        cfg.executions, cfg.seed, cfg.workers, cfg.packets, cfg.corpus_max, cfg.merge_every
+    )
 }
 
 fn load(args: &Args) -> Result<(DominoProgram, CompilerConfig), String> {
@@ -415,8 +492,66 @@ fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
     let levels = args.get_levels("level", &OptLevel::ALL)?;
     let runs = args.get_usize("runs", if mutants > 0 { 2 } else { 1 })?;
     let jobs = args.get_usize("jobs", 0)?;
-    if jobs > 0 && runs <= 1 && mutants == 0 {
-        return Err("--jobs shards a multi-run campaign; pass --runs R (R > 1) with it".into());
+    let greybox = args.get_usize("greybox", 0)?;
+    if jobs > 0 && runs <= 1 && mutants == 0 && greybox == 0 {
+        return Err(
+            "--jobs shards a multi-run campaign; pass --runs R (R > 1) or --greybox E with it"
+                .into(),
+        );
+    }
+    if greybox > 0 && mutants > 0 {
+        return Err("--greybox and --mutants are separate campaign modes; pick one".into());
+    }
+
+    if greybox > 0 {
+        // Coverage-guided differential mode: both sides run the same
+        // (mutated) entries unless --mutate-entries off pins the corpus
+        // entry set (DESIGN.md §9).
+        let mutate_entries = match args.get("mutate-entries") {
+            None | Some("on") => true,
+            Some("off") => false,
+            Some(other) => {
+                return Err(format!("--mutate-entries must be on|off, got `{other}`"));
+            }
+        };
+        let gb_cfg = greybox_config(&args, greybox, seed, bits)?;
+        for (name, workload) in &targets {
+            for &level in &levels {
+                let report = p4_greybox_fuzz_test(
+                    workload,
+                    &workload.entries,
+                    level,
+                    mutate_entries,
+                    &gb_cfg,
+                );
+                print_greybox(name, level, &gb_cfg, &report);
+                if !report.passed() {
+                    if let Some(mce) = &report.minimized {
+                        print_minimized(mce);
+                    }
+                    if let Some(entries) = &report.diverging_entries {
+                        eprintln!("diverging entry set ({} entries):", entries.len());
+                        for e in entries {
+                            eprintln!("  {e:?}");
+                        }
+                    }
+                    let mode = if mutate_entries {
+                        ""
+                    } else {
+                        " --mutate-entries off"
+                    };
+                    return Err(format!(
+                        "p4 greybox fuzzing found a divergence in `{name}` at level {} \
+                         (replay with `{} --level {} --bits {bits}`): {:?}",
+                        level.key(),
+                        greybox_replay(&gb_cfg, mode),
+                        level.key(),
+                        report.verdict
+                    ));
+                }
+            }
+        }
+        return Ok(());
     }
 
     if mutants > 0 {
@@ -607,8 +742,12 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
     let levels = args.get_levels("level", &[OptLevel::Fused])?;
     let runs = args.get_usize("runs", 1)?;
     let jobs = args.get_usize("jobs", 0)?;
-    if jobs > 0 && runs <= 1 {
-        return Err("--jobs shards a multi-run campaign; pass --runs R (R > 1) with it".into());
+    let greybox = args.get_usize("greybox", 0)?;
+    if jobs > 0 && runs <= 1 && greybox == 0 {
+        return Err(
+            "--jobs shards a multi-run campaign; pass --runs R (R > 1) or --greybox E with it"
+                .into(),
+        );
     }
     let mut machine_code = compiled.machine_code.clone();
     if let Some(raw) = args.get("edit") {
@@ -627,6 +766,37 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
         state_cells: compiled.state_cells.clone(),
         ..FuzzConfig::default()
     };
+    if greybox > 0 {
+        // Coverage-guided mode: corpus-scheduled mutation instead of
+        // independent random batches (DESIGN.md §9).
+        let gb_cfg = greybox_config(&args, greybox, seed, bits)?;
+        for &level in &levels {
+            let report = greybox_fuzz_test(
+                &compiled.pipeline_spec,
+                &machine_code,
+                level,
+                || CompiledSpec::new(program.clone(), &compiled),
+                Some(&compiled.observable_containers()),
+                &compiled.state_cells,
+                &gb_cfg,
+            );
+            print_greybox("fuzz", level, &gb_cfg, &report);
+            if !report.passed() {
+                if let Some(mce) = &report.minimized {
+                    print_minimized(mce);
+                }
+                return Err(format!(
+                    "greybox fuzzing found a divergence at level {} (replay with \
+                     `{} --level {} --bits {bits}{replay_edit}`): {:?}",
+                    level.key(),
+                    greybox_replay(&gb_cfg, ""),
+                    level.key(),
+                    report.verdict
+                ));
+            }
+        }
+        return Ok(());
+    }
     for &level in &levels {
         if runs > 1 {
             // Parallel campaign: `runs` independently seeded Fig. 5

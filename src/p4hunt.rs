@@ -108,6 +108,11 @@ pub struct P4MutantOutcome {
     pub level: OptLevel,
     /// How the fault was detected, if at all.
     pub detection: P4Detection,
+    /// Differential batches executed up to and including the detecting
+    /// one (fresh fuzz runs then the witness replay; the full budget when
+    /// undetected) — the per-mutant executions-to-detection figure
+    /// `BENCH_greybox.json` compares against greybox search.
+    pub executions: usize,
     /// The observed divergence (`None` when undetected).
     pub verdict: Option<Verdict>,
     /// Minimized counterexample (`None` when undetected).
@@ -254,6 +259,7 @@ fn outcome_json(o: &P4MutantOutcome) -> String {
             let _ = write!(s, "\"detected_by\": \"none\", ");
         }
     }
+    let _ = write!(s, "\"executions_to_detection\": {}, ", o.executions);
     let verdict = o
         .verdict
         .as_ref()
@@ -427,15 +433,20 @@ fn evaluate(
     };
 
     // Phase 1: fresh seeded fuzzing (ordinary detection power).
+    // `executions` counts differential batches so the report carries
+    // executions-to-detection per mutant.
+    let mut executions = 0usize;
     let task_seed = shard_seed(cfg.seed ^ 0x5034_4855, task_index); // "P4HU"
     for run in 0..cfg.fuzz_runs {
         let seed = shard_seed(task_seed, run as u64);
+        executions += 1;
         if let Some((verdict, minimized)) = fuzz_round(seed) {
             return P4MutantOutcome {
                 program: name.clone(),
                 fault: mutant.fault.clone(),
                 level,
                 detection: P4Detection::Fuzz { seed },
+                executions,
                 verdict: Some(verdict),
                 minimized,
             };
@@ -444,6 +455,7 @@ fn evaluate(
 
     // Phase 2: the screening witness (a known-diverging stream; backends
     // are observationally equivalent, so it fires on every level).
+    executions += 1;
     if let Some((verdict, minimized)) = fuzz_round(mutant.witness) {
         return P4MutantOutcome {
             program: name.clone(),
@@ -452,6 +464,7 @@ fn evaluate(
             detection: P4Detection::Witness {
                 seed: mutant.witness,
             },
+            executions,
             verdict: Some(verdict),
             minimized,
         };
@@ -462,6 +475,7 @@ fn evaluate(
         fault: mutant.fault.clone(),
         level,
         detection: P4Detection::Undetected,
+        executions,
         verdict: None,
         minimized: None,
     }

@@ -1,0 +1,81 @@
+//! Documentation link check: every relative link in the repository's
+//! markdown files must point at a file that exists. Runs as part of the
+//! ordinary test suite, so CI's doc gate catches dangling links the
+//! moment a file is renamed.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files covered by the check (committed documentation; the
+/// per-PR log and issue scratch files are exempt).
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.retain(|f| f.exists());
+    files
+}
+
+/// Extract `](target)` link targets from markdown, skipping URLs and
+/// intra-page anchors.
+fn relative_links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find("](") {
+        rest = &rest[open + 2..];
+        let Some(close) = rest.find(')') else { break };
+        let target = &rest[..close];
+        rest = &rest[close..];
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        out.push(target.to_string());
+    }
+    out
+}
+
+#[test]
+fn every_relative_markdown_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = doc_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/ARCHITECTURE.md")),
+        "docs/ARCHITECTURE.md must exist and be covered by the link check"
+    );
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/FUZZING.md")),
+        "docs/FUZZING.md must exist and be covered by the link check"
+    );
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable markdown");
+        let dir = file.parent().expect("file has a parent");
+        for link in relative_links(&text) {
+            // Strip an intra-file anchor: `DESIGN.md#section` checks the file.
+            let path_part = link.split('#').next().unwrap_or(&link);
+            if path_part.is_empty() {
+                continue;
+            }
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: {link}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken markdown links:\n{}",
+        broken.join("\n")
+    );
+}
