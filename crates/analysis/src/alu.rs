@@ -1,0 +1,429 @@
+//! Abstract evaluation of ALU-DSL statement bodies.
+//!
+//! Mirrors `druzhba_dgen::eval` one transfer function at a time: holes are
+//! concrete machine-code values (a configured pipeline has no free holes),
+//! packet fields and state variables are abstract. `if` chains with
+//! undecided conditions fork the abstract state and join at the statement
+//! boundary; decided conditions prune arms and feed the unreachable-arm
+//! lint.
+//!
+//! The same evaluator covers both the *source* semantics (unspecialized
+//! spec plus hole environment — version-1 evaluation) and the `Scc`
+//! backend (specialized spec, empty hole map), which is what makes the
+//! translation-validation pass able to compare them.
+
+use std::collections::HashMap;
+
+use druzhba_alu_dsl::ast::{AluSpec, Expr, Stmt};
+use druzhba_core::value::Value;
+
+use crate::domain::{AbsVal, Tri};
+
+/// One lint event, located by the emitting pass's program counter (here:
+/// pre-order statement index in the ALU body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintEvent {
+    pub pc: u32,
+    pub code: &'static str,
+    pub message: String,
+}
+
+/// Result of abstractly executing one ALU invocation.
+#[derive(Debug, Clone)]
+pub struct AluAbsOutcome {
+    /// Abstraction of the ALU's output value.
+    pub output: AbsVal,
+    /// Abstraction of the state vector after the invocation.
+    pub state: Vec<AbsVal>,
+}
+
+/// Abstractly execute one ALU invocation.
+///
+/// `lints`, when present, receives unreachable-arm, dead-write, and
+/// arithmetic-hazard events for this invocation; pass `None` during
+/// fixpoint iteration and `Some` only on the post-fixpoint reporting run.
+pub fn abs_eval_alu(
+    spec: &AluSpec,
+    holes: &HashMap<String, Value>,
+    operands: &[AbsVal],
+    state_in: &[AbsVal],
+    lints: Option<&mut Vec<LintEvent>>,
+) -> AluAbsOutcome {
+    let default_output = state_in.first().copied().unwrap_or(AbsVal::constant(0));
+    let pcs = assign_pcs(&spec.body);
+    let mut ctx = Ctx {
+        spec,
+        holes,
+        operands,
+        pcs,
+        lints,
+        pending_writes: HashMap::new(),
+        stmt_pc: 0,
+    };
+    let flow = ctx.exec_block(&spec.body, state_in.to_vec());
+    let (output, state) = match (flow.fall, flow.ret) {
+        (Some(fall), Some((rv, rs))) => (rv.join(default_output), join_states(&fall, &rs)),
+        (Some(fall), None) => (default_output, fall),
+        (None, Some((rv, rs))) => (rv, rs),
+        // Unreachable: a block with no return always falls through.
+        (None, None) => (default_output, state_in.to_vec()),
+    };
+    AluAbsOutcome { output, state }
+}
+
+/// Join two abstract state vectors elementwise.
+pub fn join_states(a: &[AbsVal], b: &[AbsVal]) -> Vec<AbsVal> {
+    a.iter().zip(b).map(|(x, y)| x.join(*y)).collect()
+}
+
+/// Widen `prev` toward `next` elementwise.
+pub fn widen_states(prev: &[AbsVal], next: &[AbsVal]) -> Vec<AbsVal> {
+    prev.iter().zip(next).map(|(p, n)| p.widen(*n)).collect()
+}
+
+/// Pre-order statement numbering, keyed by node address (the AST is
+/// borrowed immutably for the whole analysis, so addresses are stable).
+fn assign_pcs(body: &[Stmt]) -> HashMap<*const Stmt, u32> {
+    fn walk(stmts: &[Stmt], next: &mut u32, out: &mut HashMap<*const Stmt, u32>) {
+        for stmt in stmts {
+            out.insert(stmt as *const Stmt, *next);
+            *next += 1;
+            if let Stmt::If { arms, else_body } = stmt {
+                for (_, body) in arms {
+                    walk(body, next, out);
+                }
+                walk(else_body, next, out);
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    let mut next = 0;
+    walk(body, &mut next, &mut out);
+    out
+}
+
+/// Abstract control flow out of a block: the fall-through state (if any
+/// path falls through) and the joined `(value, state)` over `return`
+/// points (if any path returns).
+struct Flow {
+    fall: Option<Vec<AbsVal>>,
+    ret: Option<(AbsVal, Vec<AbsVal>)>,
+}
+
+struct Ctx<'a> {
+    spec: &'a AluSpec,
+    holes: &'a HashMap<String, Value>,
+    operands: &'a [AbsVal],
+    pcs: HashMap<*const Stmt, u32>,
+    lints: Option<&'a mut Vec<LintEvent>>,
+    /// State vars assigned on the current straight-line path and not yet
+    /// read: candidate dead writes, keyed by state index → pc of the
+    /// pending write. Cleared conservatively at every branch point.
+    pending_writes: HashMap<usize, u32>,
+    /// pc of the statement currently being evaluated (anchors expression
+    /// hazard lints).
+    stmt_pc: u32,
+}
+
+impl Ctx<'_> {
+    fn lint(&mut self, pc: u32, code: &'static str, message: String) {
+        if let Some(sink) = self.lints.as_deref_mut() {
+            sink.push(LintEvent { pc, code, message });
+        }
+    }
+
+    fn hole(&self, name: &str) -> Value {
+        self.holes.get(name).copied().unwrap_or(0)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], state: Vec<AbsVal>) -> Flow {
+        let mut state = state;
+        let mut ret: Option<(AbsVal, Vec<AbsVal>)> = None;
+        for stmt in stmts {
+            let pc = self.pcs.get(&(stmt as *const Stmt)).copied().unwrap_or(0);
+            self.stmt_pc = pc;
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    let v = self.eval(value, &state);
+                    if let Some(i) = self.spec.state_var_index(target) {
+                        if let Some(&prev_pc) = self.pending_writes.get(&i) {
+                            self.lint(
+                                prev_pc,
+                                "dead-write",
+                                format!(
+                                    "state variable `{target}` is overwritten at pc {pc} \
+                                     before being read"
+                                ),
+                            );
+                        }
+                        self.pending_writes.insert(i, pc);
+                        state[i] = v;
+                    }
+                }
+                Stmt::If { arms, else_body } => {
+                    // Conditions are pure; all evaluate against the pre-If
+                    // state, exactly as the sequential concrete tests do.
+                    let mut branches: Vec<&[Stmt]> = Vec::new();
+                    let mut may_reach_next = true;
+                    for (arm, (cond, body)) in arms.iter().enumerate() {
+                        if !may_reach_next {
+                            self.lint(
+                                pc,
+                                "unreachable-arm",
+                                format!("arm {} of `if` chain can never be reached", arm + 1),
+                            );
+                            continue;
+                        }
+                        match self.eval(cond, &state).truth() {
+                            Tri::False => {
+                                self.lint(
+                                    pc,
+                                    "unreachable-arm",
+                                    format!(
+                                        "condition of arm {} of `if` chain is always false",
+                                        arm + 1
+                                    ),
+                                );
+                            }
+                            Tri::True => {
+                                branches.push(body);
+                                may_reach_next = false;
+                            }
+                            Tri::Unknown => branches.push(body),
+                        }
+                    }
+                    if may_reach_next {
+                        branches.push(else_body);
+                    } else if !else_body.is_empty() {
+                        self.lint(
+                            pc,
+                            "unreachable-arm",
+                            "`else` body of `if` chain can never be reached".to_string(),
+                        );
+                    }
+                    // Branch point: pending straight-line writes may be
+                    // read on either side — stop tracking them.
+                    self.pending_writes.clear();
+                    let mut fall: Option<Vec<AbsVal>> = None;
+                    for body in branches {
+                        let flow = self.exec_block(body, state.clone());
+                        self.pending_writes.clear();
+                        if let Some(f) = flow.fall {
+                            fall = Some(match fall {
+                                Some(acc) => join_states(&acc, &f),
+                                None => f,
+                            });
+                        }
+                        ret = join_ret(ret, flow.ret);
+                    }
+                    match fall {
+                        Some(f) => state = f,
+                        // Every branch returned: nothing falls through.
+                        None => return Flow { fall: None, ret },
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = self.eval(e, &state);
+                    self.pending_writes.clear();
+                    return Flow {
+                        fall: None,
+                        ret: join_ret(ret, Some((v, state))),
+                    };
+                }
+            }
+        }
+        Flow {
+            fall: Some(state),
+            ret,
+        }
+    }
+
+    /// Abstract counterpart of `Evaluator::eval`. Expressions are pure;
+    /// mux arms are evaluated eagerly like the concrete version-1
+    /// semantics (irrelevant abstractly, but keeps hazard lints aligned
+    /// with what the simulator actually computes).
+    fn eval(&mut self, expr: &Expr, state: &[AbsVal]) -> AbsVal {
+        match expr {
+            Expr::Const(v) => AbsVal::constant(*v),
+            Expr::Var(name) => {
+                if let Some(i) = self.spec.packet_field_index(name) {
+                    return self.operands.get(i).copied().unwrap_or(AbsVal::constant(0));
+                }
+                if let Some(i) = self.spec.state_var_index(name) {
+                    self.pending_writes.remove(&i);
+                    return state.get(i).copied().unwrap_or(AbsVal::constant(0));
+                }
+                AbsVal::constant(self.hole(name))
+            }
+            Expr::CConst { hole } => AbsVal::constant(self.hole(hole)),
+            Expr::Opt { hole, arg } => {
+                let x = self.eval(arg, state);
+                AbsVal::opt(self.hole(hole), x)
+            }
+            Expr::Mux2 { hole, a, b } => {
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                AbsVal::mux2(self.hole(hole), a, b)
+            }
+            Expr::Mux3 { hole, a, b, c } => {
+                let (a, b, c) = (
+                    self.eval(a, state),
+                    self.eval(b, state),
+                    self.eval(c, state),
+                );
+                AbsVal::mux3(self.hole(hole), a, b, c)
+            }
+            Expr::RelOp { hole, a, b } => {
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                AbsVal::rel_op(self.hole(hole), a, b)
+            }
+            Expr::ArithOp { hole, a, b } => {
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                let op = self.hole(hole);
+                self.arith_hazard(if op & 1 == 0 { "+" } else { "-" }, a, b);
+                AbsVal::arith_op(op, a, b)
+            }
+            Expr::Binary { op, l, r } => {
+                use druzhba_alu_dsl::ast::BinOp;
+                let (l, r) = (self.eval(l, state), self.eval(r, state));
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                        self.arith_hazard(op.symbol(), l, r);
+                    }
+                    BinOp::Div | BinOp::Mod if r.as_const() == Some(0) => {
+                        let pc = self.stmt_pc;
+                        self.lint(
+                            pc,
+                            "div-by-zero",
+                            format!(
+                                "right operand of `{}` is always zero \
+                                 (total semantics yield 0)",
+                                op.symbol()
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+                AbsVal::binop(*op, l, r)
+            }
+            Expr::Unary { op, x } => {
+                let x = self.eval(x, state);
+                AbsVal::unop(*op, x)
+            }
+        }
+    }
+
+    /// Report an arithmetic operation certain to wrap modulo 2^32.
+    fn arith_hazard(&mut self, sym: &str, l: AbsVal, r: AbsVal) {
+        let wraps = match sym {
+            "+" => u64::from(l.iv.lo) + u64::from(r.iv.lo) > u64::from(u32::MAX),
+            "-" => l.iv.hi < r.iv.lo,
+            "*" => u64::from(l.iv.lo) * u64::from(r.iv.lo) > u64::from(u32::MAX),
+            _ => false,
+        };
+        if wraps {
+            let pc = self.stmt_pc;
+            self.lint(
+                pc,
+                "overflow",
+                format!("`{sym}` always wraps modulo 2^32 here"),
+            );
+        }
+    }
+}
+
+fn join_ret(
+    a: Option<(AbsVal, Vec<AbsVal>)>,
+    b: Option<(AbsVal, Vec<AbsVal>)>,
+) -> Option<(AbsVal, Vec<AbsVal>)> {
+    match (a, b) {
+        (Some((av, asr)), Some((bv, bs))) => Some((av.join(bv), join_states(&asr, &bs))),
+        (x, None) | (None, x) => x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_alu_dsl::parse_alu;
+
+    const IF_ELSE: &str = "\
+name: abs_if_else
+type: stateful
+state variables: {s}
+hole variables: {}
+packet fields: {p}
+if (p > 5) { s = s + 1; }
+else { s = 0; }
+";
+
+    #[test]
+    fn abstract_result_contains_concrete_runs() {
+        let spec = parse_alu(IF_ELSE).expect("parses");
+        let holes = HashMap::new();
+        let operands = [AbsVal::bits(4)];
+        let state_in = [AbsVal::range(0, 10)];
+        let out = abs_eval_alu(&spec, &holes, &operands, &state_in, None);
+        // Concrete: p in [0,15], s in [0,10]; result state is s+1 (<=11) or 0.
+        for p in 0u32..16 {
+            for s in [0u32, 3, 10] {
+                let mut st = [s];
+                druzhba_dgen::eval::eval_unoptimized(&spec, &holes, &[p], &mut st);
+                assert!(
+                    out.state[0].contains(st[0]),
+                    "state {} not in {:?} (p={p}, s={s})",
+                    st[0],
+                    out.state[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_condition_yields_unreachable_arm_lint() {
+        let src = "\
+name: abs_const_cond
+type: stateful
+state variables: {s}
+hole variables: {}
+packet fields: {p}
+if (0) { s = 1; }
+else { s = p; }
+";
+        let spec = parse_alu(src).expect("parses");
+        let mut lints = Vec::new();
+        abs_eval_alu(
+            &spec,
+            &HashMap::new(),
+            &[AbsVal::top()],
+            &[AbsVal::top()],
+            Some(&mut lints),
+        );
+        assert!(
+            lints.iter().any(|l| l.code == "unreachable-arm"),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn overwrite_before_read_yields_dead_write_lint() {
+        let src = "\
+name: abs_dead_write
+type: stateful
+state variables: {s}
+hole variables: {}
+packet fields: {p}
+s = p + 1;
+s = p + 2;
+";
+        let spec = parse_alu(src).expect("parses");
+        let mut lints = Vec::new();
+        abs_eval_alu(
+            &spec,
+            &HashMap::new(),
+            &[AbsVal::top()],
+            &[AbsVal::top()],
+            Some(&mut lints),
+        );
+        assert!(lints.iter().any(|l| l.code == "dead-write"), "{lints:?}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract execution of the SCC-inline stack bytecode.
+//!
+//! A forward-dataflow pass over [`BytecodeProgram`]: the compiler only
+//! ever emits forward jumps (structured `if`-chain lowering has no loops),
+//! so one ascending sweep with per-pc joined abstract `(stack, state)`
+//! frames reaches the fixpoint. Alongside the abstract result, the pass
+//! records which outcome of every `JumpIfZero` is reachable — the raw
+//! material for the dead-edge predictions cross-checked against greybox
+//! coverage.
+
+use druzhba_dgen::bytecode::{BytecodeProgram, Instr};
+
+use crate::alu::join_states;
+use crate::domain::{AbsVal, Tri};
+
+/// Result of abstractly executing one bytecode invocation.
+#[derive(Debug, Clone)]
+pub struct BytecodeAbs {
+    pub output: AbsVal,
+    pub state: Vec<AbsVal>,
+    /// `(pc, taken)` conditional-branch outcomes proven unreachable.
+    pub dead_branches: Vec<(u32, bool)>,
+    /// `(pc, taken)` outcomes the analysis could not rule out.
+    pub live_branches: Vec<(u32, bool)>,
+}
+
+/// Abstractly execute `prog` on abstract operands and entry state.
+///
+/// Returns `None` when the program violates the structural assumptions
+/// (a backward jump or stack-shape mismatch at a join) — the compilers
+/// never produce such programs, but the analyzer refuses to guess.
+pub fn abs_eval_bytecode(
+    prog: &BytecodeProgram,
+    operands: &[AbsVal],
+    state_in: &[AbsVal],
+) -> Option<BytecodeAbs> {
+    let instrs = prog.instrs();
+    let default_output = state_in.first().copied().unwrap_or(AbsVal::constant(0));
+
+    // Joined abstract frame flowing *into* each pc.
+    type Frame = (Vec<AbsVal>, Vec<AbsVal>);
+    let mut inflow: Vec<Option<Frame>> = vec![None; instrs.len()];
+    if instrs.is_empty() {
+        return Some(BytecodeAbs {
+            output: default_output,
+            state: state_in.to_vec(),
+            dead_branches: Vec::new(),
+            live_branches: Vec::new(),
+        });
+    }
+    inflow[0] = Some((Vec::new(), state_in.to_vec()));
+
+    let mut exit: Option<(AbsVal, Vec<AbsVal>)> = None;
+    let mut dead_branches = Vec::new();
+    let mut live_branches = Vec::new();
+
+    let join_into = |slot: &mut Option<Frame>, stack: &[AbsVal], state: &[AbsVal]| -> bool {
+        match slot {
+            None => {
+                *slot = Some((stack.to_vec(), state.to_vec()));
+                true
+            }
+            Some((s0, st0)) => {
+                if s0.len() != stack.len() {
+                    return false;
+                }
+                *s0 = join_states(s0, stack);
+                *st0 = join_states(st0, state);
+                true
+            }
+        }
+    };
+
+    for pc in 0..instrs.len() {
+        let Some((mut stack, mut state)) = inflow[pc].clone() else {
+            // Unreachable pc: both outcomes of a conditional here are dead.
+            if matches!(instrs[pc], Instr::JumpIfZero(_)) {
+                dead_branches.push((pc as u32, false));
+                dead_branches.push((pc as u32, true));
+            }
+            continue;
+        };
+        match instrs[pc] {
+            Instr::Const(v) => stack.push(AbsVal::constant(v)),
+            Instr::Operand(i) => stack.push(
+                operands
+                    .get(i as usize)
+                    .copied()
+                    .unwrap_or(AbsVal::constant(0)),
+            ),
+            Instr::State(i) => stack.push(
+                state
+                    .get(i as usize)
+                    .copied()
+                    .unwrap_or(AbsVal::constant(0)),
+            ),
+            Instr::Bin(op) => {
+                let r = stack.pop()?;
+                let l = stack.pop()?;
+                stack.push(AbsVal::binop(op, l, r));
+            }
+            Instr::Un(op) => {
+                let x = stack.pop()?;
+                stack.push(AbsVal::unop(op, x));
+            }
+            Instr::StoreState(i) => {
+                let v = stack.pop()?;
+                if let Some(slot) = state.get_mut(i as usize) {
+                    *slot = v;
+                }
+            }
+            Instr::JumpIfZero(target) => {
+                let v = stack.pop()?;
+                if (target as usize) <= pc {
+                    return None;
+                }
+                let truth = v.truth();
+                // `taken` mirrors the interpreter: jump when the value is
+                // falsy.
+                let can_take = truth != Tri::True;
+                let can_fall = truth != Tri::False;
+                for (can, taken) in [(can_take, true), (can_fall, false)] {
+                    if can {
+                        live_branches.push((pc as u32, taken));
+                    } else {
+                        dead_branches.push((pc as u32, taken));
+                    }
+                }
+                if can_take && !join_into(&mut inflow[target as usize], &stack, &state) {
+                    return None;
+                }
+                if can_fall
+                    && pc + 1 < instrs.len()
+                    && !join_into(&mut inflow[pc + 1], &stack, &state)
+                {
+                    return None;
+                }
+                continue;
+            }
+            Instr::Jump(target) => {
+                if (target as usize) <= pc {
+                    return None;
+                }
+                if !join_into(&mut inflow[target as usize], &stack, &state) {
+                    return None;
+                }
+                continue;
+            }
+            Instr::ReturnValue => {
+                let v = stack.pop()?;
+                exit = join_exit(exit, (v, state));
+                continue;
+            }
+            Instr::Halt => {
+                exit = join_exit(exit, (default_output, state));
+                continue;
+            }
+        }
+        if pc + 1 < instrs.len() && !join_into(&mut inflow[pc + 1], &stack, &state) {
+            return None;
+        }
+    }
+
+    let (output, state) = exit.unwrap_or((default_output, state_in.to_vec()));
+    Some(BytecodeAbs {
+        output,
+        state,
+        dead_branches,
+        live_branches,
+    })
+}
+
+fn join_exit(
+    acc: Option<(AbsVal, Vec<AbsVal>)>,
+    next: (AbsVal, Vec<AbsVal>),
+) -> Option<(AbsVal, Vec<AbsVal>)> {
+    Some(match acc {
+        None => next,
+        Some((v, s)) => (v.join(next.0), join_states(&s, &next.1)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_alu_dsl::parse_alu;
+
+    #[test]
+    fn bytecode_abstraction_contains_concrete_runs() {
+        let src = "\
+name: abs_bc
+type: stateful
+state variables: {s}
+hole variables: {}
+packet fields: {p}
+if (p == 3) { s = s + 2; }
+else { s = s - 1; }
+";
+        let spec = parse_alu(src).expect("parses");
+        let prog = BytecodeProgram::compile(&spec);
+        let abs = abs_eval_bytecode(&prog, &[AbsVal::bits(3)], &[AbsVal::range(1, 5)])
+            .expect("structured program");
+        for p in 0u32..8 {
+            for s in 1u32..=5 {
+                let mut st = [s];
+                let out = prog.run(&[p], &mut st);
+                assert!(abs.output.contains(out), "out {out} p={p} s={s}");
+                assert!(abs.state[0].contains(st[0]), "state {} p={p} s={s}", st[0]);
+            }
+        }
+        // p == 3 is possible and avoidable: both branch outcomes live.
+        assert!(abs.dead_branches.is_empty(), "{:?}", abs.dead_branches);
+        // An impossible condition kills a branch side.
+        let abs2 = abs_eval_bytecode(&prog, &[AbsVal::range(8, 20)], &[AbsVal::range(1, 5)])
+            .expect("structured program");
+        assert!(
+            !abs2.dead_branches.is_empty(),
+            "p in [8,20] can never equal 3"
+        );
+    }
+}

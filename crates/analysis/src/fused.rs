@@ -1,0 +1,189 @@
+//! Abstract execution of the fused register program.
+//!
+//! The fused backend compiles the whole pipeline into one three-address
+//! program with forward-only control flow, so the same single-sweep
+//! forward dataflow used for the stack bytecode applies: a joined abstract
+//! frame per pc, branch-outcome bookkeeping per conditional jump. Branch
+//! pcs map one-to-one onto the coverage edges the instrumented interpreter
+//! emits (`(FUSED_SITE, pc, taken)`), which is what lets the analyzer
+//! predict concretely observable edge ids.
+
+use druzhba_dgen::fused::{FusedInstr, FusedPipeline};
+
+use crate::alu::join_states;
+use crate::domain::{AbsVal, Tri};
+
+/// Result of abstractly pushing one PHV through the fused program.
+#[derive(Debug, Clone)]
+pub struct FusedAbs {
+    /// Abstract frame after the last stage (PHV window at the front).
+    pub frame: Vec<AbsVal>,
+    /// `(pc, taken)` conditional-branch outcomes proven unreachable.
+    pub dead_branches: Vec<(u32, bool)>,
+    /// `(pc, taken)` outcomes the analysis could not rule out.
+    pub live_branches: Vec<(u32, bool)>,
+}
+
+/// Abstractly execute the full program on an abstract entry frame.
+///
+/// `frame_in` must be `fp.frame_len()` wide; the caller seeds the PHV
+/// window with the abstract input and the state windows with the current
+/// abstract state (everything else is written before read, but a sound
+/// seed is `AbsVal::top()`).
+///
+/// Returns `None` on a backward jump — the fuser never emits one.
+pub fn abs_eval_fused(fp: &FusedPipeline, frame_in: &[AbsVal]) -> Option<FusedAbs> {
+    abs_eval_fused_range(fp, frame_in, 0, fp.instrs().len())
+}
+
+/// Abstractly execute `instrs[start..end)` (one stage, or the whole
+/// program).
+pub fn abs_eval_fused_range(
+    fp: &FusedPipeline,
+    frame_in: &[AbsVal],
+    start: usize,
+    end: usize,
+) -> Option<FusedAbs> {
+    let instrs = fp.instrs();
+    debug_assert!(end <= instrs.len() && frame_in.len() == fp.frame_len());
+
+    // Joined abstract frame flowing into each pc in the range, plus the
+    // program-exit accumulator.
+    let mut inflow: Vec<Option<Vec<AbsVal>>> = vec![None; end - start];
+    let mut exit: Option<Vec<AbsVal>> = None;
+    if start == end {
+        return Some(FusedAbs {
+            frame: frame_in.to_vec(),
+            dead_branches: Vec::new(),
+            live_branches: Vec::new(),
+        });
+    }
+    inflow[0] = Some(frame_in.to_vec());
+
+    let mut dead_branches = Vec::new();
+    let mut live_branches = Vec::new();
+
+    fn join_into(slot: &mut Option<Vec<AbsVal>>, frame: &[AbsVal]) {
+        match slot {
+            None => *slot = Some(frame.to_vec()),
+            Some(acc) => *acc = join_states(acc, frame),
+        }
+    }
+
+    // `target == end` is the fall-out-of-range exit the fuser uses for
+    // the last stage; route it into the exit accumulator.
+    let flow_to = |inflow: &mut Vec<Option<Vec<AbsVal>>>,
+                   exit: &mut Option<Vec<AbsVal>>,
+                   target: usize,
+                   frame: &[AbsVal]| {
+        if target >= end {
+            join_into(exit, frame);
+        } else {
+            join_into(&mut inflow[target - start], frame);
+        }
+    };
+
+    for pc in start..end {
+        let Some(mut frame) = inflow[pc - start].clone() else {
+            if is_branch(&instrs[pc]) {
+                dead_branches.push((pc as u32, false));
+                dead_branches.push((pc as u32, true));
+            }
+            continue;
+        };
+        let record = |cond: Tri, dead: &mut Vec<(u32, bool)>, live: &mut Vec<(u32, bool)>| {
+            // Jump is taken when the condition value is falsy.
+            let can_take = cond != Tri::True;
+            let can_fall = cond != Tri::False;
+            for (can, taken) in [(can_take, true), (can_fall, false)] {
+                if can {
+                    live.push((pc as u32, taken));
+                } else {
+                    dead.push((pc as u32, taken));
+                }
+            }
+            (can_take, can_fall)
+        };
+        match instrs[pc] {
+            FusedInstr::Const { dst, v } => frame[dst as usize] = AbsVal::constant(v),
+            FusedInstr::Copy { dst, src } => frame[dst as usize] = frame[src as usize],
+            FusedInstr::Bin { op, dst, l, r } => {
+                frame[dst as usize] = AbsVal::binop(op, frame[l as usize], frame[r as usize]);
+            }
+            FusedInstr::BinImm { op, dst, l, imm } => {
+                frame[dst as usize] = AbsVal::binop(op, frame[l as usize], AbsVal::constant(imm));
+            }
+            FusedInstr::Un { op, dst, src } => {
+                frame[dst as usize] = AbsVal::unop(op, frame[src as usize]);
+            }
+            FusedInstr::JumpIfZero { src, target } => {
+                let cond = frame[src as usize].truth();
+                let (can_take, can_fall) = record(cond, &mut dead_branches, &mut live_branches);
+                if (target as usize) <= pc {
+                    return None;
+                }
+                if can_take {
+                    flow_to(&mut inflow, &mut exit, target as usize, &frame);
+                }
+                if can_fall {
+                    flow_to(&mut inflow, &mut exit, pc + 1, &frame);
+                }
+                continue;
+            }
+            FusedInstr::CmpJumpIfZero { op, l, r, target } => {
+                let v = AbsVal::binop(op, frame[l as usize], frame[r as usize]);
+                let (can_take, can_fall) =
+                    record(v.truth(), &mut dead_branches, &mut live_branches);
+                if (target as usize) <= pc {
+                    return None;
+                }
+                if can_take {
+                    flow_to(&mut inflow, &mut exit, target as usize, &frame);
+                }
+                if can_fall {
+                    flow_to(&mut inflow, &mut exit, pc + 1, &frame);
+                }
+                continue;
+            }
+            FusedInstr::CmpImmJumpIfZero { op, l, imm, target } => {
+                let v = AbsVal::binop(op, frame[l as usize], AbsVal::constant(imm));
+                let (can_take, can_fall) =
+                    record(v.truth(), &mut dead_branches, &mut live_branches);
+                if (target as usize) <= pc {
+                    return None;
+                }
+                if can_take {
+                    flow_to(&mut inflow, &mut exit, target as usize, &frame);
+                }
+                if can_fall {
+                    flow_to(&mut inflow, &mut exit, pc + 1, &frame);
+                }
+                continue;
+            }
+            FusedInstr::Jump { target } => {
+                if (target as usize) <= pc {
+                    return None;
+                }
+                flow_to(&mut inflow, &mut exit, target as usize, &frame);
+                continue;
+            }
+        }
+        flow_to(&mut inflow, &mut exit, pc + 1, &frame);
+    }
+
+    let frame = exit.unwrap_or_else(|| frame_in.to_vec());
+    Some(FusedAbs {
+        frame,
+        dead_branches,
+        live_branches,
+    })
+}
+
+fn is_branch(i: &FusedInstr) -> bool {
+    matches!(
+        i,
+        FusedInstr::JumpIfZero { .. }
+            | FusedInstr::CmpJumpIfZero { .. }
+            | FusedInstr::CmpImmJumpIfZero { .. }
+    )
+}

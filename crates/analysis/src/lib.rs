@@ -1,0 +1,43 @@
+//! Abstract-interpretation static analyzer for the Druzhba stacks.
+//!
+//! One reduced-product domain — intervals × known bits ([`domain::AbsVal`])
+//! — drives three passes over the existing IRs:
+//!
+//! 1. **Static translation validation** ([`pipeline::translation_validate`],
+//!    [`p4::p4_translation_validate`]): the source semantics (ALU-DSL AST,
+//!    P4 HLIR) and every compiled form (stack bytecode, staged pipeline,
+//!    fused register program, lowered `MatInstr` program) are abstractly
+//!    evaluated from the same abstract input; any observable whose two
+//!    abstractions are *disjoint* is a proven miscompilation — no concrete
+//!    execution of either side can agree there.
+//! 2. **Lint diagnostics**: statically unreachable `if`/mux arms, dead
+//!    stateful writes, certain-overflow arithmetic, division by a constant
+//!    zero, unreachable tables/entries/actions, always-match LPM prefixes,
+//!    reads of never-extracted headers. Diagnostics are deterministic and
+//!    machine-readable (see [`druzhba_core::diag`]).
+//! 3. **Generator screen** ([`pipeline::screen`]): classifies a generated
+//!    program as `Trivial` (provably constant observable outputs),
+//!    `Hazardous` (carries overflow/div-by-zero hazards), or
+//!    `Interesting` — a cheap validity filter in front of the expensive
+//!    differential stages.
+//!
+//! Soundness contract: for every pass, the concrete result of any run the
+//! backends can produce is *contained* in the abstract result. The
+//! property tests in `tests/analysis_soundness.rs` pin this against all
+//! backends over the shipped corpus.
+
+pub mod alu;
+pub mod bytecode;
+pub mod domain;
+pub mod fused;
+pub mod p4;
+pub mod pipeline;
+
+pub use domain::{AbsVal, Interval, KnownBits, Tri};
+pub use p4::{
+    abstract_input, analyze_hlir, analyze_mat, p4_translation_validate, MatAbs, P4Abs, P4TvMismatch,
+};
+pub use pipeline::{
+    analyze_pipeline, flag_mutant, proven_dead_edges, screen, translation_validate, EdgeKey,
+    LintRecord, PipelineAbs, Screened, StaticFlag, TvMismatch, TvSite,
+};

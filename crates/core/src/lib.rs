@@ -17,6 +17,7 @@
 pub mod asm;
 pub mod config;
 pub mod coverage;
+pub mod diag;
 pub mod error;
 pub mod machine_code;
 pub mod names;
@@ -28,6 +29,7 @@ pub mod value;
 pub use asm::Assembler;
 pub use config::PipelineConfig;
 pub use coverage::CoverageMap;
+pub use diag::{Diagnostic, Severity};
 pub use error::{Error, Result};
 pub use machine_code::MachineCode;
 pub use phv::Phv;

@@ -246,6 +246,19 @@ impl FusedPipeline {
         self.phv_len
     }
 
+    /// Instruction range `[start, end)` of each stage, in stage order.
+    /// Static analyzers walk these to mirror the coverage instrumentation's
+    /// per-stage edges without executing the program.
+    pub fn stage_bounds(&self) -> &[(u32, u32)] {
+        &self.stage_bounds
+    }
+
+    /// Per-stage, per-slot `(first register, register count)` of each
+    /// stateful ALU's state window within the frame.
+    pub fn state_regs(&self) -> &[Vec<(Reg, Reg)>] {
+        &self.state_regs
+    }
+
     /// Push one PHV through every stage, in place and allocation-free.
     pub fn process_in_place(&mut self, phv: &mut Phv) {
         self.process_in_place_cov(phv, None);
@@ -377,8 +390,9 @@ pub(crate) fn stage_out_muxes(
 }
 
 /// Site tag distinguishing fused-program edges from the staged backends'
-/// per-ALU edges.
-const FUSED_SITE: u32 = 0x00F0_05ED;
+/// per-ALU edges. Public so static analyses can predict the exact edge ids
+/// the coverage instrumentation will emit for fused-program branches.
+pub const FUSED_SITE: u32 = 0x00F0_05ED;
 
 /// Copy the PHV into the frame's container window. A plain indexed loop:
 /// PHVs are a handful of containers, where the loop beats `memcpy`'s call

@@ -177,6 +177,38 @@ impl AluUnit {
         &self.base_spec
     }
 
+    /// The coverage site id of this grid position (the `site` argument of
+    /// every edge the unit records).
+    pub fn site(&self) -> u32 {
+        self.site
+    }
+
+    /// The unoptimized backend's hole environment, if this unit fetches
+    /// hole values at runtime (version 1).
+    pub fn hole_env(&self) -> Option<&HashMap<String, Value>> {
+        match &self.backend {
+            Backend::Unoptimized { holes } => Some(holes),
+            _ => None,
+        }
+    }
+
+    /// The specialized (hole-free) spec, if this unit interprets one
+    /// (version 2).
+    pub fn specialized_spec(&self) -> Option<&AluSpec> {
+        match &self.backend {
+            Backend::Specialized { spec } => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The compiled bytecode program, if this unit runs one (version 3).
+    pub fn bytecode(&self) -> Option<&BytecodeProgram> {
+        match &self.backend {
+            Backend::Compiled { program } => Some(program),
+            _ => None,
+        }
+    }
+
     /// The container index feeding operand `k`.
     pub fn operand_selection(&self, k: usize) -> usize {
         match &self.backend {

@@ -1,0 +1,309 @@
+//! `druzhba analyze`: the static-analysis pass over the shipped corpus
+//! (or a single program), shared by the CLI and the golden-baseline test.
+//!
+//! For every Table 1 Domino program the driver runs static translation
+//! validation across all compiled backends, extracts lint diagnostics,
+//! and screens the program for fuzz-worthiness; for every P4 corpus
+//! program it validates the lowered `MatInstr` program against the HLIR
+//! semantics and reports the match-action lints. Output is deterministic
+//! (corpus order, diagnostics sorted by [`sort_diagnostics`]) so the JSON
+//! rendering can be pinned byte-for-byte under `tests/golden/`.
+
+use std::fmt::Write as _;
+
+use druzhba_analysis::{
+    p4_translation_validate, proven_dead_edges, screen, translation_validate, AbsVal, LintRecord,
+    Screened, TvSite,
+};
+use druzhba_core::diag::{sort_diagnostics, Diagnostic, Severity};
+use druzhba_dgen::OptLevel;
+use druzhba_dsim::p4::P4Workload;
+use druzhba_programs::{P4ProgramDef, ProgramDef, P4_PROGRAMS, PROGRAMS};
+
+/// Severity assigned to each lint code (unknown codes default to
+/// warnings so new lints fail the CI baseline until triaged).
+fn severity_of(code: &str) -> Severity {
+    match code {
+        "lpm-always-match" => Severity::Note,
+        _ => Severity::Warning,
+    }
+}
+
+/// Analysis result for one corpus program.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Registry name.
+    pub name: String,
+    /// `"domino"` or `"p4"`.
+    pub kind: &'static str,
+    /// Rendered translation-validation mismatches (empty = clean).
+    pub tv_mismatches: Vec<String>,
+    /// Sorted lint diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Generator-screen verdict (Domino programs only).
+    pub screen: Option<Screened>,
+    /// Conditional-branch coverage edges proven statically unreachable,
+    /// per statically-keyed backend (`scc_inline`, `fused`).
+    pub proven_dead: Vec<(&'static str, usize)>,
+}
+
+/// Whole-corpus analysis (17 programs: 12 Domino + 5 P4).
+#[derive(Debug, Clone)]
+pub struct CorpusAnalysis {
+    pub programs: Vec<ProgramAnalysis>,
+}
+
+impl CorpusAnalysis {
+    /// Total translation-validation mismatches.
+    pub fn tv_mismatches(&self) -> usize {
+        self.programs.iter().map(|p| p.tv_mismatches.len()).sum()
+    }
+
+    /// Diagnostics at [`Severity::Warning`] or above.
+    pub fn warnings(&self) -> usize {
+        self.programs
+            .iter()
+            .flat_map(|p| &p.diagnostics)
+            .filter(|d| d.severity >= Severity::Warning)
+            .count()
+    }
+
+    /// Deterministic JSON rendering (golden baseline:
+    /// `tests/golden/analyze.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"programs\": [");
+        let rows: Vec<String> = self.programs.iter().map(program_json).collect();
+        let _ = writeln!(s, "{}", rows.join(",\n"));
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"summary\": {{");
+        let _ = writeln!(s, "    \"programs\": {},", self.programs.len());
+        let _ = writeln!(s, "    \"tv_mismatches\": {},", self.tv_mismatches());
+        let _ = writeln!(s, "    \"warnings\": {}", self.warnings());
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for p in &self.programs {
+            let screen = p
+                .screen
+                .map(|v| format!(", screen: {}", v.label()))
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "{} [{}]: {} TV mismatch(es), {} diagnostic(s){screen}",
+                p.name,
+                p.kind,
+                p.tv_mismatches.len(),
+                p.diagnostics.len()
+            );
+            for m in &p.tv_mismatches {
+                let _ = writeln!(s, "  TV MISMATCH: {m}");
+            }
+            for d in &p.diagnostics {
+                let _ = writeln!(s, "  {d}");
+            }
+            for (level, n) in &p.proven_dead {
+                if *n > 0 {
+                    let _ = writeln!(s, "  {n} branch edge(s) proven unreachable at {level}");
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "analyze: {} program(s), {} TV mismatch(es), {} warning(s)",
+            self.programs.len(),
+            self.tv_mismatches(),
+            self.warnings()
+        );
+        s
+    }
+}
+
+fn program_json(p: &ProgramAnalysis) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"name\": \"{}\", \"kind\": \"{}\", ",
+        p.name, p.kind
+    );
+    match p.screen {
+        Some(v) => {
+            let _ = write!(s, "\"screen\": \"{}\", ", v.label());
+        }
+        None => {
+            let _ = write!(s, "\"screen\": null, ");
+        }
+    }
+    let tv: Vec<String> = p
+        .tv_mismatches
+        .iter()
+        .map(|m| format!("\"{}\"", druzhba_core::diag::json_string(m)))
+        .collect();
+    let _ = write!(s, "\"tv_mismatches\": [{}], ", tv.join(", "));
+    let dead: Vec<String> = p
+        .proven_dead
+        .iter()
+        .map(|(level, n)| format!("\"{level}\": {n}"))
+        .collect();
+    let _ = write!(s, "\"proven_dead_edges\": {{{}}}, ", dead.join(", "));
+    let diags: Vec<String> = p
+        .diagnostics
+        .iter()
+        .map(|d| format!("      {}", d.to_json()))
+        .collect();
+    if diags.is_empty() {
+        let _ = write!(s, "\"diagnostics\": []}}");
+    } else {
+        let _ = write!(s, "\"diagnostics\": [\n{}\n    ]}}", diags.join(",\n"));
+    }
+    s
+}
+
+fn lints_to_diags(name: &str, lints: &[LintRecord]) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = lints
+        .iter()
+        .map(|l| Diagnostic {
+            program: name.to_string(),
+            stage: l.stage,
+            pc: l.pc,
+            code: l.code,
+            message: l.message.clone(),
+            severity: severity_of(l.code),
+        })
+        .collect();
+    sort_diagnostics(&mut out);
+    out.dedup();
+    out
+}
+
+fn render_tv_site(site: TvSite) -> String {
+    match site {
+        TvSite::Container(c) => format!("container[{c}]"),
+        TvSite::State { stage, slot, var } => format!("state[{stage}][{slot}][{var}]"),
+    }
+}
+
+/// Analyze one compiled Domino pipeline (name is only used for labeling).
+pub fn analyze_compiled(
+    name: &str,
+    spec: &druzhba_dgen::pipeline::PipelineSpec,
+    mc: &druzhba_core::MachineCode,
+    observable: Option<&[usize]>,
+) -> Result<ProgramAnalysis, String> {
+    let input = vec![AbsVal::top(); spec.config.phv_length];
+
+    let tv = translation_validate(spec, mc, &input).map_err(|e| format!("{name}: {e}"))?;
+    let tv_mismatches: Vec<String> = tv
+        .iter()
+        .map(|m| format!("{} vs source at {}", m.level.key(), render_tv_site(m.site)))
+        .collect();
+
+    let abs = druzhba_analysis::analyze_pipeline(spec, mc, OptLevel::Unoptimized, &input)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let diagnostics = lints_to_diags(name, &abs.lints);
+
+    let verdict = screen(spec, mc, observable).map_err(|e| format!("{name}: {e}"))?;
+
+    let mut proven_dead = Vec::new();
+    for (label, level) in [
+        ("scc_inline", OptLevel::SccInline),
+        ("fused", OptLevel::Fused),
+    ] {
+        let abs = druzhba_analysis::analyze_pipeline(spec, mc, level, &input)
+            .map_err(|e| format!("{name}: {e}"))?;
+        proven_dead.push((label, proven_dead_edges(&abs).len()));
+    }
+
+    Ok(ProgramAnalysis {
+        name: name.to_string(),
+        kind: "domino",
+        tv_mismatches,
+        diagnostics,
+        screen: Some(verdict),
+        proven_dead,
+    })
+}
+
+/// Analyze one Table 1 Domino program (compiles via the shared cache).
+pub fn analyze_domino_def(def: &ProgramDef) -> Result<ProgramAnalysis, String> {
+    let compiled = def
+        .compile_cached()
+        .map_err(|e| format!("{}: {e}", def.name))?;
+    let observable = compiled.observable_containers();
+    analyze_compiled(
+        def.name,
+        &compiled.pipeline_spec,
+        &compiled.machine_code,
+        Some(&observable),
+    )
+}
+
+/// Analyze one P4 workload (parsed program + bound entries + lowering).
+pub fn analyze_p4_workload(name: &str, workload: &P4Workload) -> Result<ProgramAnalysis, String> {
+    let (tv, habs) = p4_translation_validate(&workload.hlir, &workload.entries, &workload.lowering)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let tv_mismatches: Vec<String> = tv
+        .iter()
+        .map(|m| format!("lowered vs hlir at {}", m.site))
+        .collect();
+    Ok(ProgramAnalysis {
+        name: name.to_string(),
+        kind: "p4",
+        tv_mismatches,
+        diagnostics: lints_to_diags(name, &habs.lints),
+        screen: None,
+        proven_dead: Vec::new(),
+    })
+}
+
+/// Analyze one P4 corpus program.
+pub fn analyze_p4_def(def: &P4ProgramDef) -> Result<ProgramAnalysis, String> {
+    let workload = def.workload().map_err(|e| format!("{}: {e}", def.name))?;
+    analyze_p4_workload(def.name, &workload)
+}
+
+/// Analyze the whole corpus in registry order (12 Domino, then 5 P4).
+pub fn analyze_corpus() -> Result<CorpusAnalysis, String> {
+    let mut programs = Vec::new();
+    for def in &PROGRAMS {
+        programs.push(analyze_domino_def(def)?);
+    }
+    for def in &P4_PROGRAMS {
+        programs.push(analyze_p4_def(def)?);
+    }
+    Ok(CorpusAnalysis { programs })
+}
+
+/// Predicted-dead coverage edges for one Domino program at one backend,
+/// assuming every input container carries at most `input_bits` bits —
+/// the abstraction of a fuzz campaign's bounded traffic generator (pass
+/// `>= 32` for an unconstrained input). Used by the greybox cross-check;
+/// `None` for levels without statically-keyed edges.
+pub fn predicted_dead_edges(
+    def: &ProgramDef,
+    level: OptLevel,
+    input_bits: u32,
+) -> Result<Option<Vec<druzhba_analysis::EdgeKey>>, String> {
+    if !matches!(level, OptLevel::SccInline | OptLevel::Fused) {
+        return Ok(None);
+    }
+    let compiled = def
+        .compile_cached()
+        .map_err(|e| format!("{}: {e}", def.name))?;
+    let spec = &compiled.pipeline_spec;
+    let container = if input_bits >= 32 {
+        AbsVal::top()
+    } else {
+        AbsVal::bits(input_bits)
+    };
+    let input = vec![container; spec.config.phv_length];
+    let abs = druzhba_analysis::analyze_pipeline(spec, &compiled.machine_code, level, &input)
+        .map_err(|e| format!("{}: {e}", def.name))?;
+    Ok(Some(proven_dead_edges(&abs)))
+}

@@ -34,6 +34,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use druzhba_analysis::{flag_mutant, StaticFlag};
 use druzhba_chipmunk::CompiledProgram;
 use druzhba_core::Trace;
 use druzhba_dgen::OptLevel;
@@ -123,6 +124,11 @@ pub struct MutantOutcome {
     pub level: OptLevel,
     /// How the fault was detected, if at all.
     pub detection: Detection,
+    /// How the static analyzer flagged the mutant without executing a
+    /// packet: `Structural` (machine-code validation rejects it),
+    /// `Abstract` (the abstract fingerprint differs from the baseline's),
+    /// or `Unflagged`.
+    pub static_flag: StaticFlag,
     /// Differential batches executed up to and including the detecting
     /// one (each fresh fuzz run, the witness replay, and the bounded
     /// verification pass count as one batch; the full budget when
@@ -179,6 +185,25 @@ impl HuntReport {
             return 1.0;
         }
         self.detected() as f64 / self.evaluations() as f64
+    }
+
+    /// Evaluations whose mutant the static analyzer flagged (structurally
+    /// or abstractly) without executing a packet.
+    pub fn static_flagged(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.static_flag != StaticFlag::Unflagged)
+            .count()
+    }
+
+    /// Evaluation count per static flag (`"structural"`, `"abstract"`,
+    /// `"none"`).
+    pub fn by_static_flag(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for o in &self.outcomes {
+            *out.entry(o.static_flag.label()).or_insert(0) += 1;
+        }
+        out
     }
 
     /// Evaluation count per detector (`"fuzz"`, `"witness"`, `"verify"`,
@@ -244,6 +269,13 @@ impl HuntReport {
         let _ = writeln!(s, "    \"evaluations\": {},", self.evaluations());
         let _ = writeln!(s, "    \"detected\": {},", self.detected());
         let _ = writeln!(s, "    \"detection_rate\": {:.4},", self.detection_rate());
+        let _ = writeln!(s, "    \"static_flagged\": {},", self.static_flagged());
+        let by_static: Vec<String> = self
+            .by_static_flag()
+            .into_iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect();
+        let _ = writeln!(s, "    \"by_static_flag\": {{{}}},", by_static.join(", "));
         let _ = writeln!(s, "    \"neutral_discarded\": {},", self.neutral_discarded);
         let by_detector: Vec<String> = self
             .by_detector()
@@ -302,6 +334,7 @@ fn mutant_json(o: &MutantOutcome) -> String {
         ),
     };
     let _ = write!(s, "\"fault\": {fault}, \"level\": \"{}\", ", o.level.key());
+    let _ = write!(s, "\"static_flag\": \"{}\", ", o.static_flag.label());
     match &o.detection {
         Detection::Fuzz { seed } => {
             let _ = write!(s, "\"detected_by\": \"fuzz\", \"seed\": {seed}, ");
@@ -378,6 +411,9 @@ struct Mutant {
     program: usize,
     fault: Fault,
     mc: druzhba_core::MachineCode,
+    /// The static analyzer's verdict on this mutant (computed once at
+    /// seeding time; level-independent).
+    static_flag: StaticFlag,
     /// Traffic seed under which the screening probe saw the divergence
     /// (`None` for faults that are detected structurally, or that the
     /// probe caught only via bounded verification).
@@ -469,10 +505,12 @@ pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
                     }
                 };
                 seeded.push(fault.clone());
+                let static_flag = flag_mutant(&comp.pipeline_spec, &comp.machine_code, &mc);
                 mutants.push(Mutant {
                     program: pi,
                     fault,
                     mc,
+                    static_flag,
                     witness,
                 });
             }
@@ -632,6 +670,7 @@ fn evaluate(
                 fault: mutant.fault.clone(),
                 level,
                 detection: Detection::Fuzz { seed },
+                static_flag: mutant.static_flag,
                 executions,
                 verdict: Some(verdict),
                 minimized,
@@ -650,6 +689,7 @@ fn evaluate(
                 fault: mutant.fault.clone(),
                 level,
                 detection: Detection::Witness { seed },
+                static_flag: mutant.static_flag,
                 executions,
                 verdict: Some(verdict),
                 minimized,
@@ -683,6 +723,7 @@ fn evaluate(
             fault: mutant.fault.clone(),
             level,
             detection: Detection::Verify,
+            static_flag: mutant.static_flag,
             executions,
             verdict: Some(Verdict::Mismatch(mismatch)),
             minimized,
@@ -694,6 +735,7 @@ fn evaluate(
         fault: mutant.fault.clone(),
         level,
         detection: Detection::Undetected,
+        static_flag: mutant.static_flag,
         executions,
         verdict: None,
         minimized: None,

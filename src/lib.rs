@@ -3,11 +3,15 @@
 //! together and therefore live above all of them: [`hunt`] (machine-code
 //! mutation campaigns over the Domino corpus) and [`p4hunt`] (table/
 //! action mutation campaigns and the cross-model dRMT-vs-RMT check over
-//! the P4 corpus).
+//! the P4 corpus), and [`analyze`] (the abstract-interpretation pass —
+//! translation validation, lints, and the generator screen — over the
+//! same corpus).
+pub mod analyze;
 pub mod hunt;
 pub mod p4hunt;
 
 pub use druzhba_alu_dsl as alu_dsl;
+pub use druzhba_analysis as analysis;
 pub use druzhba_chipmunk as chipmunk;
 pub use druzhba_core as core;
 pub use druzhba_dgen as dgen;

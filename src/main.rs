@@ -12,7 +12,9 @@
 //! druzhba emit    <file.p4> [--entries FILE] [--level 0|1|2|3]
 //! druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level L|all]
 //!                 [--phvs N] [--bits B] [--runs R] [--jobs J] [--out FILE]
-//! druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--phvs N] [--bits B]
+//! druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
+//!                 [--depth D --width W --atom NAME] [--entries FILE]
+//! druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--lint] [--phvs N] [--bits B]
 //!                 [--seed S] [--level L|all] [--runs R] [--jobs J] [--mutants N]
 //!                 [--stages N] [--tables-per-stage T] [--cross-model on|off] [--out FILE]
 //! druzhba atoms
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "emit" => cmd_emit(&args[1..]),
         "hunt" => cmd_hunt(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "p4-fuzz" => cmd_p4_fuzz(&args[1..]),
         "atoms" => cmd_atoms(),
         "programs" => cmd_programs(),
@@ -98,9 +101,16 @@ USAGE:
   druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level 0|1|2|3|all]
                   [--phvs N] [--bits B] [--runs R] [--jobs J]
                   [--verify-bits B] [--verify-packets N] [--out FILE]
-                  mutation campaign over the Table 1 corpus (JSON report)
-  druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--phvs N] [--bits B]
-                  [--seed S] [--level 0|1|2|3|all] [--runs R --jobs J]
+                  mutation campaign over the Table 1 corpus (JSON report;
+                  every mutant also carries its static-analysis flag)
+  druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
+                  [--depth D --width W --atom NAME] [--entries FILE]
+                  abstract-interpretation static analysis: translation
+                  validation across every backend, lint diagnostics, and the
+                  generator screen; no positional = the whole 17-program
+                  corpus; nonzero exit on any TV mismatch
+  druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--lint] [--phvs N]
+                  [--bits B] [--seed S] [--level 0|1|2|3|all] [--runs R --jobs J]
                   [--stages N] [--tables-per-stage T] [--cross-model on|off]
                   differential fuzz: reference interpreter vs. the lowered RMT
                   match-action pipeline on every backend, plus a cross-model
@@ -124,9 +134,15 @@ impl Args {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut file = None;
         let mut flags = Vec::new();
+        // Flags that take no value (presence is the signal).
+        const BOOLEAN_FLAGS: &[&str] = &["json", "lint"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&key) {
+                    flags.push((key.to_string(), "on".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -485,6 +501,32 @@ fn cmd_compile_p4(args: &Args, file: &str) -> Result<(), String> {
 fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let targets = load_p4_targets(&args)?;
+    if args.get("lint").is_some() {
+        // Static pre-pass: lint every target and translation-validate the
+        // lowered program before spending any fuzz budget.
+        let mut tv_mismatches = 0usize;
+        for (name, workload) in &targets {
+            let analysis = druzhba::analyze::analyze_p4_workload(name, workload)?;
+            for d in &analysis.diagnostics {
+                eprintln!("lint: {d}");
+            }
+            for m in &analysis.tv_mismatches {
+                eprintln!("lint: {name}: TV MISMATCH: {m}");
+                tv_mismatches += 1;
+            }
+            eprintln!(
+                "lint[{name}]: {} diagnostic(s), {} TV mismatch(es)",
+                analysis.diagnostics.len(),
+                analysis.tv_mismatches.len()
+            );
+        }
+        if tv_mismatches > 0 {
+            return Err(format!(
+                "p4-fuzz --lint: {tv_mismatches} translation-validation mismatch(es) — \
+                 the lowered pipeline provably disagrees with the P4 semantics"
+            ));
+        }
+    }
     let mutants = args.get_usize("mutants", 0)?;
     let num_phvs = args.get_usize("phvs", if mutants > 0 { 2_000 } else { 10_000 })?;
     let bits = args.get_u32("bits", 16)?;
@@ -979,6 +1021,17 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
             report.neutral_discarded
         );
     }
+    let by_static: Vec<String> = report
+        .by_static_flag()
+        .into_iter()
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect();
+    eprintln!(
+        "hunt: {}/{} evaluation(s) flagged statically before any packet ran ({})",
+        report.static_flagged(),
+        report.evaluations(),
+        by_static.join(", ")
+    );
     eprintln!(
         "hunt: {} evaluation(s) over {} backend(s) -> {}/{} detected ({:.1}%)",
         report.evaluations(),
@@ -1000,6 +1053,62 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
         return Err(format!(
             "hunt: {undetected} of {} injected-fault evaluation(s) went undetected",
             report.evaluations()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    use druzhba::analyze::{
+        analyze_compiled, analyze_corpus, analyze_domino_def, analyze_p4_workload, CorpusAnalysis,
+    };
+
+    let args = Args::parse(rest)?;
+    let analysis = match args.file.as_deref() {
+        // No positional: the whole 17-program corpus.
+        None => analyze_corpus()?,
+        Some(file) if is_p4_path(file) || p4_by_name(file).is_some() => {
+            let (name, workload) = load_p4_target(&args, file)?;
+            CorpusAnalysis {
+                programs: vec![analyze_p4_workload(&name, &workload)?],
+            }
+        }
+        Some(name_or_file) => {
+            let program = if let Some(def) = druzhba::programs::by_name(name_or_file) {
+                analyze_domino_def(def)?
+            } else {
+                let (_, compiled) = compile_from(&args)?;
+                let observable = compiled.observable_containers();
+                analyze_compiled(
+                    name_or_file,
+                    &compiled.pipeline_spec,
+                    &compiled.machine_code,
+                    Some(&observable),
+                )?
+            };
+            CorpusAnalysis {
+                programs: vec![program],
+            }
+        }
+    };
+
+    let rendered = if args.get("json").is_some() {
+        analysis.to_json()
+    } else {
+        analysis.to_text()
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("analysis written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if analysis.tv_mismatches() > 0 {
+        return Err(format!(
+            "analyze: {} translation-validation mismatch(es) — the compiled forms \
+             provably disagree with the source semantics",
+            analysis.tv_mismatches()
         ));
     }
     Ok(())

@@ -1,0 +1,213 @@
+//! Soundness of the abstract interpreter: the concrete result of every
+//! backend is contained in the abstract result, on both domains at once
+//! ([`AbsVal::contains`] checks the interval *and* the known-bits member
+//! of the reduced product).
+//!
+//! Two abstraction levels are exercised per program:
+//!
+//! - **top input** — the abstract fixpoint from an unconstrained input
+//!   PHV must contain the output and state of *any* concrete trace;
+//! - **constant input** — the abstraction of one concrete packet must
+//!   contain every run in which that same packet repeats (the state
+//!   fixpoint covers any packet count).
+//!
+//! Covered: all 12 Table 1 Domino programs across all four dgen backends,
+//! and all 5 P4 corpus programs against both the HLIR interpreter and the
+//! lowered fused `MatInstr` pipeline.
+
+use proptest::prelude::*;
+
+use druzhba::analysis::{abstract_input, analyze_hlir, analyze_mat, analyze_pipeline, AbsVal};
+use druzhba::core::Trace;
+use druzhba::dgen::mat::MatPipeline;
+use druzhba::dgen::{OptLevel, Pipeline};
+use druzhba::dsim::p4::P4Traffic;
+use druzhba::dsim::TrafficGenerator;
+use druzhba::programs::{P4_PROGRAMS, PROGRAMS};
+
+const LEVELS: [OptLevel; 4] = [
+    OptLevel::Unoptimized,
+    OptLevel::Scc,
+    OptLevel::SccInline,
+    OptLevel::Fused,
+];
+
+/// Assert `abs` contains the concrete state snapshot (same
+/// `[stage][slot][var]` shape on both sides).
+fn check_state(
+    program: &str,
+    level: OptLevel,
+    abs: &[Vec<Vec<AbsVal>>],
+    concrete: &[Vec<Vec<u32>>],
+) -> Result<(), String> {
+    for (stage, (astage, cstage)) in abs.iter().zip(concrete).enumerate() {
+        for (slot, (aslot, cslot)) in astage.iter().zip(cstage).enumerate() {
+            for (var, (a, &c)) in aslot.iter().zip(cslot).enumerate() {
+                if !a.contains(c) {
+                    return Err(format!(
+                        "{program} at {level:?}: state[{stage}][{slot}][{var}] = {c} \
+                         escapes the abstraction {a:?}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run `npackets` concrete packets through every backend and require
+/// each output PHV and the final state to stay inside the abstraction
+/// computed from `input`.
+fn check_domino(
+    def: &druzhba::programs::ProgramDef,
+    input: &[AbsVal],
+    trace: &Trace,
+) -> Result<(), String> {
+    let compiled = def
+        .compile_cached()
+        .map_err(|e| format!("{}: {e}", def.name))?;
+    let spec = &compiled.pipeline_spec;
+    let mc = &compiled.machine_code;
+    for level in LEVELS {
+        let abs =
+            analyze_pipeline(spec, mc, level, input).map_err(|e| format!("{}: {e}", def.name))?;
+        let mut pipeline =
+            Pipeline::generate(spec, mc, level).map_err(|e| format!("{}: {e}", def.name))?;
+        for phv in &trace.phvs {
+            let out = pipeline.process(phv);
+            for (c, a) in abs.phv.iter().enumerate() {
+                let v = out.get(c);
+                if !a.contains(v) {
+                    return Err(format!(
+                        "{} at {level:?}: output container[{c}] = {v} escapes \
+                         the abstraction {a:?}",
+                        def.name
+                    ));
+                }
+            }
+            // State soundness must hold after *every* packet, not just
+            // the last one — the fixpoint covers all intermediate states.
+            check_state(def.name, level, &abs.state, &pipeline.state_snapshot())?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn domino_concrete_runs_stay_inside_top_abstraction(
+        seed in 0u64..0xFFFF_FFFF,
+        npackets in 1usize..5,
+    ) {
+        for def in &PROGRAMS {
+            let compiled = def.compile_cached().unwrap();
+            let len = compiled.pipeline_spec.config.phv_length;
+            let input = vec![AbsVal::top(); len];
+            let trace = TrafficGenerator::new(seed, len, 16).trace(npackets);
+            if let Err(e) = check_domino(def, &input, &trace) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn domino_repeated_packet_stays_inside_constant_abstraction(
+        seed in 0u64..0xFFFF_FFFF,
+        npackets in 1usize..5,
+    ) {
+        for def in &PROGRAMS {
+            let compiled = def.compile_cached().unwrap();
+            let len = compiled.pipeline_spec.config.phv_length;
+            let phv = TrafficGenerator::new(seed, len, 16).next_phv();
+            let input: Vec<AbsVal> =
+                (0..len).map(|c| AbsVal::constant(phv.get(c))).collect();
+            let trace = Trace::from_phvs(vec![phv; npackets]);
+            if let Err(e) = check_domino(def, &input, &trace) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn p4_concrete_runs_stay_inside_abstraction(
+        seed in 0u64..0xFFFF_FFFF,
+        npackets in 1usize..6,
+    ) {
+        for def in &P4_PROGRAMS {
+            let workload = def.workload().unwrap();
+            let input = abstract_input(&workload.hlir, &workload.lowering);
+            let habs = analyze_hlir(&workload.hlir, &workload.entries, &input).unwrap();
+            let mabs =
+                analyze_mat(&workload.hlir, &workload.entries, &workload.lowering, &input)
+                    .unwrap();
+            let layout = &workload.lowering.layout;
+
+            let mut traffic = P4Traffic::new(&workload, seed, 16);
+            let trace = traffic.trace(npackets);
+
+            // HLIR interpreter side.
+            let mut interp = workload.interpreter();
+            for (i, phv) in trace.phvs.iter().enumerate() {
+                let mut packet = layout.phv_to_packet(i as u64, phv);
+                interp.process(&mut packet);
+                for (f, _) in layout.fields() {
+                    let v = packet.get(f);
+                    let a = habs.fields.get(f).copied().unwrap_or_else(AbsVal::top);
+                    prop_assert!(
+                        a.contains(v),
+                        "{}: field {f} = {v} escapes the HLIR abstraction {a:?}",
+                        def.name
+                    );
+                }
+                prop_assert!(
+                    habs.dropped.contains(u32::from(packet.dropped)),
+                    "{}: drop flag escapes the HLIR abstraction",
+                    def.name
+                );
+            }
+            for (name, cells) in interp.registers() {
+                let acells = habs.registers.get(name).cloned().unwrap_or_default();
+                for (i, (&c, a)) in cells.iter().zip(&acells).enumerate() {
+                    prop_assert!(
+                        a.contains(c),
+                        "{}: register {name}[{i}] = {c} escapes the HLIR abstraction {a:?}",
+                        def.name
+                    );
+                }
+            }
+
+            // Lowered fused MatInstr side.
+            let mut mat = MatPipeline::generate(
+                &workload.hlir,
+                &workload.entries,
+                &workload.lowering,
+                OptLevel::Fused,
+            )
+            .unwrap();
+            let out = mat.run(&trace);
+            for phv in &out.phvs {
+                for (slot, a) in mabs.frame.iter().enumerate() {
+                    let v = phv.get(slot);
+                    prop_assert!(
+                        a.contains(v),
+                        "{}: lowered container[{slot}] = {v} escapes the MAT abstraction {a:?}",
+                        def.name
+                    );
+                }
+            }
+            for (name, cells) in &mat.registers() {
+                let acells = mabs.registers.get(name).cloned().unwrap_or_default();
+                for (i, (&c, a)) in cells.iter().zip(&acells).enumerate() {
+                    prop_assert!(
+                        a.contains(c),
+                        "{}: lowered register {name}[{i}] = {c} escapes the MAT \
+                         abstraction {a:?}",
+                        def.name
+                    );
+                }
+            }
+        }
+    }
+}

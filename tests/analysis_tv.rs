@@ -1,0 +1,133 @@
+//! Static translation validation over the corpus, the pinned analyzer
+//! baseline, and CLI smoke tests for the `analyze` / `--lint` surface.
+//!
+//! The golden file `tests/golden/analyze.json` is the byte-exact output
+//! of `druzhba analyze --json` over the 17 corpus programs: any new
+//! warning, any lost lint, and any translation-validation mismatch fails
+//! CI until the baseline is deliberately regenerated with
+//! `druzhba analyze --json --out tests/golden/analyze.json`.
+
+use std::process::{Command, Output};
+
+use druzhba::analysis::Screened;
+use druzhba::analyze::analyze_corpus;
+
+fn druzhba(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_druzhba"))
+        .args(args)
+        .output()
+        .expect("spawn druzhba binary")
+}
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+#[test]
+fn corpus_translation_validation_is_clean() {
+    let analysis = analyze_corpus().expect("corpus analyzes");
+    assert_eq!(analysis.programs.len(), 17, "12 Domino + 5 P4 programs");
+    assert_eq!(
+        analysis.tv_mismatches(),
+        0,
+        "every compiled form must be abstractly compatible with its source:\n{}",
+        analysis.to_text()
+    );
+    // Every Table 1 program carries observable behavior the screen must
+    // not reject as trivial (they all ship as fuzz targets).
+    for p in analysis.programs.iter().filter(|p| p.kind == "domino") {
+        assert_eq!(
+            p.screen,
+            Some(Screened::Interesting),
+            "{}: corpus programs screen as interesting",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn analyzer_output_matches_golden_baseline() {
+    let analysis = analyze_corpus().expect("corpus analyzes");
+    let expected = golden("analyze.json");
+    assert_eq!(
+        analysis.to_json(),
+        expected,
+        "analyzer drifted from tests/golden/analyze.json (new warning, lost \
+         lint, or TV change); if intentional, regenerate with \
+         `druzhba analyze --json --out tests/golden/analyze.json`"
+    );
+}
+
+#[test]
+fn cli_analyze_runs_the_corpus() {
+    let out = druzhba(&["analyze"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("analyze: 17 program(s), 0 TV mismatch(es)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cli_analyze_json_matches_golden_baseline() {
+    let out = druzhba(&["analyze", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden("analyze.json"),
+        "CLI JSON output must be byte-identical to the golden baseline"
+    );
+}
+
+#[test]
+fn cli_analyze_single_program_by_name() {
+    let out = druzhba(&["analyze", "blue_increase"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blue_increase [domino]:"), "{stdout}");
+    assert!(stdout.contains("screen: interesting"), "{stdout}");
+}
+
+#[test]
+fn cli_p4_fuzz_lint_reports_diagnostics_before_fuzzing() {
+    let out = druzhba(&[
+        "p4-fuzz",
+        "guarded_mirror",
+        "--lint",
+        "--phvs",
+        "50",
+        "--level",
+        "3",
+        "--cross-model",
+        "off",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("lint[guarded_mirror]: 2 diagnostic(s), 0 TV mismatch(es)"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("unreachable-table"), "{stderr}");
+    assert!(stderr.contains("invalid-header-read"), "{stderr}");
+}
