@@ -190,6 +190,9 @@ fn main() {
                         def.name
                     ),
                     Verdict::Incompatible(e) => println!("  {:<20} incompatible: {e}", def.name),
+                    Verdict::BackendPanic { payload } => {
+                        println!("  {:<20} backend panicked: {payload}", def.name)
+                    }
                 }
             }
             Err(e) => println!("  {:<20} 2-bit compiler failed outright: {e}", def.name),

@@ -159,6 +159,23 @@ impl CoverageMap {
         interesting
     }
 
+    /// The raw counter array, for checkpointing. Together with
+    /// [`CoverageMap::from_bytes`] this round-trips a map exactly, so a
+    /// resumed greybox campaign sees the identical accumulator state.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.counts[..]
+    }
+
+    /// Reconstruct a map from [`CoverageMap::as_bytes`] output. Returns
+    /// `None` if `bytes` is not exactly `COVERAGE_MAP_SIZE` long (a
+    /// truncated or corrupt snapshot).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let arr: [u8; COVERAGE_MAP_SIZE] = bytes.try_into().ok()?;
+        Some(CoverageMap {
+            counts: Box::new(arr),
+        })
+    }
+
     /// FNV-1a hash over the bucketized counters — the corpus key. Stable
     /// across processes and platforms (pure integer arithmetic), and
     /// invariant under raw-count jitter within a bucket.

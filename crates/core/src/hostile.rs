@@ -1,0 +1,64 @@
+//! The deterministic "hostile mutant" trap.
+//!
+//! Robustness testing of the campaign runtime needs a mutant that is
+//! *valid* machine code (it passes domain validation, so static screening
+//! cannot reject it) yet reliably crashes the backend that tries to build
+//! it — the way a real compiler-crash bug behaves. The trap is a sentinel
+//! value planted into a wide immediate hole: [`trip_if_hostile`] scans a
+//! program for the sentinel and panics with a deterministic message.
+//!
+//! The generator backends call the scan once per pipeline build (see
+//! `dgen::Pipeline::generate`), *after* validation — so purely static
+//! passes (machine-code validation, the abstract-interpretation screen)
+//! never trip it, while every execution-bearing backend does. Campaign
+//! runtimes are expected to catch the unwind and record it as a
+//! `backend_panic` verdict; a campaign that aborts instead has failed its
+//! panic-isolation contract.
+
+use crate::MachineCode;
+
+/// The sentinel: an improbable 32-bit immediate. Only representable in
+/// full-width (`Bits(32)`) holes, so it always stays *in domain* — the
+/// trap is invisible to validation by construction. Ordinary fault
+/// injection never produces it (value mutations are capped at 16 bits).
+pub const HOSTILE_TRAP_VALUE: u32 = 0xDEAD_10CC;
+
+/// Panic (deterministically) if any pair of `mc` holds the sentinel.
+///
+/// The message is a pure function of the first tripping pair's name, so a
+/// captured panic payload is replayable evidence, not noise.
+pub fn trip_if_hostile(mc: &MachineCode) {
+    let mut names: Vec<&str> = mc
+        .names()
+        .filter(|n| mc.try_get(n) == Some(HOSTILE_TRAP_VALUE))
+        .collect();
+    names.sort_unstable();
+    if let Some(name) = names.first() {
+        panic!(
+            "hostile machine-code trap: pair `{name}` holds sentinel {HOSTILE_TRAP_VALUE:#010x}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_program_does_not_trip() {
+        let mc = MachineCode::from_pairs([("a".to_string(), 0), ("b".to_string(), 7)]);
+        trip_if_hostile(&mc);
+    }
+
+    #[test]
+    fn sentinel_trips_with_a_deterministic_payload() {
+        let mc = MachineCode::from_pairs([
+            ("alpha".to_string(), HOSTILE_TRAP_VALUE),
+            ("beta".to_string(), HOSTILE_TRAP_VALUE),
+        ]);
+        let payload = std::panic::catch_unwind(|| trip_if_hostile(&mc)).unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("`alpha`"), "lowest name wins: {msg}");
+        assert!(msg.contains("0xdead10cc"), "{msg}");
+    }
+}

@@ -19,6 +19,7 @@ pub mod config;
 pub mod coverage;
 pub mod diag;
 pub mod error;
+pub mod hostile;
 pub mod machine_code;
 pub mod names;
 pub mod phv;

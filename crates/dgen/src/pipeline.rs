@@ -421,6 +421,10 @@ impl Pipeline {
         if let Some(err) = validate_machine_code(spec, mc).into_iter().next() {
             return Err(err);
         }
+        // The hostile-trap scan sits after validation so the panic models a
+        // backend crash on *valid* input — the case panic isolation exists
+        // for. Static passes never build a pipeline, so they never trip it.
+        druzhba_core::hostile::trip_if_hostile(mc);
         let cfg = spec.config;
         if opt_level == OptLevel::Fused {
             return Ok(Pipeline {

@@ -67,17 +67,21 @@
 //! assert!(report.corpus_size >= 1);
 //! ```
 
+use std::time::Instant;
+
 use druzhba_core::value::max_for_bits;
 use druzhba_core::{MachineCode, Phv, Trace, Value, ValueGen};
 use druzhba_dgen::mat::MatPipeline;
 use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
 use druzhba_p4::exec::Interpreter;
-use druzhba_p4::tables::TableEntry;
+use druzhba_p4::tables::{parse_entries, render_entry, TableEntry};
 
 pub use druzhba_core::coverage::{bucket, edge_id, CoverageMap, COVERAGE_MAP_SIZE};
 
 use crate::minimize::{minimize, minimize_trace_with, MinimizeConfig, MinimizedCounterExample};
 use crate::p4::{materialize_pattern, p4_differential, P4Traffic, P4Workload, PatternSeed};
+use crate::runtime::{catch_silent, RuntimeOptions};
+use crate::snapshot;
 use crate::testing::{compare_against_spec, run_sharded, shard_seed, Specification, Verdict};
 
 // ----------------------------------------------------------------------
@@ -126,6 +130,11 @@ pub struct GreyboxConfig {
     /// Minimize the diverging input on failure (shared delta-debugging
     /// engine; see [`mod@crate::minimize`]).
     pub minimize: bool,
+    /// Crash-resilience options: checkpoint/resume and wall-clock budget
+    /// (see [`RuntimeOptions`]). Excluded from the snapshot fingerprint,
+    /// so a resumed campaign may move its checkpoint directory or change
+    /// its budget without orphaning the snapshot.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for GreyboxConfig {
@@ -143,6 +152,7 @@ impl Default for GreyboxConfig {
             merge_every: 64,
             initial_seeds: 4,
             minimize: true,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -175,6 +185,9 @@ pub struct GreyboxReport {
     pub diverging_entries: Option<Vec<TableEntry>>,
     /// Minimized counterexample ([`GreyboxConfig::minimize`]).
     pub minimized: Option<MinimizedCounterExample>,
+    /// True if the wall-clock budget expired before the execution budget:
+    /// the statistics cover only the rounds that completed.
+    pub truncated: bool,
 }
 
 /// Resolve [`GreyboxConfig::max_packets`]'s `0`-means-default encoding.
@@ -208,6 +221,40 @@ pub trait InputModel: Sync {
     fn seed_input(&self, rng: &mut ValueGen, packets: usize) -> Self::Input;
     /// Apply one deterministic mutation stack step in place.
     fn mutate(&self, rng: &mut ValueGen, input: &mut Self::Input);
+    /// Serialize an input to a single line (no `\n`) for corpus
+    /// checkpoints. [`InputModel::decode_input`] must invert this
+    /// exactly — resumed campaigns replay scheduling decisions over the
+    /// decoded corpus, so a lossy codec silently breaks determinism.
+    fn encode_input(&self, input: &Self::Input) -> String;
+    /// Parse [`InputModel::encode_input`] output; `None` rejects a
+    /// corrupt or foreign line (the snapshot is then discarded).
+    fn decode_input(&self, s: &str) -> Option<Self::Input>;
+}
+
+/// Packet traces serialize as `|`-separated packets of `,`-separated
+/// decimal container values — compact, line-safe, and byte-stable.
+fn encode_trace(trace: &Trace) -> String {
+    trace
+        .phvs
+        .iter()
+        .map(|phv| {
+            (0..phv.len())
+                .map(|c| phv.get(c).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Inverse of [`encode_trace`]; `None` on any malformed value.
+fn decode_trace(s: &str) -> Option<Trace> {
+    let mut phvs = Vec::new();
+    for packet in s.split('|') {
+        let values: Option<Vec<Value>> = packet.split(',').map(|v| v.parse().ok()).collect();
+        phvs.push(Phv::new(values?));
+    }
+    Some(Trace::from_phvs(phvs))
 }
 
 /// Mutate one packet trace in place: the shared packet-level mutation
@@ -333,6 +380,14 @@ impl InputModel for AluTraceModel {
             )
         });
     }
+
+    fn encode_input(&self, input: &Trace) -> String {
+        encode_trace(input)
+    }
+
+    fn decode_input(&self, s: &str) -> Option<Trace> {
+        decode_trace(s)
+    }
 }
 
 /// One greybox input on the P4 stack: a packet trace plus the table
@@ -451,6 +506,26 @@ impl InputModel for P4TraceModel<'_> {
             &mut fresh,
         );
     }
+
+    fn encode_input(&self, input: &P4GreyboxInput) -> String {
+        // Trace, then one rendered entry per tab. Entries round-trip
+        // through the entries-file grammar ([`render_entry`]), and file
+        // order restores the priorities the mutation stack never touches.
+        let mut out = encode_trace(&input.trace);
+        for entry in &input.entries {
+            out.push('\t');
+            out.push_str(&render_entry(entry));
+        }
+        out
+    }
+
+    fn decode_input(&self, s: &str) -> Option<P4GreyboxInput> {
+        let mut parts = s.split('\t');
+        let trace = decode_trace(parts.next()?)?;
+        let text: String = parts.map(|line| format!("{line}\n")).collect();
+        let entries = parse_entries(&text).ok()?;
+        Some(P4GreyboxInput { trace, entries })
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -515,19 +590,63 @@ struct SearchResult<I> {
     edges_covered: usize,
     first_divergence: Option<usize>,
     divergence: Option<(I, Verdict)>,
+    truncated: bool,
+}
+
+/// Campaign state restored from a snapshot: executions so far, completed
+/// merge rounds, the global coverage map, and the corpus.
+type RestoredState<I> = (usize, usize, CoverageMap, Vec<Seed<I>>);
+
+/// Lowercase hex of a byte slice (the global coverage map in snapshots).
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex digits.
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
 }
 
 /// The generic greybox loop: seed, then mutate-execute-merge rounds until
-/// the budget is spent or a divergence appears. `make_oracle` builds one
-/// oracle per worker (oracles own mutable pipelines and are never shared
-/// across threads).
-fn greybox_search<M, O, F>(model: &M, make_oracle: F, cfg: &GreyboxConfig) -> SearchResult<M::Input>
+/// the budget is spent, the wall clock runs out, or a divergence appears.
+/// `make_oracle` builds one oracle per worker (oracles own mutable
+/// pipelines and are never shared across threads).
+///
+/// Crash resilience (`cfg.runtime`):
+///
+/// - every differential execution runs under [`catch_silent`] — the
+///   oracle is built lazily *inside* the guard, so a panicking backend
+///   (generation or simulation) yields [`Verdict::BackendPanic`] and ends
+///   the campaign as a divergence instead of unwinding it, and the
+///   possibly-corrupted oracle is never reused;
+/// - at round boundaries the corpus, the global coverage accumulator and
+///   the execution counters snapshot to the checkpoint directory
+///   (`fingerprint` binds the snapshot to the campaign configuration);
+///   resuming restores them and re-enters the round loop — per-round RNG
+///   streams are a pure function of `(seed, round, shard)`, so the
+///   continuation is byte-identical to an uninterrupted run;
+/// - the wall-clock budget is checked at round boundaries; expiry sets
+///   `truncated` and returns the statistics accumulated so far.
+fn greybox_search<M, O, F>(
+    model: &M,
+    make_oracle: F,
+    cfg: &GreyboxConfig,
+    fingerprint: u64,
+) -> SearchResult<M::Input>
 where
     M: InputModel,
     O: FnMut(&M::Input, &mut CoverageMap) -> Verdict,
     F: Fn() -> O + Sync,
 {
     let budget = cfg.executions.max(1);
+    let deadline = cfg.runtime.deadline(Instant::now());
+    let ckpt_dir = cfg.runtime.checkpoint_dir.clone();
+    let every = cfg.runtime.effective_every();
     let mut corpus: Vec<Seed<M::Input>> = Vec::new();
     let mut global = CoverageMap::new(); // per-edge max bucket observed
     let mut freq = vec![0u32; COVERAGE_MAP_SIZE];
@@ -535,6 +654,97 @@ where
     let mut rounds = 0usize;
     let mut first_divergence = None;
     let mut divergence = None;
+    let mut truncated = false;
+
+    // One guarded differential execution (see the function docs).
+    let run_one = |oracle: &mut Option<O>, input: &M::Input, cov: &mut CoverageMap| -> Verdict {
+        match catch_silent(|| oracle.get_or_insert_with(&make_oracle)(input, cov)) {
+            Ok(verdict) => verdict,
+            Err(p) => Verdict::BackendPanic { payload: p.payload },
+        }
+    };
+
+    // Serialize the campaign state: counters, the raw global coverage
+    // counts, then one corpus seed per line in corpus order (order is
+    // load-bearing — `pick_seed` draws and eviction both walk the corpus
+    // by index).
+    let save_state =
+        |corpus: &[Seed<M::Input>], executions: usize, rounds: usize, global: &CoverageMap| {
+            let Some(dir) = ckpt_dir.as_deref() else {
+                return;
+            };
+            let mut lines = Vec::with_capacity(corpus.len() + 2);
+            lines.push(format!("executions {executions} rounds {rounds}"));
+            lines.push(format!("global {}", hex_encode(global.as_bytes())));
+            for seed in corpus {
+                let csv = seed
+                    .edges
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                lines.push(format!("seed {csv} {}", model.encode_input(&seed.input)));
+            }
+            if let Err(e) = snapshot::save(dir, "greybox", fingerprint, &lines) {
+                eprintln!("warning: failed to write greybox checkpoint: {e}");
+            }
+            snapshot::write_heartbeat(dir, "greybox", executions, budget, false);
+        };
+
+    // Inverse of `save_state`; `None` rejects any malformed line and the
+    // campaign starts fresh (never trust a snapshot blindly).
+    let parse_state = |lines: &[String]| -> Option<RestoredState<M::Input>> {
+        let head = lines.first()?.strip_prefix("executions ")?;
+        let (executed_txt, rounds_txt) = head.split_once(" rounds ")?;
+        let executions: usize = executed_txt.parse().ok()?;
+        let rounds: usize = rounds_txt.parse().ok()?;
+        let global = CoverageMap::from_bytes(&hex_decode(lines.get(1)?.strip_prefix("global ")?)?)?;
+        let mut corpus = Vec::new();
+        for line in lines.get(2..)? {
+            let rest = line.strip_prefix("seed ")?;
+            let (csv, encoded) = rest.split_once(' ')?;
+            let edges: Vec<u16> = if csv.is_empty() {
+                Vec::new()
+            } else {
+                csv.split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .ok()?
+            };
+            let input = model.decode_input(encoded)?;
+            corpus.push(Seed { input, edges });
+        }
+        Some((executions, rounds, global, corpus))
+    };
+
+    let mut resumed = false;
+    if cfg.runtime.resume {
+        if let Some(dir) = ckpt_dir.as_deref() {
+            let loaded = snapshot::load_latest(dir, "greybox", fingerprint);
+            for w in &loaded.warnings {
+                eprintln!("warning: {w}");
+            }
+            if let Some(lines) = loaded.lines {
+                if let Some((e, r, g, c)) = parse_state(&lines) {
+                    executions = e;
+                    rounds = r;
+                    global = g;
+                    corpus = c;
+                    for seed in &corpus {
+                        for &edge in &seed.edges {
+                            freq[edge as usize] += 1;
+                        }
+                    }
+                    resumed = true;
+                } else {
+                    eprintln!(
+                        "warning: greybox snapshot in {} is malformed; starting fresh",
+                        dir.display()
+                    );
+                }
+            }
+        }
+    }
 
     let add_seed = |corpus: &mut Vec<Seed<M::Input>>,
                     freq: &mut Vec<u32>,
@@ -561,27 +771,38 @@ where
     };
 
     // Bootstrap: fresh traffic inputs, run serially (they're few).
-    let mut oracle = make_oracle();
-    let mut cov = CoverageMap::new();
-    for i in 0..cfg.initial_seeds.max(1).min(budget) {
-        let mut rng = ValueGen::new(shard_seed(cfg.seed ^ 0x5EED_0000, i as u64), 32);
-        let input = model.seed_input(&mut rng, cfg.packets);
-        cov.clear();
-        let verdict = oracle(&input, &mut cov);
-        executions += 1;
-        if !verdict.passed() {
-            first_divergence = Some(executions);
-            divergence = Some((input, verdict));
-            break;
-        }
-        if global.accumulate_buckets(&cov) || corpus.is_empty() {
-            add_seed(&mut corpus, &mut freq, input, &cov, cfg.corpus_max);
+    // Skipped on resume — snapshots only exist past the bootstrap, and
+    // replaying it would double-count its executions.
+    if !resumed {
+        let mut oracle: Option<O> = None;
+        let mut cov = CoverageMap::new();
+        for i in 0..cfg.initial_seeds.max(1).min(budget) {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                truncated = true;
+                break;
+            }
+            let mut rng = ValueGen::new(shard_seed(cfg.seed ^ 0x5EED_0000, i as u64), 32);
+            let input = model.seed_input(&mut rng, cfg.packets);
+            cov.clear();
+            let verdict = run_one(&mut oracle, &input, &mut cov);
+            executions += 1;
+            if !verdict.passed() {
+                first_divergence = Some(executions);
+                divergence = Some((input, verdict));
+                break;
+            }
+            if global.accumulate_buckets(&cov) || corpus.is_empty() {
+                add_seed(&mut corpus, &mut freq, input, &cov, cfg.corpus_max);
+            }
         }
     }
-    drop(oracle);
 
     // Guided rounds with periodic cross-shard merging.
-    while divergence.is_none() && executions < budget {
+    while divergence.is_none() && !truncated && executions < budget {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            truncated = true;
+            break;
+        }
         rounds += 1;
         let per_shard = cfg.merge_every.max(1);
         let remaining = budget - executions;
@@ -595,7 +816,7 @@ where
         let round = rounds as u64;
         let outcomes: Vec<ShardOutcome<M::Input>> =
             run_sharded(tasks, shards, |shard, shard_budget| {
-                let mut oracle = make_oracle();
+                let mut oracle: Option<O> = None;
                 let mut rng = ValueGen::new(
                     shard_seed(cfg.seed ^ 0x6B0C_5000, round << 16 | shard as u64),
                     32,
@@ -616,7 +837,7 @@ where
                     };
                     model.mutate(&mut rng, &mut input);
                     cov.clear();
-                    let verdict = oracle(&input, &mut cov);
+                    let verdict = run_one(&mut oracle, &input, &mut cov);
                     executed += 1;
                     if !verdict.passed() {
                         divergence = Some((k, input, verdict));
@@ -663,7 +884,15 @@ where
         if let Some((ordinal, input, verdict)) = best {
             first_divergence = Some(ordinal);
             divergence = Some((input, verdict));
+        } else if rounds.is_multiple_of(every) || executions >= budget {
+            // A round boundary is a consistent cut: the merge above has
+            // already folded every shard's finds in, so the snapshot is
+            // exactly the state an uninterrupted run holds here.
+            save_state(&corpus, executions, rounds, &global);
         }
+    }
+    if let Some(dir) = ckpt_dir.as_deref() {
+        snapshot::write_heartbeat(dir, "greybox", executions, budget, truncated);
     }
 
     SearchResult {
@@ -673,12 +902,27 @@ where
         edges_covered: global.edges_covered(),
         first_divergence,
         divergence,
+        truncated,
     }
 }
 
 // ----------------------------------------------------------------------
 // Workflow wrappers: the two stacks.
 // ----------------------------------------------------------------------
+
+/// The configuration contribution to a greybox snapshot fingerprint:
+/// every field that shapes the search, with the runtime options masked
+/// out — moving a checkpoint directory or changing the wall-clock budget
+/// must not orphan a snapshot.
+fn greybox_config_fingerprint(cfg: &GreyboxConfig) -> String {
+    format!(
+        "{:?}",
+        GreyboxConfig {
+            runtime: RuntimeOptions::default(),
+            ..cfg.clone()
+        }
+    )
+}
 
 /// Run a coverage-guided greybox campaign on the ALU stack: the
 /// differential oracle of [`crate::testing::fuzz_test`] (generated
@@ -740,12 +984,24 @@ where
             }
         }
     };
-    let result = greybox_search(&model, make_oracle, cfg);
+    let fingerprint = snapshot::fingerprint_of(&[
+        "greybox-alu".to_string(),
+        format!("{opt:?}"),
+        mc.to_text(),
+        format!("{observable:?}"),
+        format!("{state_cells:?}"),
+        greybox_config_fingerprint(cfg),
+    ]);
+    let result = greybox_search(&model, make_oracle, cfg, fingerprint);
     let (diverging_input, verdict) = match result.divergence {
         Some((input, verdict)) => (Some(input), verdict),
         None => (None, Verdict::Pass),
     };
-    let minimized = match (&diverging_input, cfg.minimize && !verdict.passed()) {
+    // Panic verdicts are never minimized: delta-debugging would rebuild
+    // the backend outside the guard and re-trip the panic.
+    let should_minimize =
+        cfg.minimize && !verdict.passed() && !matches!(verdict, Verdict::BackendPanic { .. });
+    let minimized = match (&diverging_input, should_minimize) {
         (Some(input), true) => minimize(
             pipeline_spec,
             mc,
@@ -771,6 +1027,7 @@ where
         diverging_input,
         diverging_entries: None,
         minimized,
+        truncated: result.truncated,
     }
 }
 
@@ -859,12 +1116,23 @@ pub fn p4_greybox_fuzz_test(
             }
         }
     };
-    let result = greybox_search(&model, make_oracle, cfg);
+    let fingerprint = snapshot::fingerprint_of(&[
+        "greybox-p4".to_string(),
+        format!("{level:?}"),
+        format!("{:?}", workload.hlir),
+        format!("{entries:?}"),
+        format!("{mutate_entries:?}"),
+        greybox_config_fingerprint(cfg),
+    ]);
+    let result = greybox_search(&model, make_oracle, cfg, fingerprint);
     let (diverging, verdict) = match result.divergence {
         Some((input, verdict)) => (Some(input), verdict),
         None => (None, Verdict::Pass),
     };
-    let minimized = match (&diverging, cfg.minimize && !verdict.passed()) {
+    // See `greybox_fuzz_test`: panic verdicts are never minimized.
+    let should_minimize =
+        cfg.minimize && !verdict.passed() && !matches!(verdict, Verdict::BackendPanic { .. });
+    let minimized = match (&diverging, should_minimize) {
         (Some(input), true) => {
             let case_entries: &[TableEntry] = if mutate_entries {
                 &input.entries
@@ -908,6 +1176,7 @@ pub fn p4_greybox_fuzz_test(
         diverging_input,
         diverging_entries,
         minimized,
+        truncated: result.truncated,
     }
 }
 
@@ -1127,6 +1396,132 @@ mod tests {
             "guided corpus: {} vs bootstrap: {}",
             guided.corpus_size,
             base.corpus_size
+        );
+    }
+
+    #[test]
+    fn input_codecs_round_trip() {
+        let alu = AluTraceModel {
+            phv_length: 3,
+            input_bits: 8,
+            max_packets: 16,
+        };
+        let mut rng = ValueGen::new(7, 32);
+        let mut trace = alu.seed_input(&mut rng, 5);
+        for _ in 0..32 {
+            alu.mutate(&mut rng, &mut trace);
+        }
+        let decoded = alu.decode_input(&alu.encode_input(&trace)).unwrap();
+        assert_eq!(decoded, trace);
+
+        let w = workload();
+        let p4 = P4TraceModel::new(&w, 8, true, 16);
+        let mut input = p4.seed_input(&mut rng, 5);
+        for _ in 0..32 {
+            p4.mutate(&mut rng, &mut input);
+        }
+        assert!(!input.entries.is_empty());
+        let decoded = p4.decode_input(&p4.encode_input(&input)).unwrap();
+        assert_eq!(decoded, input);
+
+        assert!(alu.decode_input("1,2|oops").is_none());
+        assert!(p4.decode_input("1,2\tnot an entry").is_none());
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_to_identical_report() {
+        let (spec, mc) = accumulator();
+        let dir = std::env::temp_dir().join(format!("druzhba-greybox-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |runtime: RuntimeOptions| {
+            let cfg = GreyboxConfig {
+                runtime,
+                ..small_cfg()
+            };
+            greybox_fuzz_test(
+                &spec,
+                &mc,
+                OptLevel::Fused,
+                accumulator_spec,
+                None,
+                &[],
+                &cfg,
+            )
+        };
+        let clean = run(RuntimeOptions::default());
+        let checkpointed = run(RuntimeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..RuntimeOptions::default()
+        });
+        assert_eq!(
+            checkpointed, clean,
+            "checkpointing must not perturb the campaign"
+        );
+        // Simulate dying before the last checkpoint finished: drop the
+        // current snapshot so resume falls back to the previous round
+        // boundary and re-runs the tail of the campaign.
+        std::fs::remove_file(snapshot::current_path(&dir, "greybox")).unwrap();
+        let resumed = run(RuntimeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            resume: true,
+            ..RuntimeOptions::default()
+        });
+        assert_eq!(
+            resumed, clean,
+            "a resumed campaign must reproduce the uninterrupted report"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_wallclock_budget_truncates_cleanly() {
+        let (spec, mc) = accumulator();
+        let cfg = GreyboxConfig {
+            runtime: RuntimeOptions {
+                budget_secs: Some(0),
+                ..RuntimeOptions::default()
+            },
+            ..small_cfg()
+        };
+        let report = greybox_fuzz_test(
+            &spec,
+            &mc,
+            OptLevel::Fused,
+            accumulator_spec,
+            None,
+            &[],
+            &cfg,
+        );
+        assert!(report.truncated);
+        assert_eq!(report.executions, 0);
+        assert!(report.passed(), "truncation is not a failure");
+    }
+
+    #[test]
+    fn backend_panic_ends_the_campaign_as_a_divergence() {
+        let (spec, mut mc) = accumulator();
+        let hole = expected_machine_code(&spec)
+            .into_iter()
+            .find(|(_, d)| matches!(d, druzhba_alu_dsl::HoleDomain::Bits(b) if *b >= 32))
+            .map(|(n, _)| n)
+            .expect("the accumulator has a 32-bit constant hole");
+        mc.set(&hole, druzhba_core::hostile::HOSTILE_TRAP_VALUE);
+        let report = greybox_fuzz_test(
+            &spec,
+            &mc,
+            OptLevel::Fused,
+            accumulator_spec,
+            None,
+            &[],
+            &small_cfg(),
+        );
+        assert!(matches!(report.verdict, Verdict::BackendPanic { .. }));
+        assert_eq!(report.first_divergence, Some(1));
+        assert!(
+            report.minimized.is_none(),
+            "panic verdicts must not be minimized"
         );
     }
 

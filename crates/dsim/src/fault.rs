@@ -19,6 +19,12 @@ pub enum Fault {
     MutatedValue { name: String, old: u32, new: u32 },
     /// A pair's value was set outside the primitive's domain.
     OutOfRangeValue { name: String, new: u32 },
+    /// A full-width immediate was set to the hostile sentinel
+    /// ([`druzhba_core::hostile::HOSTILE_TRAP_VALUE`]): still in-domain —
+    /// so it survives validation and static screening — but every backend
+    /// that builds the program panics deterministically. Models a
+    /// compiler crash on valid input.
+    HostileTrap { name: String, old: u32 },
 }
 
 /// The class of a [`Fault`], without its concrete location/values. Hunt
@@ -31,11 +37,26 @@ pub enum FaultKind {
     MutatedValue,
     /// An out-of-domain value (rejected at pipeline generation).
     OutOfRangeValue,
+    /// The in-domain hostile sentinel that crashes every backend build
+    /// (detected as a `backend_panic` verdict, never as an abort).
+    HostileTrap,
 }
 
 impl FaultKind {
-    /// All three classes, in campaign order.
-    pub const ALL: [FaultKind; 3] = [
+    /// All fault classes, in campaign order. The first three are the
+    /// behavioural classes the paper's case study motivates; the fourth
+    /// exercises the runtime's panic isolation.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::RemovedPair,
+        FaultKind::MutatedValue,
+        FaultKind::OutOfRangeValue,
+        FaultKind::HostileTrap,
+    ];
+
+    /// The three behavioural classes (everything but the hostile trap) —
+    /// what detection-power comparisons like the greybox-vs-random bench
+    /// race over, where a guaranteed panic would only add noise.
+    pub const BEHAVIORAL: [FaultKind; 3] = [
         FaultKind::RemovedPair,
         FaultKind::MutatedValue,
         FaultKind::OutOfRangeValue,
@@ -47,7 +68,13 @@ impl FaultKind {
             FaultKind::RemovedPair => "removed_pair",
             FaultKind::MutatedValue => "mutated_value",
             FaultKind::OutOfRangeValue => "out_of_range_value",
+            FaultKind::HostileTrap => "hostile_trap",
         }
+    }
+
+    /// Inverse of [`FaultKind::key`], for checkpoint decoding.
+    pub fn from_key(key: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.key() == key)
     }
 }
 
@@ -58,6 +85,7 @@ impl Fault {
             Fault::RemovedPair { .. } => FaultKind::RemovedPair,
             Fault::MutatedValue { .. } => FaultKind::MutatedValue,
             Fault::OutOfRangeValue { .. } => FaultKind::OutOfRangeValue,
+            Fault::HostileTrap { .. } => FaultKind::HostileTrap,
         }
     }
 
@@ -66,7 +94,8 @@ impl Fault {
         match self {
             Fault::RemovedPair { name }
             | Fault::MutatedValue { name, .. }
-            | Fault::OutOfRangeValue { name, .. } => name,
+            | Fault::OutOfRangeValue { name, .. }
+            | Fault::HostileTrap { name, .. } => name,
         }
     }
 }
@@ -99,6 +128,7 @@ impl FaultInjector {
             FaultKind::RemovedPair => Some(self.remove_random_pair(mc)),
             FaultKind::MutatedValue => self.mutate_live_value(spec, mc),
             FaultKind::OutOfRangeValue => self.out_of_range_value(spec, mc),
+            FaultKind::HostileTrap => self.hostile_trap(spec, mc),
         }
     }
 
@@ -219,6 +249,40 @@ impl FaultInjector {
             },
         ))
     }
+
+    /// Plant the hostile sentinel into one randomly chosen full-width
+    /// (`Bits(32)`) immediate hole: the program stays in-domain, so it
+    /// passes validation and static screening, but every backend build
+    /// panics deterministically ([`druzhba_core::hostile`]).
+    ///
+    /// Returns `None` if the grid has no hole wide enough to represent
+    /// the sentinel (ordinary value mutation is capped at 16 bits, so the
+    /// two fault populations can never collide).
+    pub fn hostile_trap(
+        &mut self,
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+    ) -> Option<(MachineCode, Fault)> {
+        let expected = expected_machine_code(spec);
+        let wide: Vec<_> = expected
+            .iter()
+            .filter(|(_, d)| matches!(d, druzhba_alu_dsl::HoleDomain::Bits(b) if *b >= 32))
+            .collect();
+        if wide.is_empty() {
+            return None;
+        }
+        let (name, _) = wide[self.gen.value_below(wide.len() as u32) as usize];
+        let old = mc.try_get(name)?;
+        let mut out = mc.clone();
+        out.set(name.clone(), druzhba_core::hostile::HOSTILE_TRAP_VALUE);
+        Some((
+            out,
+            Fault::HostileTrap {
+                name: name.clone(),
+                old,
+            },
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -320,7 +384,33 @@ mod tests {
         assert_eq!(f.kind(), FaultKind::MutatedValue);
         assert_eq!(f.kind().key(), "mutated_value");
         assert_eq!(f.name(), "x");
-        assert_eq!(FaultKind::ALL.len(), 3);
+        assert_eq!(FaultKind::ALL.len(), 4);
+        assert_eq!(FaultKind::BEHAVIORAL.len(), 3);
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_key(kind.key()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn hostile_trap_is_valid_but_panics_every_backend() {
+        let (spec, mc) = setup();
+        let mut inj = FaultInjector::new(13);
+        let (bad, fault) = inj.hostile_trap(&spec, &mc).unwrap();
+        let Fault::HostileTrap { name, .. } = &fault else {
+            panic!("unexpected fault: {fault:?}");
+        };
+        assert_eq!(
+            bad.try_get(name),
+            Some(druzhba_core::hostile::HOSTILE_TRAP_VALUE)
+        );
+        // In-domain: validation accepts the program...
+        assert!(druzhba_dgen::pipeline::validate_machine_code(&spec, &bad).is_empty());
+        // ...but every backend build panics (deterministically).
+        for opt in OptLevel::ALL {
+            let caught = std::panic::catch_unwind(|| Pipeline::generate(&spec, &bad, opt));
+            assert!(caught.is_err(), "{opt:?} must trip the trap");
+        }
     }
 
     #[test]

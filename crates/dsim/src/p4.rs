@@ -42,7 +42,7 @@ use druzhba_p4::lower::{lower, RmtConfig, RmtLowering};
 use druzhba_p4::tables::{bind, parse_entries, TableEntry};
 
 use crate::minimize::{minimize_trace_with, MinimizedCounterExample};
-use crate::testing::{run_sharded, shard_seed, CampaignReport, FuzzReport, Verdict};
+use crate::testing::{shard_seed, CampaignReport, FuzzReport, Verdict};
 
 /// A P4 program ready for differential testing: resolved source,
 /// validated entries, and the RMT lowering.
@@ -298,19 +298,31 @@ fn state_mismatch(
 ///
 /// This is the single-case core shared by [`p4_fuzz_test`] and
 /// [`p4_minimize`] — the P4 analog of [`crate::testing::run_case`].
+///
+/// Like the ALU side, the evaluation runs under panic isolation: a
+/// panicking match-action backend yields [`Verdict::BackendPanic`]
+/// instead of unwinding the campaign. Pipeline and interpreter are both
+/// constructed inside the guard, so nothing half-mutated survives a
+/// captured panic.
 pub fn run_p4_case(
     workload: &P4Workload,
     entries: &[TableEntry],
     level: OptLevel,
     input: &Trace,
 ) -> Verdict {
-    let mut pipeline =
-        match MatPipeline::generate(&workload.hlir, entries, &workload.lowering, level) {
-            Ok(p) => p,
-            Err(e) => return Verdict::Incompatible(e),
-        };
-    let mut interp = workload.interpreter();
-    p4_differential(&mut pipeline, &mut interp, input)
+    let guarded = crate::runtime::catch_silent(|| {
+        let mut pipeline =
+            match MatPipeline::generate(&workload.hlir, entries, &workload.lowering, level) {
+                Ok(p) => p,
+                Err(e) => return Verdict::Incompatible(e),
+            };
+        let mut interp = workload.interpreter();
+        p4_differential(&mut pipeline, &mut interp, input)
+    });
+    match guarded {
+        Ok(verdict) => verdict,
+        Err(p) => Verdict::BackendPanic { payload: p.payload },
+    }
 }
 
 /// The differential core shared by [`run_p4_case`] and the greybox oracle
@@ -364,16 +376,22 @@ pub fn p4_fuzz_test(
 ) -> FuzzReport {
     let input = P4Traffic::new(workload, cfg.seed, cfg.input_bits).trace(cfg.num_phvs);
     let verdict = run_p4_case(workload, entries, level, &input);
-    let phvs_tested = if matches!(verdict, Verdict::Incompatible(_)) {
+    let phvs_tested = if matches!(
+        verdict,
+        Verdict::Incompatible(_) | Verdict::BackendPanic { .. }
+    ) {
         0
     } else {
         cfg.num_phvs
     };
-    let minimized = if cfg.minimize && !verdict.passed() {
-        p4_minimize(workload, entries, level, &input, 3_000)
-    } else {
-        None
-    };
+    // Panic verdicts are never minimized: delta-debugging would rebuild
+    // the backend outside the guard and re-trip the panic.
+    let minimized =
+        if cfg.minimize && !verdict.passed() && !matches!(verdict, Verdict::BackendPanic { .. }) {
+            p4_minimize(workload, entries, level, &input, 3_000)
+        } else {
+            None
+        };
     FuzzReport {
         verdict,
         phvs_tested,
@@ -408,7 +426,8 @@ impl Default for P4CampaignConfig {
 }
 
 /// Run a deterministic sharded P4 fuzz campaign: `cfg.runs` independently
-/// seeded differential runs over [`run_sharded`]. Results are a pure
+/// seeded differential runs over the panic-isolated work-stealing pool
+/// ([`crate::runtime::run_stealing_observed`]). Results are a pure
 /// function of the configuration — never of the worker count.
 pub fn p4_fuzz_campaign(
     workload: &P4Workload,
@@ -416,13 +435,50 @@ pub fn p4_fuzz_campaign(
     level: OptLevel,
     cfg: &P4CampaignConfig,
 ) -> CampaignReport {
-    let runs: Vec<usize> = (0..cfg.runs).collect();
-    let reports = run_sharded(runs, cfg.workers, |_, run| {
-        let mut fuzz_cfg = cfg.base.clone();
-        fuzz_cfg.seed = shard_seed(cfg.base.seed, run as u64);
-        p4_fuzz_test(workload, entries, level, &fuzz_cfg)
-    });
-    CampaignReport { runs: reports }
+    p4_fuzz_campaign_with_runtime(
+        workload,
+        entries,
+        level,
+        cfg,
+        &crate::runtime::RuntimeOptions::default(),
+    )
+}
+
+/// [`p4_fuzz_campaign`] with the crash-proof runtime attached:
+/// checkpoint/resume of per-run progress and a wall-clock budget, via the
+/// same resumable driver the ALU campaign uses (see
+/// [`crate::testing::fuzz_campaign_with_runtime`] for the determinism
+/// contract).
+pub fn p4_fuzz_campaign_with_runtime(
+    workload: &P4Workload,
+    entries: &[TableEntry],
+    level: OptLevel,
+    cfg: &P4CampaignConfig,
+    runtime: &crate::runtime::RuntimeOptions,
+) -> CampaignReport {
+    let fingerprint = crate::snapshot::fingerprint_of(&[
+        "p4-campaign".to_string(),
+        format!("{:?}", level),
+        format!("{:?}", entries),
+        cfg.runs.to_string(),
+        cfg.base.num_phvs.to_string(),
+        cfg.base.seed.to_string(),
+        cfg.base.input_bits.to_string(),
+        cfg.base.minimize.to_string(),
+    ]);
+    crate::testing::resumable_campaign(
+        "p4-campaign",
+        fingerprint,
+        cfg.runs,
+        cfg.workers,
+        runtime,
+        |run| shard_seed(cfg.base.seed, run as u64),
+        |run| {
+            let mut fuzz_cfg = cfg.base.clone();
+            fuzz_cfg.seed = shard_seed(cfg.base.seed, run as u64);
+            p4_fuzz_test(workload, entries, level, &fuzz_cfg)
+        },
+    )
 }
 
 /// Minimize a failing input trace for a fixed entry set through the
@@ -804,7 +860,7 @@ mod tests {
         let parallel = run_with(4);
         assert_eq!(serial, parallel);
         assert!(serial.passed());
-        assert_eq!(serial.counts(), (6, 0, 0));
+        assert_eq!(serial.counts(), (6, 0, 0, 0));
     }
 
     #[test]

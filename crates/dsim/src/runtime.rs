@@ -1,0 +1,319 @@
+//! Crash-proof campaign runtime: silent panic capture and a work-stealing
+//! scheduler whose results stay index-ordered.
+//!
+//! Long differential campaigns (FP4's line-rate fuzzing, Gauntlet's
+//! overnight runs) win by *surviving*: a backend crash on one mutant must
+//! not unwind the whole process, and a slow shard must not idle every
+//! other worker. This module supplies the two mechanisms the campaign
+//! layers build on:
+//!
+//! - [`catch_silent`] runs one closure under `catch_unwind` with the
+//!   default panic-hook output suppressed, returning the payload as a
+//!   per-item [`WorkerPanic`] instead of aborting — the primitive behind
+//!   the `backend_panic` verdict class.
+//! - [`run_stealing`] / [`run_stealing_observed`] replace fixed-chunk
+//!   sharding with a chunked-deque stealing pool. Each worker starts with
+//!   a contiguous chunk, pops from its own front, and steals the back
+//!   half of a victim's deque when idle. **Scheduling is dynamic but the
+//!   result is not**: every item's output is written into the slot of its
+//!   original index, so any report that is a pure function of the ordered
+//!   results is identical across worker counts and steal interleavings.
+//!
+//! [`RuntimeOptions`] carries the crash-proofing knobs (checkpoint
+//! directory and cadence, resume, wall-clock budget) from the CLI down
+//! into the campaign drivers.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// A panic captured from one work item: the stringified payload, which for
+/// the deterministic hostile trap (and any `panic!` with a message) is a
+/// stable, replayable description of the crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic payload rendered as text (`String` / `&str` payloads
+    /// verbatim; anything else becomes a fixed placeholder).
+    pub payload: String,
+}
+
+/// Render a panic payload as text.
+pub fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside [`catch_silent`]: the chained
+    /// panic hook stays quiet so an *expected* backend crash does not spam
+    /// stderr with a captured-and-handled backtrace.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that suppresses output for
+/// panics captured by [`catch_silent`] and defers to the previous hook for
+/// everything else — a genuine crash still prints normally.
+fn install_silent_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `f` under `catch_unwind`, capturing a panic as [`WorkerPanic`]
+/// without letting the panic hook print.
+///
+/// The `AssertUnwindSafe` is a contract with the caller: everything `f`
+/// touches must either be owned by this one invocation or be discarded by
+/// the caller on `Err` (campaign drivers treat a panicking evaluation as
+/// terminal for the state it touched — e.g. a cached pipeline is never
+/// reused after its backend panicked).
+pub fn catch_silent<R>(f: impl FnOnce() -> R) -> Result<R, WorkerPanic> {
+    install_silent_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    out.map_err(|p| WorkerPanic {
+        payload: panic_payload(p),
+    })
+}
+
+/// Crash-proofing options threaded from the CLI into campaign drivers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuntimeOptions {
+    /// Directory for checkpoint snapshots and the heartbeat file
+    /// (`--checkpoint DIR` / `--resume DIR`). `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence (`--every N`): a snapshot every N completed
+    /// units (evaluations for campaigns, merge rounds for greybox).
+    /// `0` is normalized to 1.
+    pub checkpoint_every: usize,
+    /// True for `--resume DIR`: load the latest good snapshot from
+    /// `checkpoint_dir` before starting, degrading gracefully (fall back
+    /// to the previous snapshot, then to a fresh start) on corruption.
+    pub resume: bool,
+    /// Wall-clock budget in seconds (`--budget-secs S`). When it expires
+    /// the round ends cleanly and the report is marked truncated.
+    pub budget_secs: Option<u64>,
+}
+
+impl RuntimeOptions {
+    /// The checkpoint cadence with `0` normalized to 1.
+    pub fn effective_every(&self) -> usize {
+        self.checkpoint_every.max(1)
+    }
+
+    /// The absolute deadline implied by the budget, anchored at `start`.
+    pub fn deadline(&self, start: Instant) -> Option<Instant> {
+        self.budget_secs.map(|s| start + Duration::from_secs(s))
+    }
+}
+
+/// Steal the back half of the first non-empty victim deque (scanning
+/// cyclically from `me + 1`), queue all but the first stolen item locally,
+/// and return that first item.
+fn steal<T>(deques: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize, T)> {
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        let stolen = {
+            let mut v = deques[victim].lock().expect("deque lock");
+            let len = v.len();
+            if len == 0 {
+                continue;
+            }
+            // Owner pops from the front; we take the back half, keeping
+            // contention windows short and work contiguous on both sides.
+            v.split_off(len - len.div_ceil(2))
+        };
+        let mut it = stolen.into_iter();
+        let first = it.next();
+        deques[me].lock().expect("deque lock").extend(it);
+        return first;
+    }
+    None
+}
+
+/// Run every item through `f` on a work-stealing pool, writing each result
+/// into the slot of the item's original index and invoking `observe` on
+/// the coordinating thread as each item completes (the checkpoint hook).
+///
+/// - A panicking `f` yields `Some(Err(WorkerPanic))` for that item only;
+///   all other items still run.
+/// - When `deadline` passes, workers stop cleanly between items; items
+///   that never started stay `None` (the budget-truncation signal).
+/// - `observe(index, &result)` is called exactly once per completed item,
+///   in **completion** order (not index order) — callers that persist
+///   progress must key by index, as the campaign checkpoints do.
+pub fn run_stealing_observed<T, R, F, O>(
+    items: Vec<T>,
+    workers: usize,
+    deadline: Option<Instant>,
+    f: F,
+    mut observe: O,
+) -> Vec<Option<Result<R, WorkerPanic>>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    O: FnMut(usize, &Result<R, WorkerPanic>),
+{
+    let total = items.len();
+    let mut results: Vec<Option<Result<R, WorkerPanic>>> = Vec::new();
+    results.resize_with(total, || None);
+    if total == 0 {
+        return results;
+    }
+    let workers = workers.clamp(1, total);
+
+    // Seed each deque with a contiguous chunk — the same initial split the
+    // legacy fixed sharder used, so the no-steal fast path touches each
+    // cache line once.
+    let chunk = total.div_ceil(workers);
+    let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(workers);
+    let mut numbered: VecDeque<(usize, T)> = items.into_iter().enumerate().collect();
+    for _ in 0..workers {
+        let rest = numbered.split_off(chunk.min(numbered.len()));
+        deques.push(Mutex::new(std::mem::replace(&mut numbered, rest)));
+    }
+
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let stop = &stop;
+            let f = &f;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                // Pop under a scoped lock: the guard must drop before
+                // `steal` runs, which re-locks this worker's own deque to
+                // stash the stolen surplus.
+                let own = deques[w].lock().expect("deque lock").pop_front();
+                let job = own.or_else(|| steal(deques, w));
+                let Some((idx, item)) = job else { break };
+                let out = catch_silent(|| f(idx, item));
+                if tx.send((idx, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, res) in rx {
+            observe(idx, &res);
+            results[idx] = Some(res);
+        }
+    });
+    results
+}
+
+/// [`run_stealing_observed`] without a deadline or observer: every item
+/// runs, so the result vector is dense — index-ordered per-item
+/// `Result`s.
+pub fn run_stealing<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_stealing_observed(items, workers, None, f, |_, _| {})
+        .into_iter()
+        .map(|slot| slot.expect("no deadline: every item completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_for_any_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for workers in [1, 2, 3, 8, 97, 200] {
+            let got: Vec<usize> = run_stealing((0..97).collect(), workers, |_, i: usize| i * 3)
+                .into_iter()
+                .map(|r| r.expect("no panics"))
+                .collect();
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_item_fails_alone() {
+        let results = run_stealing((0..16).collect(), 4, |_, i: usize| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let p = r.as_ref().expect_err("item 5 panicked");
+                assert_eq!(p.payload, "boom at 5");
+            } else {
+                assert_eq!(*r.as_ref().expect("others complete"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_leaves_items_unstarted() {
+        let past = Instant::now() - Duration::from_secs(1);
+        let results =
+            run_stealing_observed((0..8).collect(), 2, Some(past), |_, i: usize| i, |_, _| {});
+        assert!(results.iter().all(Option::is_none), "budget already spent");
+    }
+
+    #[test]
+    fn observer_sees_every_item_exactly_once() {
+        let mut seen = vec![0usize; 40];
+        run_stealing_observed(
+            (0..40).collect(),
+            3,
+            None,
+            |_, i: usize| i,
+            |idx, res| {
+                assert!(res.is_ok());
+                seen[idx] += 1;
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn uneven_items_still_fill_every_slot() {
+        // Items with wildly different costs exercise the steal path.
+        let results = run_stealing((0..64).collect(), 4, |_, i: usize| {
+            if i < 4 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            i + 1
+        });
+        let got: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (1..=64).collect::<Vec<_>>());
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! 1. every selected corpus program is compiled to known-good machine code;
 //! 2. a deterministic [`FaultInjector`] seeds `mutants_per_class` mutants
-//!    for each of the three [`FaultKind`] classes. Value mutations are
+//!    for each of the four [`FaultKind`] classes. Value mutations are
 //!    *screened for behavioral effect* first: a candidate that no probe
 //!    distinguishes from the baseline is an encoding variant (mutation
 //!    testing's "equivalent mutant"), not a fault, and is discarded and
@@ -16,8 +16,9 @@
 //!    *witness*;
 //! 3. every mutant is evaluated on every requested [`OptLevel`] backend —
 //!    fresh seeded fuzzing first, then the witness seed, then bounded
-//!    exhaustive verification — sharded across OS threads via
-//!    [`run_sharded`] (the same worker pool behind `fuzz_campaign`);
+//!    exhaustive verification — scheduled over the panic-isolated
+//!    work-stealing pool (`run_stealing_observed`, the same scheduler
+//!    behind `fuzz_campaign`);
 //! 4. every divergence is delta-debugged against the known-good baseline
 //!    ([`minimize_fault`]) so the report carries the essential machine-code
 //!    edits and a minimized reproducing input, not a raw 2000-packet dump.
@@ -30,9 +31,18 @@
 //! [`HuntReport::to_json`] renders the whole campaign machine-readably
 //! (detection rate, failure taxonomy, minimized traces); the schema is
 //! documented in DESIGN.md §7.
+//!
+//! The campaign is crash-proof (DESIGN.md §11): evaluations run on the
+//! work-stealing pool with per-case panic isolation (a panicking backend
+//! becomes a [`Detection::Panic`] row, never an abort), completed
+//! evaluations checkpoint to `--checkpoint DIR` as [`EvalRecord`] lines
+//! that `--resume DIR` restores without re-evaluating, and a wall-clock
+//! budget truncates the campaign at a clean per-evaluation boundary.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
 
 use druzhba_analysis::{flag_mutant, StaticFlag};
 use druzhba_chipmunk::CompiledProgram;
@@ -40,7 +50,9 @@ use druzhba_core::Trace;
 use druzhba_dgen::OptLevel;
 use druzhba_dsim::fault::{Fault, FaultInjector, FaultKind};
 use druzhba_dsim::minimize::{minimize_fault, MinimizeConfig, MinimizedCounterExample};
-use druzhba_dsim::testing::{fuzz_test, run_sharded, shard_seed, FuzzConfig, Verdict};
+use druzhba_dsim::runtime::{catch_silent, run_stealing_observed, RuntimeOptions};
+use druzhba_dsim::snapshot;
+use druzhba_dsim::testing::{fuzz_test, shard_seed, FuzzConfig, Verdict};
 use druzhba_dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
 use druzhba_dsim::TrafficGenerator;
 use druzhba_programs::{by_name, ProgramDef, PROGRAMS};
@@ -69,6 +81,16 @@ pub struct HuntConfig {
     pub verify_packets: usize,
     /// Worker threads for the evaluation shards.
     pub workers: usize,
+    /// Hard cap on differential batches per (mutant, level) evaluation
+    /// (`--case-budget N`): phases that would exceed the cap are skipped
+    /// and the evaluation reports whatever its budget allowed.
+    /// Deterministic — the cap counts batches, it does not time them.
+    /// `None` runs the full fuzz → witness → verify ladder.
+    pub case_budget: Option<usize>,
+    /// Crash-resilience options: checkpoint/resume and the wall-clock
+    /// budget ([`RuntimeOptions`]). Excluded from the snapshot
+    /// fingerprint.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for HuntConfig {
@@ -86,6 +108,8 @@ impl Default for HuntConfig {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
+            case_budget: None,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -107,10 +131,29 @@ pub enum Detection {
     },
     /// Caught by bounded exhaustive verification.
     Verify,
+    /// The backend panicked evaluating this mutant. The panic-isolation
+    /// layer captures it as a first-class detection (a crash *is* a
+    /// compiler bug) instead of letting it abort the campaign; the seed
+    /// replays the panicking run via `druzhba fuzz --seed`.
+    Panic {
+        /// The traffic seed of the panicking run.
+        seed: u64,
+    },
     /// Survived everything — under this budget the mutant is
     /// indistinguishable from the baseline (a mutation-testing
     /// "survivor").
     Undetected,
+}
+
+/// Stable snake_case key for a [`Detection`] (report + checkpoint codec).
+fn detector_key(d: &Detection) -> &'static str {
+    match d {
+        Detection::Fuzz { .. } => "fuzz",
+        Detection::Witness { .. } => "witness",
+        Detection::Verify => "verify",
+        Detection::Panic { .. } => "panic",
+        Detection::Undetected => "none",
+    }
 }
 
 /// Outcome of evaluating one mutant on one backend.
@@ -150,12 +193,140 @@ impl MutantOutcome {
     }
 }
 
+/// The checkpoint-stable projection of one completed evaluation: the
+/// aggregate-relevant keys plus the fully-rendered `mutants[]` JSON row.
+/// Records survive process death — a resumed campaign restores them
+/// verbatim from the snapshot, so the final report is byte-identical to
+/// an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalRecord {
+    /// Corpus program name.
+    pub program: String,
+    /// Injected fault class.
+    pub fault_kind: FaultKind,
+    /// Backend evaluated.
+    pub level: OptLevel,
+    /// Detector key (`"fuzz"`, `"witness"`, `"verify"`, `"panic"`,
+    /// `"none"`).
+    pub detector: &'static str,
+    /// The static analyzer's verdict on the mutant.
+    pub static_flag: StaticFlag,
+    /// Taxonomy key of the observed verdict (`"pass"` when undetected).
+    pub verdict_class: &'static str,
+    /// Differential batches executed (see
+    /// [`MutantOutcome::executions`]).
+    pub executions: usize,
+    /// The rendered JSON row ([`HuntReport::to_json`]'s `mutants[]`
+    /// entry), carried verbatim through checkpoints.
+    pub json: String,
+}
+
+/// Project a fresh evaluation onto its checkpoint-stable record.
+fn record_of(o: &MutantOutcome) -> EvalRecord {
+    EvalRecord {
+        program: o.program.to_string(),
+        fault_kind: o.fault.kind(),
+        level: o.level,
+        detector: detector_key(&o.detection),
+        static_flag: o.static_flag,
+        verdict_class: o.verdict.as_ref().map_or("pass", |v| v.class().key()),
+        executions: o.executions,
+        json: mutant_json(o),
+    }
+}
+
+/// One checkpoint line: tab-separated keys, the JSON row last (it is the
+/// only field that may itself contain tabs, hence `splitn` on decode).
+fn record_line(idx: usize, r: &EvalRecord) -> String {
+    format!(
+        "{idx}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        r.program,
+        r.fault_kind.key(),
+        r.level.key(),
+        r.detector,
+        r.static_flag.label(),
+        r.verdict_class,
+        r.executions,
+        r.json
+    )
+}
+
+/// Inverse of [`record_line`]; `None` rejects a malformed or foreign line.
+fn parse_record_line(line: &str) -> Option<(usize, EvalRecord)> {
+    let mut parts = line.splitn(9, '\t');
+    let idx = parts.next()?.parse().ok()?;
+    let program = parts.next()?.to_string();
+    let fault_kind = FaultKind::from_key(parts.next()?)?;
+    let level = opt_level_from_key(parts.next()?)?;
+    let detector = detector_from_key(parts.next()?)?;
+    let static_flag = static_flag_from_label(parts.next()?)?;
+    let verdict_class = verdict_class_from_key(parts.next()?)?;
+    let executions = parts.next()?.parse().ok()?;
+    let json = parts.next()?.to_string();
+    Some((
+        idx,
+        EvalRecord {
+            program,
+            fault_kind,
+            level,
+            detector,
+            static_flag,
+            verdict_class,
+            executions,
+            json,
+        },
+    ))
+}
+
+fn opt_level_from_key(key: &str) -> Option<OptLevel> {
+    OptLevel::ALL.into_iter().find(|l| l.key() == key)
+}
+
+fn detector_from_key(key: &str) -> Option<&'static str> {
+    ["fuzz", "witness", "verify", "panic", "none"]
+        .into_iter()
+        .find(|k| *k == key)
+}
+
+fn static_flag_from_label(label: &str) -> Option<StaticFlag> {
+    [
+        StaticFlag::Structural,
+        StaticFlag::Abstract,
+        StaticFlag::Unflagged,
+    ]
+    .into_iter()
+    .find(|f| f.label() == label)
+}
+
+fn verdict_class_from_key(key: &str) -> Option<&'static str> {
+    [
+        "pass",
+        "incompatible",
+        "length_mismatch",
+        "container_mismatch",
+        "state_mismatch",
+        "backend_panic",
+    ]
+    .into_iter()
+    .find(|k| *k == key)
+}
+
 /// Aggregate result of a hunt campaign.
 #[derive(Debug, Clone)]
 pub struct HuntReport {
-    /// One outcome per (program, mutant, level) evaluation, in
-    /// deterministic campaign order.
+    /// One record per *completed* (program, mutant, level) evaluation, in
+    /// deterministic campaign order. The canonical source for every
+    /// aggregate and for the JSON `mutants[]` array — resumed campaigns
+    /// restore records from the checkpoint without re-evaluating.
+    pub records: Vec<EvalRecord>,
+    /// Structured outcomes for the evaluations performed *by this
+    /// process*. A resumed campaign omits restored evaluations here
+    /// (their rows live on in `records`); an uninterrupted campaign has
+    /// one outcome per record.
     pub outcomes: Vec<MutantOutcome>,
+    /// Evaluations skipped because the wall-clock budget expired. `> 0`
+    /// marks the report as partial (`"truncated"` in the JSON).
+    pub truncated: usize,
     /// Value-mutation candidates discarded by screening as behaviorally
     /// neutral (mutation testing's "equivalent mutants").
     pub neutral_discarded: usize,
@@ -164,24 +335,27 @@ pub struct HuntReport {
 }
 
 impl HuntReport {
-    /// Total evaluations.
+    /// Total completed evaluations.
     pub fn evaluations(&self) -> usize {
-        self.outcomes.len()
+        self.records.len()
     }
 
     /// Detected evaluations.
     pub fn detected(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.detected()).count()
+        self.records.iter().filter(|r| r.detector != "none").count()
     }
 
-    /// Evaluations that survived the whole workflow.
+    /// Evaluations that survived the whole workflow. Covers only this
+    /// process's evaluations (see [`HuntReport::outcomes`]); restored
+    /// survivors are still counted by every aggregate.
     pub fn undetected(&self) -> Vec<&MutantOutcome> {
         self.outcomes.iter().filter(|o| !o.detected()).collect()
     }
 
-    /// Detected fraction over all evaluations (1.0 for an empty campaign).
+    /// Detected fraction over completed evaluations (1.0 for an empty
+    /// campaign).
     pub fn detection_rate(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.records.is_empty() {
             return 1.0;
         }
         self.detected() as f64 / self.evaluations() as f64
@@ -190,9 +364,9 @@ impl HuntReport {
     /// Evaluations whose mutant the static analyzer flagged (structurally
     /// or abstractly) without executing a packet.
     pub fn static_flagged(&self) -> usize {
-        self.outcomes
+        self.records
             .iter()
-            .filter(|o| o.static_flag != StaticFlag::Unflagged)
+            .filter(|r| r.static_flag != StaticFlag::Unflagged)
             .count()
     }
 
@@ -200,24 +374,18 @@ impl HuntReport {
     /// `"none"`).
     pub fn by_static_flag(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
-        for o in &self.outcomes {
-            *out.entry(o.static_flag.label()).or_insert(0) += 1;
+        for r in &self.records {
+            *out.entry(r.static_flag.label()).or_insert(0) += 1;
         }
         out
     }
 
     /// Evaluation count per detector (`"fuzz"`, `"witness"`, `"verify"`,
-    /// `"none"`).
+    /// `"panic"`, `"none"`).
     pub fn by_detector(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
-        for o in &self.outcomes {
-            let key = match o.detection {
-                Detection::Fuzz { .. } => "fuzz",
-                Detection::Witness { .. } => "witness",
-                Detection::Verify => "verify",
-                Detection::Undetected => "none",
-            };
-            *out.entry(key).or_insert(0) += 1;
+        for r in &self.records {
+            *out.entry(r.detector).or_insert(0) += 1;
         }
         out
     }
@@ -225,10 +393,10 @@ impl HuntReport {
     /// `(total, detected)` per fault class.
     pub fn by_fault_kind(&self) -> BTreeMap<FaultKind, (usize, usize)> {
         let mut out = BTreeMap::new();
-        for o in &self.outcomes {
-            let e = out.entry(o.fault.kind()).or_insert((0, 0));
+        for r in &self.records {
+            let e = out.entry(r.fault_kind).or_insert((0, 0));
             e.0 += 1;
-            e.1 += usize::from(o.detected());
+            e.1 += usize::from(r.detector != "none");
         }
         out
     }
@@ -237,9 +405,8 @@ impl HuntReport {
     /// (snake_case keys; undetected evaluations count under `"pass"`).
     pub fn taxonomy(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
-        for o in &self.outcomes {
-            let key = o.verdict.as_ref().map_or("pass", |v| v.class().key());
-            *out.entry(key).or_insert(0) += 1;
+        for r in &self.records {
+            *out.entry(r.verdict_class).or_insert(0) += 1;
         }
         out
     }
@@ -263,10 +430,15 @@ impl HuntReport {
         let _ = writeln!(s, "    \"fuzz_runs\": {},", cfg.fuzz_runs);
         let _ = writeln!(s, "    \"input_bits\": {},", cfg.input_bits);
         let _ = writeln!(s, "    \"verify_bits\": {},", cfg.verify_bits);
-        let _ = writeln!(s, "    \"verify_packets\": {}", cfg.verify_packets);
+        let _ = writeln!(s, "    \"verify_packets\": {},", cfg.verify_packets);
+        let case_budget = cfg
+            .case_budget
+            .map_or("null".to_string(), |n| n.to_string());
+        let _ = writeln!(s, "    \"case_budget\": {case_budget}");
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"summary\": {{");
         let _ = writeln!(s, "    \"evaluations\": {},", self.evaluations());
+        let _ = writeln!(s, "    \"truncated\": {},", self.truncated);
         let _ = writeln!(s, "    \"detected\": {},", self.detected());
         let _ = writeln!(s, "    \"detection_rate\": {:.4},", self.detection_rate());
         let _ = writeln!(s, "    \"static_flagged\": {},", self.static_flagged());
@@ -302,7 +474,7 @@ impl HuntReport {
         let _ = writeln!(s, "    \"taxonomy\": {{{}}}", taxonomy.join(", "));
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"mutants\": [");
-        let rows: Vec<String> = self.outcomes.iter().map(mutant_json).collect();
+        let rows: Vec<&str> = self.records.iter().map(|r| r.json.as_str()).collect();
         let _ = writeln!(s, "{}", rows.join(",\n"));
         let _ = writeln!(s, "  ]");
         let _ = writeln!(s, "}}");
@@ -332,6 +504,10 @@ fn mutant_json(o: &MutantOutcome) -> String {
             "{{\"kind\": \"out_of_range_value\", \"name\": \"{}\", \"new\": {new}}}",
             esc(name)
         ),
+        Fault::HostileTrap { name, old } => format!(
+            "{{\"kind\": \"hostile_trap\", \"name\": \"{}\", \"old\": {old}}}",
+            esc(name)
+        ),
     };
     let _ = write!(s, "\"fault\": {fault}, \"level\": \"{}\", ", o.level.key());
     let _ = write!(s, "\"static_flag\": \"{}\", ", o.static_flag.label());
@@ -344,6 +520,9 @@ fn mutant_json(o: &MutantOutcome) -> String {
         }
         Detection::Verify => {
             let _ = write!(s, "\"detected_by\": \"verify\", ");
+        }
+        Detection::Panic { seed } => {
+            let _ = write!(s, "\"detected_by\": \"panic\", \"seed\": {seed}, ");
         }
         Detection::Undetected => {
             let _ = write!(s, "\"detected_by\": \"none\", ");
@@ -389,6 +568,7 @@ fn mutant_json(o: &MutantOutcome) -> String {
             let mismatch = match &mce.verdict {
                 Verdict::Mismatch(m) => format!("\"{}\"", esc(&m.to_string())),
                 Verdict::Incompatible(e) => format!("\"{}\"", esc(&e.to_string())),
+                Verdict::BackendPanic { payload } => format!("\"{}\"", esc(payload)),
                 Verdict::Pass => "null".to_string(),
             };
             let _ = write!(
@@ -489,6 +669,10 @@ pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
                     // Structural faults are rejected at pipeline
                     // generation on every backend — no probe needed.
                     FaultKind::RemovedPair | FaultKind::OutOfRangeValue => None,
+                    // Hostile traps panic pipeline generation on every
+                    // backend deterministically; probing one would only
+                    // exercise the panic guard a run earlier.
+                    FaultKind::HostileTrap => None,
                     FaultKind::MutatedValue => {
                         let probe_seed = shard_seed(cfg.seed ^ 0x5343_524E, candidate_counter);
                         candidate_counter += 1;
@@ -505,7 +689,13 @@ pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
                     }
                 };
                 seeded.push(fault.clone());
-                let static_flag = flag_mutant(&comp.pipeline_spec, &comp.machine_code, &mc);
+                // The static screen generates the mutant's pipeline, so a
+                // hostile trap trips here too — on the coordinator thread.
+                // A panicking generator is the moral equivalent of a
+                // generation error: flagged structurally, campaign intact.
+                let static_flag =
+                    catch_silent(|| flag_mutant(&comp.pipeline_spec, &comp.machine_code, &mc))
+                        .unwrap_or(StaticFlag::Structural);
                 mutants.push(Mutant {
                     program: pi,
                     fault,
@@ -514,7 +704,11 @@ pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
                     witness,
                 });
             }
-            if seeded.is_empty() && kind != FaultKind::MutatedValue {
+            // Hostile traps are also lenient: a program without a wide
+            // enough constant hole simply contributes none.
+            if seeded.is_empty()
+                && !matches!(kind, FaultKind::MutatedValue | FaultKind::HostileTrap)
+            {
                 return Err(format!(
                     "{}: could not seed any {} fault",
                     def.name,
@@ -524,23 +718,145 @@ pub fn hunt(cfg: &HuntConfig) -> Result<HuntReport, String> {
         }
     }
 
-    // Every (mutant, level) pair is one evaluation task.
+    // Every (mutant, level) pair is one evaluation task. Task order (and
+    // thus record order and every per-task seed) is a pure function of
+    // the configuration, so restored and fresh evaluations interleave
+    // into the exact report an uninterrupted run produces.
     let tasks: Vec<(usize, OptLevel)> = mutants
         .iter()
         .enumerate()
         .flat_map(|(mi, _)| cfg.levels.iter().map(move |&l| (mi, l)))
         .collect();
+    let total = tasks.len();
+    let fingerprint = snapshot::fingerprint_of(&[
+        "hunt".to_string(),
+        format!(
+            "{:?}",
+            HuntConfig {
+                runtime: RuntimeOptions::default(),
+                ..cfg.clone()
+            }
+        ),
+    ]);
+
+    // Resume: restore completed evaluations by task index; anything the
+    // snapshot does not cover (or covers malformedly) is re-evaluated.
+    let mut slots: Vec<Option<EvalRecord>> = vec![None; total];
+    if cfg.runtime.resume {
+        if let Some(dir) = cfg.runtime.checkpoint_dir.as_deref() {
+            let loaded = snapshot::load_latest(dir, "hunt", fingerprint);
+            for w in &loaded.warnings {
+                eprintln!("warning: {w}");
+            }
+            for line in loaded.lines.unwrap_or_default() {
+                match parse_record_line(&line) {
+                    Some((idx, record)) if idx < total => slots[idx] = Some(record),
+                    _ => eprintln!("warning: ignoring malformed hunt checkpoint line"),
+                }
+            }
+        }
+    }
+    let pending: Vec<(usize, usize, OptLevel)> = tasks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .map(|(i, &(mi, level))| (i, mi, level))
+        .collect();
+
+    let deadline = cfg.runtime.deadline(Instant::now());
+    let every = cfg.runtime.effective_every();
+    let ckpt_dir = cfg.runtime.checkpoint_dir.clone();
     let mutants = &mutants;
     let defs = &defs;
     let compiled = &compiled;
-    let outcomes = run_sharded(tasks, cfg.workers, |task_index, (mi, level)| {
-        evaluate(cfg, defs, compiled, &mutants[mi], level, task_index as u64)
-    });
+
+    // A worker that dies at the pool level (a panic escaping the
+    // per-case guards) still yields a per-task row instead of sinking
+    // the campaign: the panic becomes a `Detection::Panic` outcome.
+    let death_outcome = |gi: usize, mi: usize, level: OptLevel, payload: &str| -> MutantOutcome {
+        let mutant: &Mutant = &mutants[mi];
+        MutantOutcome {
+            program: defs[mutant.program].name,
+            fault: mutant.fault.clone(),
+            level,
+            detection: Detection::Panic {
+                seed: shard_seed(shard_seed(cfg.seed ^ 0x4855_4E54, gi as u64), 0),
+            },
+            static_flag: mutant.static_flag,
+            executions: 0,
+            verdict: Some(Verdict::BackendPanic {
+                payload: payload.to_string(),
+            }),
+            minimized: None,
+        }
+    };
+
+    let mut since_save = 0usize;
+    let results = {
+        let slots = &mut slots;
+        run_stealing_observed(
+            pending.clone(),
+            cfg.workers,
+            deadline,
+            |_, (gi, mi, level)| evaluate(cfg, defs, compiled, &mutants[mi], level, gi as u64),
+            |i, result| {
+                let (gi, mi, level) = pending[i];
+                slots[gi] = Some(match result {
+                    Ok(outcome) => record_of(outcome),
+                    Err(p) => record_of(&death_outcome(gi, mi, level, &p.payload)),
+                });
+                since_save += 1;
+                if since_save >= every {
+                    since_save = 0;
+                    if let Some(dir) = ckpt_dir.as_deref() {
+                        save_records(dir, fingerprint, slots);
+                        let completed = slots.iter().flatten().count();
+                        snapshot::write_heartbeat(dir, "hunt", completed, total, false);
+                    }
+                }
+            },
+        )
+    };
+
+    // Index-ordered post-pass: structured outcomes for this process's
+    // evaluations, truncation count for budget-expired slots.
+    let mut outcomes: Vec<MutantOutcome> = Vec::new();
+    let mut truncated = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let (gi, mi, level) = pending[i];
+        match result {
+            Some(Ok(outcome)) => outcomes.push(outcome),
+            Some(Err(p)) => outcomes.push(death_outcome(gi, mi, level, &p.payload)),
+            None => truncated += 1,
+        }
+    }
+    if let Some(dir) = ckpt_dir.as_deref() {
+        save_records(dir, fingerprint, &slots);
+        let completed = slots.iter().flatten().count();
+        snapshot::write_heartbeat(dir, "hunt", completed, total, truncated > 0);
+    }
+
+    let records: Vec<EvalRecord> = slots.into_iter().flatten().collect();
     Ok(HuntReport {
+        records,
         outcomes,
+        truncated,
         neutral_discarded,
         config: cfg.clone(),
     })
+}
+
+/// Write every completed record to the campaign snapshot (atomic write +
+/// rotation happen inside [`snapshot::save`]).
+fn save_records(dir: &Path, fingerprint: u64, slots: &[Option<EvalRecord>]) {
+    let lines: Vec<String> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().map(|r| record_line(i, r)))
+        .collect();
+    if let Err(e) = snapshot::save(dir, "hunt", fingerprint, &lines) {
+        eprintln!("warning: failed to write hunt checkpoint: {e}");
+    }
 }
 
 /// Probe a value-mutation candidate for behavioral effect: seeded fuzz
@@ -640,6 +956,12 @@ fn evaluate(
         if report.passed() {
             return None;
         }
+        // A panicking backend can't be delta-debugged — minimization would
+        // rebuild it outside the panic guard and re-trip the abort. The
+        // replay recipe (seed + config) is the counterexample.
+        if matches!(report.verdict, Verdict::BackendPanic { .. }) {
+            return Some((report.verdict, None));
+        }
         let input =
             TrafficGenerator::new(seed, comp.pipeline_spec.config.phv_length, cfg.input_bits)
                 .trace(cfg.fuzz_phvs);
@@ -658,18 +980,29 @@ fn evaluate(
 
     // Phase 1: fresh seeded fuzzing (measures ordinary detection power).
     // `executions` counts differential batches across all phases so the
-    // report carries executions-to-detection per mutant.
+    // report carries executions-to-detection per mutant. The per-case
+    // budget caps that count: an expensive mutant degrades to a bounded
+    // evaluation instead of stalling the whole campaign.
+    let budget = cfg.case_budget.unwrap_or(usize::MAX).max(1);
     let mut executions = 0usize;
     let task_seed = shard_seed(cfg.seed ^ 0x4855_4E54, task_index); // "HUNT"
     for run in 0..cfg.fuzz_runs {
+        if executions >= budget {
+            break;
+        }
         let seed = shard_seed(task_seed, run as u64);
         executions += 1;
         if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
+            let detection = if matches!(verdict, Verdict::BackendPanic { .. }) {
+                Detection::Panic { seed }
+            } else {
+                Detection::Fuzz { seed }
+            };
             return MutantOutcome {
                 program: def.name,
                 fault: mutant.fault.clone(),
                 level,
-                detection: Detection::Fuzz { seed },
+                detection,
                 static_flag: mutant.static_flag,
                 executions,
                 verdict: Some(verdict),
@@ -682,22 +1015,41 @@ fn evaluate(
     // input stream; backends are observationally equivalent, so it fires
     // regardless of which level the probe ran on.
     if let Some(seed) = mutant.witness {
-        executions += 1;
-        if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
-            return MutantOutcome {
-                program: def.name,
-                fault: mutant.fault.clone(),
-                level,
-                detection: Detection::Witness { seed },
-                static_flag: mutant.static_flag,
-                executions,
-                verdict: Some(verdict),
-                minimized,
-            };
+        if executions < budget {
+            executions += 1;
+            if let Some((verdict, minimized)) = fuzz_round(seed, &mut reference) {
+                let detection = if matches!(verdict, Verdict::BackendPanic { .. }) {
+                    Detection::Panic { seed }
+                } else {
+                    Detection::Witness { seed }
+                };
+                return MutantOutcome {
+                    program: def.name,
+                    fault: mutant.fault.clone(),
+                    level,
+                    detection,
+                    static_flag: mutant.static_flag,
+                    executions,
+                    verdict: Some(verdict),
+                    minimized,
+                };
+            }
         }
     }
 
     // Phase 3: bounded exhaustive verification over the input fields.
+    if executions >= budget {
+        return MutantOutcome {
+            program: def.name,
+            fault: mutant.fault.clone(),
+            level,
+            detection: Detection::Undetected,
+            static_flag: mutant.static_flag,
+            executions,
+            verdict: None,
+            minimized: None,
+        };
+    }
     executions += 1;
     if let Ok(VerifyOutcome::CounterExample {
         input, mismatch, ..

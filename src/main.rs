@@ -25,6 +25,7 @@
 //! maps onto a library call, so the tool is a thin shell over the public
 //! API.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use druzhba::chipmunk::{compile, CompiledProgram, CompiledSpec, CompilerConfig};
@@ -36,9 +37,11 @@ use druzhba::drmt::{solve, ScheduleConfig};
 use druzhba::dsim::coverage::{greybox_fuzz_test, p4_greybox_fuzz_test, GreyboxConfig};
 use druzhba::dsim::minimize::MinimizedCounterExample;
 use druzhba::dsim::p4::{
-    p4_fuzz_campaign, p4_fuzz_test, P4CampaignConfig, P4FuzzConfig, P4Workload,
+    p4_fuzz_campaign_with_runtime, p4_fuzz_test, P4CampaignConfig, P4FuzzConfig, P4Workload,
 };
-use druzhba::dsim::testing::{fuzz_campaign, fuzz_test, CampaignConfig, FuzzConfig};
+use druzhba::dsim::runtime::RuntimeOptions;
+use druzhba::dsim::snapshot;
+use druzhba::dsim::testing::{fuzz_campaign_with_runtime, fuzz_test, CampaignConfig, FuzzConfig};
 use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
 use druzhba::hunt::{hunt, HuntConfig};
 use druzhba::p4::deps::build_dag;
@@ -101,6 +104,7 @@ USAGE:
   druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level 0|1|2|3|all]
                   [--phvs N] [--bits B] [--runs R] [--jobs J]
                   [--verify-bits B] [--verify-packets N] [--out FILE]
+                  [--case-budget N]  (cap differential batches per evaluation)
                   mutation campaign over the Table 1 corpus (JSON report;
                   every mutant also carries its static-analysis flag)
   druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
@@ -122,7 +126,18 @@ USAGE:
                   table/action-fault mutation campaign (JSON report; nonzero
                   exit if any injected fault survives)
   druzhba atoms      list the ALU DSL atom library
-  druzhba programs   list the Table 1 benchmark programs and the P4 corpus";
+  druzhba programs   list the Table 1 benchmark programs and the P4 corpus
+
+CRASH-PROOFING (campaign modes of fuzz / hunt / p4-fuzz; docs/FUZZING.md):
+  --checkpoint DIR [--every N]   snapshot campaign progress into DIR every N
+                                 completed tasks (atomic write + rotation)
+  --resume DIR                   restore the snapshot in DIR, re-run only what
+                                 is missing, keep checkpointing there; the
+                                 resumed report is byte-identical to an
+                                 uninterrupted run
+  --budget-secs S                wall-clock budget: expiry ends the campaign
+                                 cleanly with a partial (truncated) report and
+                                 exit code 0 plus a warning";
 
 /// Minimal flag parser: positional file plus `--key value` pairs.
 struct Args {
@@ -276,6 +291,69 @@ fn print_minimized(mce: &MinimizedCounterExample) {
     }
 }
 
+/// Crash-proofing flags shared by the campaign subcommands
+/// (docs/FUZZING.md "Checkpoint, resume, and budgets"):
+/// `--checkpoint DIR [--every N]` snapshots progress into DIR,
+/// `--resume DIR` restores a prior snapshot and keeps checkpointing
+/// there, `--budget-secs S` bounds the campaign's wall clock.
+fn runtime_options(args: &Args) -> Result<RuntimeOptions, String> {
+    let defaults = RuntimeOptions::default();
+    if args.get("checkpoint").is_some() && args.get("resume").is_some() {
+        return Err(
+            "--checkpoint and --resume are exclusive (--resume keeps checkpointing \
+             into its directory)"
+                .into(),
+        );
+    }
+    let (checkpoint_dir, resume) = match (args.get("resume"), args.get("checkpoint")) {
+        (Some(dir), _) => (Some(PathBuf::from(dir)), true),
+        (None, Some(dir)) => (Some(PathBuf::from(dir)), false),
+        (None, None) => (None, false),
+    };
+    let budget_secs = match args.get("budget-secs") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--budget-secs: bad number `{v}`"))?,
+        ),
+    };
+    Ok(RuntimeOptions {
+        checkpoint_dir,
+        checkpoint_every: args.get_usize("every", defaults.checkpoint_every)?,
+        resume,
+        budget_secs,
+    })
+}
+
+/// The optional per-case budget (`--case-budget N`) for hunt campaigns.
+fn case_budget(args: &Args) -> Result<Option<usize>, String> {
+    match args.get("case-budget") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--case-budget: bad number `{v}`")),
+    }
+}
+
+/// Write a report atomically (tmp + rename): a crash mid-write never
+/// leaves a truncated file where a previous good report stood.
+fn atomic_write(path: &str, contents: &str) -> Result<(), String> {
+    snapshot::write_atomic(std::path::Path::new(path), contents)
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// The exit-0-with-warning contract for budget-truncated campaigns: a
+/// partial report is a success with a loud warning, not a failure.
+fn warn_truncated(what: &str, truncated: usize) {
+    if truncated > 0 {
+        eprintln!(
+            "warning: {what}: wall-clock budget expired with {truncated} task(s) \
+             unevaluated; the report is partial (marked truncated)"
+        );
+    }
+}
+
 /// Build the greybox configuration from the flags shared by
 /// `fuzz --greybox` and `p4-fuzz --greybox` (`--gb-packets`, `--corpus`,
 /// `--merge-every`, `--jobs`; defaults in [`GreyboxConfig`]).
@@ -300,6 +378,7 @@ fn greybox_config(
         merge_every: args.get_usize("merge-every", defaults.merge_every)?,
         initial_seeds: defaults.initial_seeds,
         minimize: true,
+        runtime: runtime_options(args)?,
     })
 }
 
@@ -314,8 +393,16 @@ fn print_greybox(
 ) {
     let outcome = match report.first_divergence {
         Some(at) => format!("first divergence at execution {at}"),
+        None if report.truncated => "no divergence (budget-truncated)".to_string(),
         None => "no divergence".to_string(),
     };
+    if report.truncated {
+        eprintln!(
+            "warning: greybox[{label}]: wall-clock budget expired after {} of {} \
+             executions; the campaign is partial",
+            report.executions, cfg.executions
+        );
+    }
     println!(
         "greybox[{label}:{}]: {} executions x {} packets on {} workers \
          ({} merge rounds) -> {} edges covered, corpus {}, {outcome}",
@@ -490,7 +577,7 @@ fn cmd_compile_p4(args: &Args, file: &str) -> Result<(), String> {
     let report = p4_lowering_report(&name, &workload);
     match args.get("o") {
         Some(path) => {
-            std::fs::write(path, &report).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            atomic_write(path, &report)?;
             eprintln!("lowering report written to {path}");
         }
         None => print!("{report}"),
@@ -608,6 +695,8 @@ fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
             fuzz_runs: runs,
             input_bits: bits,
             workers: if jobs == 0 { defaults.workers } else { jobs },
+            case_budget: case_budget(&args)?,
+            runtime: runtime_options(&args)?,
         };
         let report = p4_hunt_workloads(&cfg, &targets);
         for o in &report.outcomes {
@@ -636,10 +725,11 @@ fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
             report.evaluations(),
             report.detection_rate() * 100.0
         );
+        warn_truncated("p4-hunt", report.truncated);
         let json = report.to_json();
         match args.get("out") {
             Some(path) => {
-                std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                atomic_write(path, &json)?;
                 eprintln!("p4-hunt report written to {path}");
             }
             None => print!("{json}"),
@@ -672,13 +762,21 @@ fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
                     },
                     base: fuzz_cfg,
                 };
-                let campaign = p4_fuzz_campaign(workload, &workload.entries, level, &campaign_cfg);
-                let (passed, incompatible, mismatched) = campaign.counts();
+                let campaign = p4_fuzz_campaign_with_runtime(
+                    workload,
+                    &workload.entries,
+                    level,
+                    &campaign_cfg,
+                    &runtime_options(&args)?,
+                );
+                let (passed, incompatible, mismatched, panicked) = campaign.counts();
                 println!(
                     "p4-fuzz[{name}:{}]: {runs} runs x {num_phvs} packets at {bits}-bit inputs \
-                     -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
+                     -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched, \
+                     {panicked} panicked",
                     level.key()
                 );
+                warn_truncated("p4-fuzz", campaign.truncated);
                 if let Some(f) = campaign.first_failure() {
                     if let Some(mce) = &f.minimized {
                         print_minimized(mce);
@@ -765,8 +863,7 @@ fn cmd_compile(rest: &[String]) -> Result<(), String> {
     report(&compiled);
     match args.get("o") {
         Some(path) => {
-            std::fs::write(path, compiled.machine_code.to_text())
-                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            atomic_write(path, &compiled.machine_code.to_text())?;
             eprintln!("machine code written to {path}");
         }
         None => print!("{}", compiled.machine_code.to_text()),
@@ -853,20 +950,23 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
                 },
                 base: fuzz_cfg.clone(),
             };
-            let campaign = fuzz_campaign(
+            let campaign = fuzz_campaign_with_runtime(
                 &compiled.pipeline_spec,
                 &machine_code,
                 level,
                 || CompiledSpec::new(program.clone(), &compiled),
                 &campaign_cfg,
+                &runtime_options(&args)?,
             );
-            let (passed, incompatible, mismatched) = campaign.counts();
+            let (passed, incompatible, mismatched, panicked) = campaign.counts();
             println!(
                 "campaign[{}]: {runs} runs x {num_phvs} PHVs at {bits}-bit inputs on {} \
-                 workers -> {passed} passed, {incompatible} incompatible, {mismatched} mismatched",
+                 workers -> {passed} passed, {incompatible} incompatible, {mismatched} \
+                 mismatched, {panicked} panicked",
                 level.key(),
                 campaign_cfg.workers
             );
+            warn_truncated("fuzz campaign", campaign.truncated);
             if let Some(f) = campaign.first_failure() {
                 if let Some(mce) = &f.minimized {
                     print_minimized(mce);
@@ -995,6 +1095,8 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
             0 => defaults.workers,
             jobs => jobs,
         },
+        case_budget: case_budget(&args)?,
+        runtime: runtime_options(&args)?,
     };
     let report = hunt(&cfg)?;
 
@@ -1040,10 +1142,11 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
         report.evaluations(),
         report.detection_rate() * 100.0
     );
+    warn_truncated("hunt", report.truncated);
     let json = report.to_json();
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            atomic_write(path, &json)?;
             eprintln!("hunt report written to {path}");
         }
         None => print!("{json}"),
@@ -1099,7 +1202,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     };
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &rendered).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            atomic_write(path, &rendered)?;
             eprintln!("analysis written to {path}");
         }
         None => print!("{rendered}"),

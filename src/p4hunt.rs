@@ -14,8 +14,11 @@
 //!    probe's diverging traffic seed becomes the mutant's *witness*;
 //! 3. every surviving mutant is evaluated on every requested
 //!    [`OptLevel`] backend — fresh seeded differential fuzzing first,
-//!    then the witness seed — sharded across OS threads via
-//!    [`run_sharded`];
+//!    then the witness seed — spread across OS threads by the
+//!    work-stealing [`run_stealing_observed`] scheduler, with the same
+//!    crash-proofing as [`crate::hunt`]: per-case panic isolation,
+//!    periodic checkpoints, resume, and wall-clock/per-case budgets
+//!    (DESIGN.md §11);
 //! 4. every divergence is reduced by the shared delta-debugging engine
 //!    ([`druzhba_dsim::p4::p4_minimize`]) so the report carries a
 //!    minimized reproducing packet sequence.
@@ -27,6 +30,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
 
 use druzhba_core::{Trace, Value};
 use druzhba_dgen::mat::MatPipeline;
@@ -36,7 +41,9 @@ use druzhba_dsim::minimize::MinimizedCounterExample;
 use druzhba_dsim::p4::{
     p4_minimize, run_p4_case, P4Fault, P4FaultInjector, P4FaultKind, P4Traffic, P4Workload,
 };
-use druzhba_dsim::testing::{run_sharded, shard_seed, Verdict};
+use druzhba_dsim::runtime::{run_stealing_observed, RuntimeOptions};
+use druzhba_dsim::snapshot;
+use druzhba_dsim::testing::{shard_seed, Verdict};
 use druzhba_p4::deps::build_dag;
 use druzhba_p4::tables::TableEntry;
 use druzhba_programs::{p4_by_name, P4_PROGRAMS};
@@ -61,6 +68,12 @@ pub struct P4HuntConfig {
     pub input_bits: u32,
     /// Worker threads for the evaluation shards.
     pub workers: usize,
+    /// Cap on differential batches per (mutant, level) evaluation
+    /// (`None` = the full phase schedule).
+    pub case_budget: Option<usize>,
+    /// Crash-proofing: checkpoint/resume/budget options. Excluded from
+    /// the campaign fingerprint — a resumed run may change them freely.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for P4HuntConfig {
@@ -76,6 +89,8 @@ impl Default for P4HuntConfig {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
+            case_budget: None,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -93,8 +108,24 @@ pub enum P4Detection {
         /// The witness traffic seed.
         seed: u64,
     },
+    /// A backend panicked while evaluating the mutant — recorded as a
+    /// detection (the crash *is* the divergence) with the replay seed.
+    Panic {
+        /// The traffic seed that provoked the panic.
+        seed: u64,
+    },
     /// Survived every phase under this budget.
     Undetected,
+}
+
+/// Stable JSON/snapshot key for a detection.
+fn detector_key(d: &P4Detection) -> &'static str {
+    match d {
+        P4Detection::Fuzz { .. } => "fuzz",
+        P4Detection::Witness { .. } => "witness",
+        P4Detection::Panic { .. } => "panic",
+        P4Detection::Undetected => "none",
+    }
 }
 
 /// Outcome of evaluating one mutant on one backend.
@@ -126,11 +157,122 @@ impl P4MutantOutcome {
     }
 }
 
+/// The checkpoint-codable essence of one completed evaluation: the
+/// aggregate keys plus the verbatim JSON row. A resumed campaign restores
+/// these instead of re-evaluating, and because the JSON is stored
+/// verbatim the final report is byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4EvalRecord {
+    /// Corpus program name.
+    pub program: String,
+    /// The injected fault's class.
+    pub fault_kind: P4FaultKind,
+    /// Backend evaluated.
+    pub level: OptLevel,
+    /// Stable detector key (`fuzz`/`witness`/`panic`/`none`).
+    pub detector: &'static str,
+    /// The verdict's class key (`pass` when undetected).
+    pub verdict_class: &'static str,
+    /// Differential batches executed.
+    pub executions: usize,
+    /// The verbatim JSON report row.
+    pub json: String,
+}
+
+/// Project one outcome into its checkpoint record.
+fn record_of(o: &P4MutantOutcome) -> P4EvalRecord {
+    P4EvalRecord {
+        program: o.program.clone(),
+        fault_kind: o.fault.kind(),
+        level: o.level,
+        detector: detector_key(&o.detection),
+        verdict_class: o.verdict.as_ref().map_or("pass", |v| v.class().key()),
+        executions: o.executions,
+        json: outcome_json(o),
+    }
+}
+
+/// One snapshot line per completed task: tab-separated keys, JSON last
+/// (the JSON row never contains a raw tab or newline; snapshot escaping
+/// covers the rest).
+fn record_line(idx: usize, r: &P4EvalRecord) -> String {
+    format!(
+        "{idx}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        r.program,
+        r.fault_kind.key(),
+        r.level.key(),
+        r.detector,
+        r.verdict_class,
+        r.executions,
+        r.json
+    )
+}
+
+fn p4_fault_kind_from_key(key: &str) -> Option<P4FaultKind> {
+    P4FaultKind::ALL.into_iter().find(|k| k.key() == key)
+}
+
+fn opt_level_from_key(key: &str) -> Option<OptLevel> {
+    OptLevel::ALL.into_iter().find(|l| l.key() == key)
+}
+
+fn detector_from_key(key: &str) -> Option<&'static str> {
+    ["fuzz", "witness", "panic", "none"]
+        .into_iter()
+        .find(|k| *k == key)
+}
+
+fn verdict_class_from_key(key: &str) -> Option<&'static str> {
+    [
+        "pass",
+        "incompatible",
+        "length_mismatch",
+        "container_mismatch",
+        "state_mismatch",
+        "backend_panic",
+    ]
+    .into_iter()
+    .find(|k| *k == key)
+}
+
+/// Parse one snapshot line back into `(task_index, record)`; `None` on
+/// any malformed field (the caller re-evaluates that task).
+fn parse_record_line(line: &str) -> Option<(usize, P4EvalRecord)> {
+    let mut parts = line.splitn(8, '\t');
+    let idx: usize = parts.next()?.parse().ok()?;
+    let program = parts.next()?.to_string();
+    let fault_kind = p4_fault_kind_from_key(parts.next()?)?;
+    let level = opt_level_from_key(parts.next()?)?;
+    let detector = detector_from_key(parts.next()?)?;
+    let verdict_class = verdict_class_from_key(parts.next()?)?;
+    let executions: usize = parts.next()?.parse().ok()?;
+    let json = parts.next()?.to_string();
+    Some((
+        idx,
+        P4EvalRecord {
+            program,
+            fault_kind,
+            level,
+            detector,
+            verdict_class,
+            executions,
+            json,
+        },
+    ))
+}
+
 /// Aggregate result of a P4 hunt campaign.
 #[derive(Debug, Clone)]
 pub struct P4HuntReport {
-    /// One outcome per (program, mutant, level), in deterministic order.
+    /// One record per completed (program, mutant, level) task in
+    /// deterministic task order — restored from a checkpoint or produced
+    /// by this process; the canonical source for aggregates and JSON.
+    pub records: Vec<P4EvalRecord>,
+    /// Structured outcomes for the evaluations *this process* ran (a
+    /// resumed campaign restores earlier tasks as records only).
     pub outcomes: Vec<P4MutantOutcome>,
+    /// Tasks abandoned because the wall-clock budget expired.
+    pub truncated: usize,
     /// Candidates discarded by screening as behaviorally neutral.
     pub neutral_discarded: usize,
     /// The configuration that produced the report.
@@ -138,19 +280,19 @@ pub struct P4HuntReport {
 }
 
 impl P4HuntReport {
-    /// Total evaluations.
+    /// Total completed evaluations.
     pub fn evaluations(&self) -> usize {
-        self.outcomes.len()
+        self.records.len()
     }
 
     /// Detected evaluations.
     pub fn detected(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.detected()).count()
+        self.records.iter().filter(|r| r.detector != "none").count()
     }
 
     /// Detected fraction (1.0 for an empty campaign).
     pub fn detection_rate(&self) -> f64 {
-        if self.outcomes.is_empty() {
+        if self.records.is_empty() {
             return 1.0;
         }
         self.detected() as f64 / self.evaluations() as f64
@@ -159,10 +301,10 @@ impl P4HuntReport {
     /// `(total, detected)` per fault class.
     pub fn by_fault_kind(&self) -> BTreeMap<P4FaultKind, (usize, usize)> {
         let mut out = BTreeMap::new();
-        for o in &self.outcomes {
-            let e = out.entry(o.fault.kind()).or_insert((0, 0));
+        for r in &self.records {
+            let e = out.entry(r.fault_kind).or_insert((0, 0));
             e.0 += 1;
-            e.1 += usize::from(o.detected());
+            e.1 += usize::from(r.detector != "none");
         }
         out
     }
@@ -184,10 +326,15 @@ impl P4HuntReport {
         let _ = writeln!(s, "    \"levels\": [{}],", levels.join(", "));
         let _ = writeln!(s, "    \"fuzz_phvs\": {},", cfg.fuzz_phvs);
         let _ = writeln!(s, "    \"fuzz_runs\": {},", cfg.fuzz_runs);
-        let _ = writeln!(s, "    \"input_bits\": {}", cfg.input_bits);
+        let _ = writeln!(s, "    \"input_bits\": {},", cfg.input_bits);
+        let case_budget = cfg
+            .case_budget
+            .map_or("null".to_string(), |b| b.to_string());
+        let _ = writeln!(s, "    \"case_budget\": {case_budget}");
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"summary\": {{");
         let _ = writeln!(s, "    \"evaluations\": {},", self.evaluations());
+        let _ = writeln!(s, "    \"truncated\": {},", self.truncated);
         let _ = writeln!(s, "    \"detected\": {},", self.detected());
         let _ = writeln!(s, "    \"detection_rate\": {:.4},", self.detection_rate());
         let _ = writeln!(s, "    \"neutral_discarded\": {},", self.neutral_discarded);
@@ -204,7 +351,7 @@ impl P4HuntReport {
         let _ = writeln!(s, "    \"by_fault\": {{{}}}", by_fault.join(", "));
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"mutants\": [");
-        let rows: Vec<String> = self.outcomes.iter().map(outcome_json).collect();
+        let rows: Vec<&str> = self.records.iter().map(|r| r.json.as_str()).collect();
         let _ = writeln!(s, "{}", rows.join(",\n"));
         let _ = writeln!(s, "  ]");
         let _ = writeln!(s, "}}");
@@ -254,6 +401,9 @@ fn outcome_json(o: &P4MutantOutcome) -> String {
         }
         P4Detection::Witness { seed } => {
             let _ = write!(s, "\"detected_by\": \"witness\", \"seed\": {seed}, ");
+        }
+        P4Detection::Panic { seed } => {
+            let _ = write!(s, "\"detected_by\": \"panic\", \"seed\": {seed}, ");
         }
         P4Detection::Undetected => {
             let _ = write!(s, "\"detected_by\": \"none\", ");
@@ -375,20 +525,139 @@ pub fn p4_hunt_workloads(cfg: &P4HuntConfig, targets: &[(String, P4Workload)]) -
         }
     }
 
-    // Every (mutant, level) pair is one evaluation task.
+    // Every (mutant, level) pair is one evaluation task. Task order (and
+    // thus record order and every per-task seed) is a pure function of
+    // the configuration, so restored and fresh evaluations interleave
+    // into the exact report an uninterrupted run produces.
     let tasks: Vec<(usize, OptLevel)> = mutants
         .iter()
         .enumerate()
         .flat_map(|(mi, _)| cfg.levels.iter().map(move |&l| (mi, l)))
         .collect();
+    let total = tasks.len();
+    let fingerprint = snapshot::fingerprint_of(&[
+        "p4-hunt".to_string(),
+        format!(
+            "{:?}",
+            P4HuntConfig {
+                runtime: RuntimeOptions::default(),
+                ..cfg.clone()
+            }
+        ),
+    ]);
+
+    // Resume: restore completed evaluations by task index.
+    let mut slots: Vec<Option<P4EvalRecord>> = vec![None; total];
+    if cfg.runtime.resume {
+        if let Some(dir) = cfg.runtime.checkpoint_dir.as_deref() {
+            let loaded = snapshot::load_latest(dir, "p4-hunt", fingerprint);
+            for w in &loaded.warnings {
+                eprintln!("warning: {w}");
+            }
+            for line in loaded.lines.unwrap_or_default() {
+                match parse_record_line(&line) {
+                    Some((idx, record)) if idx < total => slots[idx] = Some(record),
+                    _ => eprintln!("warning: ignoring malformed p4-hunt checkpoint line"),
+                }
+            }
+        }
+    }
+    let pending: Vec<(usize, usize, OptLevel)> = tasks
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .map(|(i, &(mi, level))| (i, mi, level))
+        .collect();
+
+    let deadline = cfg.runtime.deadline(Instant::now());
+    let every = cfg.runtime.effective_every();
+    let ckpt_dir = cfg.runtime.checkpoint_dir.clone();
     let mutants = &mutants;
-    let outcomes = run_sharded(tasks, cfg.workers, |task_index, (mi, level)| {
-        evaluate(cfg, targets, &mutants[mi], level, task_index as u64)
-    });
+
+    // A worker that dies at the pool level still yields a per-task row:
+    // the panic becomes a `P4Detection::Panic` outcome.
+    let death_outcome = |gi: usize, mi: usize, level: OptLevel, payload: &str| -> P4MutantOutcome {
+        let mutant: &Mutant = &mutants[mi];
+        P4MutantOutcome {
+            program: targets[mutant.target].0.clone(),
+            fault: mutant.fault.clone(),
+            level,
+            detection: P4Detection::Panic {
+                seed: shard_seed(shard_seed(cfg.seed ^ 0x5034_4855, gi as u64), 0),
+            },
+            executions: 0,
+            verdict: Some(Verdict::BackendPanic {
+                payload: payload.to_string(),
+            }),
+            minimized: None,
+        }
+    };
+
+    let mut since_save = 0usize;
+    let results = {
+        let slots = &mut slots;
+        run_stealing_observed(
+            pending.clone(),
+            cfg.workers,
+            deadline,
+            |_, (gi, mi, level)| evaluate(cfg, targets, &mutants[mi], level, gi as u64),
+            |i, result| {
+                let (gi, mi, level) = pending[i];
+                slots[gi] = Some(match result {
+                    Ok(outcome) => record_of(outcome),
+                    Err(p) => record_of(&death_outcome(gi, mi, level, &p.payload)),
+                });
+                since_save += 1;
+                if since_save >= every {
+                    since_save = 0;
+                    if let Some(dir) = ckpt_dir.as_deref() {
+                        save_records(dir, fingerprint, slots);
+                        let completed = slots.iter().flatten().count();
+                        snapshot::write_heartbeat(dir, "p4-hunt", completed, total, false);
+                    }
+                }
+            },
+        )
+    };
+
+    // Index-ordered post-pass: structured outcomes for this process's
+    // evaluations, truncation count for budget-expired slots.
+    let mut outcomes: Vec<P4MutantOutcome> = Vec::new();
+    let mut truncated = 0usize;
+    for (i, result) in results.into_iter().enumerate() {
+        let (gi, mi, level) = pending[i];
+        match result {
+            Some(Ok(outcome)) => outcomes.push(outcome),
+            Some(Err(p)) => outcomes.push(death_outcome(gi, mi, level, &p.payload)),
+            None => truncated += 1,
+        }
+    }
+    if let Some(dir) = ckpt_dir.as_deref() {
+        save_records(dir, fingerprint, &slots);
+        let completed = slots.iter().flatten().count();
+        snapshot::write_heartbeat(dir, "p4-hunt", completed, total, truncated > 0);
+    }
+
+    let records: Vec<P4EvalRecord> = slots.into_iter().flatten().collect();
     P4HuntReport {
+        records,
         outcomes,
+        truncated,
         neutral_discarded,
         config: cfg.clone(),
+    }
+}
+
+/// Write every completed record to the campaign snapshot (atomic write +
+/// rotation happen inside [`snapshot::save`]).
+fn save_records(dir: &Path, fingerprint: u64, slots: &[Option<P4EvalRecord>]) {
+    let lines: Vec<String> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().map(|r| record_line(i, r)))
+        .collect();
+    if let Err(e) = snapshot::save(dir, "p4-hunt", fingerprint, &lines) {
+        eprintln!("warning: failed to write p4-hunt checkpoint: {e}");
     }
 }
 
@@ -428,24 +697,38 @@ fn evaluate(
         if verdict.passed() {
             return None;
         }
+        // A panicking backend can't be delta-debugged — minimization
+        // would rebuild it outside the panic guard and re-trip the abort.
+        if matches!(verdict, Verdict::BackendPanic { .. }) {
+            return Some((verdict, None));
+        }
         let minimized = p4_minimize(workload, &mutant.entries, level, &input, 3_000);
         Some((verdict, minimized))
     };
 
     // Phase 1: fresh seeded fuzzing (ordinary detection power).
     // `executions` counts differential batches so the report carries
-    // executions-to-detection per mutant.
+    // executions-to-detection per mutant; the per-case budget caps it.
+    let budget = cfg.case_budget.unwrap_or(usize::MAX).max(1);
     let mut executions = 0usize;
     let task_seed = shard_seed(cfg.seed ^ 0x5034_4855, task_index); // "P4HU"
     for run in 0..cfg.fuzz_runs {
+        if executions >= budget {
+            break;
+        }
         let seed = shard_seed(task_seed, run as u64);
         executions += 1;
         if let Some((verdict, minimized)) = fuzz_round(seed) {
+            let detection = if matches!(verdict, Verdict::BackendPanic { .. }) {
+                P4Detection::Panic { seed }
+            } else {
+                P4Detection::Fuzz { seed }
+            };
             return P4MutantOutcome {
                 program: name.clone(),
                 fault: mutant.fault.clone(),
                 level,
-                detection: P4Detection::Fuzz { seed },
+                detection,
                 executions,
                 verdict: Some(verdict),
                 minimized,
@@ -455,19 +738,28 @@ fn evaluate(
 
     // Phase 2: the screening witness (a known-diverging stream; backends
     // are observationally equivalent, so it fires on every level).
-    executions += 1;
-    if let Some((verdict, minimized)) = fuzz_round(mutant.witness) {
-        return P4MutantOutcome {
-            program: name.clone(),
-            fault: mutant.fault.clone(),
-            level,
-            detection: P4Detection::Witness {
-                seed: mutant.witness,
-            },
-            executions,
-            verdict: Some(verdict),
-            minimized,
-        };
+    if executions < budget {
+        executions += 1;
+        if let Some((verdict, minimized)) = fuzz_round(mutant.witness) {
+            let detection = if matches!(verdict, Verdict::BackendPanic { .. }) {
+                P4Detection::Panic {
+                    seed: mutant.witness,
+                }
+            } else {
+                P4Detection::Witness {
+                    seed: mutant.witness,
+                }
+            };
+            return P4MutantOutcome {
+                program: name.clone(),
+                fault: mutant.fault.clone(),
+                level,
+                detection,
+                executions,
+                verdict: Some(verdict),
+                minimized,
+            };
+        }
     }
 
     P4MutantOutcome {

@@ -409,6 +409,8 @@ fn hunt_smoke_detects_all_faults_and_emits_json() {
         "\"removed_pair\"",
         "\"mutated_value\"",
         "\"out_of_range_value\"",
+        "\"hostile_trap\"",
+        "\"detected_by\": \"panic\"",
         "\"minimized\"",
         "\"essential_edits\"",
     ] {

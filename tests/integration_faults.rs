@@ -94,6 +94,9 @@ fn value_mutation_campaign_detection_rate() {
                 Verdict::Mismatch(_) => detected += 1,
                 Verdict::Pass => {} // semantically neutral encoding change
                 Verdict::Incompatible(e) => panic!("in-domain mutation rejected: {e}"),
+                Verdict::BackendPanic { payload } => {
+                    panic!("in-domain mutation panicked a backend: {payload}")
+                }
             }
         }
     }

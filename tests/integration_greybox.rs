@@ -68,6 +68,19 @@ fn greybox_detects_injected_machine_code_faults_on_a_corpus_program() {
                     assert!(report.minimized.is_some(), "{fault:?}");
                 }
             }
+            // The hostile trap panics pipeline generation on the first
+            // execution; panic isolation must convert that into a
+            // BackendPanic divergence (never an abort), with nothing to
+            // minimize.
+            FaultKind::HostileTrap => {
+                assert!(
+                    matches!(report.verdict, Verdict::BackendPanic { .. }),
+                    "{fault:?}: {:?}",
+                    report.verdict
+                );
+                assert_eq!(report.first_divergence, Some(1), "{fault:?}");
+                assert!(report.minimized.is_none(), "{fault:?}");
+            }
         }
     }
 }

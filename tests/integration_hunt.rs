@@ -29,8 +29,6 @@ fn campaign_config() -> HuntConfig {
 #[test]
 fn hunt_detects_every_fault_class_on_three_corpus_programs() {
     let report = hunt(&campaign_config()).unwrap();
-    // 3 programs x 3 classes x 2 mutants x 4 levels = 72 evaluations.
-    assert_eq!(report.evaluations(), 72, "campaign shape");
     assert_eq!(
         report.detected(),
         report.evaluations(),
@@ -42,20 +40,44 @@ fn hunt_detects_every_fault_class_on_three_corpus_programs() {
             .collect::<Vec<_>>()
     );
     assert!((report.detection_rate() - 1.0).abs() < f64::EPSILON);
-    // Every class is represented and fully detected.
+    assert_eq!(report.truncated, 0, "no budget, no truncation");
+    // Every behavioral class contributes its full matrix
+    // (3 programs x 2 mutants x 4 levels = 24 evaluations) and is fully
+    // detected; the hostile-trap class contributes as many wide-constant
+    // holes as the programs offer, and every one is caught as a panic.
     let by_fault = report.by_fault_kind();
-    for kind in FaultKind::ALL {
+    for kind in FaultKind::BEHAVIORAL {
         let (total, detected) = by_fault[&kind];
         assert_eq!(total, 24, "{kind:?}");
         assert_eq!(detected, total, "{kind:?} not fully detected");
     }
+    let (hostile_total, hostile_detected) = by_fault[&FaultKind::HostileTrap];
+    assert!(hostile_total > 0, "no hostile mutant seeded");
+    assert_eq!(hostile_detected, hostile_total, "a hostile trap survived");
+    assert_eq!(report.evaluations(), 72 + hostile_total, "campaign shape");
 }
 
 #[test]
 fn hunt_divergences_carry_reproducing_minimized_counterexamples() {
     let report = hunt(&campaign_config()).unwrap();
     let mut replayed = 0;
+    let mut panics = 0;
     for o in &report.outcomes {
+        // A hostile-trap mutant is caught by panic isolation: no
+        // counterexample to minimize (delta-debugging would re-trip the
+        // panic), only the replay recipe in the detection seed.
+        if matches!(o.fault, druzhba::dsim::fault::Fault::HostileTrap { .. }) {
+            assert!(
+                matches!(o.detection, Detection::Panic { .. }),
+                "{}: {:?} detected by {:?}, expected a panic",
+                o.program,
+                o.fault,
+                o.detection
+            );
+            assert!(o.minimized.is_none());
+            panics += 1;
+            continue;
+        }
         let mce = o
             .minimized
             .as_ref()
@@ -96,6 +118,7 @@ fn hunt_divergences_carry_reproducing_minimized_counterexamples() {
         replayed += 1;
     }
     assert_eq!(replayed, 72);
+    assert!(panics > 0, "no hostile-trap evaluation in the campaign");
 }
 
 #[test]
@@ -197,6 +220,8 @@ fn hunt_json_is_well_formed_enough_to_grep() {
         "\"by_fault\"",
         "\"by_detector\"",
         "\"taxonomy\"",
+        "\"truncated\"",
+        "\"case_budget\"",
         "\"mutants\"",
         "\"essential_edits\"",
     ] {
@@ -252,9 +277,16 @@ fn hunt_outcomes_all_classify_into_the_taxonomy() {
                 VerdictClass::ContainerMismatch.key(),
                 VerdictClass::StateMismatch.key(),
                 VerdictClass::LengthMismatch.key(),
+                VerdictClass::BackendPanic.key(),
             ]
             .contains(class),
             "unexpected taxonomy class {class}"
         );
     }
+    // The hostile-trap mutants land in the panic bucket, proving a
+    // panicking backend never aborts the campaign.
+    assert!(
+        taxonomy.contains_key(VerdictClass::BackendPanic.key()),
+        "{taxonomy:?}"
+    );
 }

@@ -168,6 +168,7 @@ fn hunt_campaign_is_worker_count_independent() {
     .unwrap();
     let many = p4_hunt(&P4HuntConfig { workers: 8, ..base }).unwrap();
     assert_eq!(one.outcomes, many.outcomes);
+    assert_eq!(one.records, many.records);
     assert_eq!(one.neutral_discarded, many.neutral_discarded);
 }
 
@@ -186,7 +187,7 @@ fn fuzz_detected_faults_replay_from_their_seed() {
     for o in &report.outcomes {
         let seed = match &o.detection {
             P4Detection::Fuzz { seed } | P4Detection::Witness { seed } => *seed,
-            P4Detection::Undetected => continue,
+            P4Detection::Panic { .. } | P4Detection::Undetected => continue,
         };
         // A diverging seed replays to a failure of the same class via a
         // plain p4_fuzz_test over the mutant entries. Reconstructing the
