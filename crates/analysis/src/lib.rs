@@ -32,6 +32,9 @@ pub mod domain;
 pub mod fused;
 pub mod p4;
 pub mod pipeline;
+pub mod rewrite;
+pub mod symbolic;
+pub mod term;
 
 pub use domain::{AbsVal, Interval, KnownBits, Tri};
 pub use p4::{
@@ -41,3 +44,9 @@ pub use pipeline::{
     analyze_pipeline, flag_mutant, proven_dead_edges, screen, translation_validate, EdgeKey,
     LintRecord, PipelineAbs, Screened, StaticFlag, TvMismatch, TvSite,
 };
+pub use symbolic::{
+    p4_symbolic_entries_equivalent, p4_symbolic_validate, symbolic_equivalent, symbolic_lints,
+    symbolic_transfer, symbolic_validate, symbolic_validate_level, SymTransfer, SymbolicResidual,
+    SymbolicVerdict,
+};
+pub use term::{Node, Sym, TermId, TermStore};

@@ -483,6 +483,11 @@ pub enum StaticFlag {
     /// state abstractions over a set of probe inputs) differs from the
     /// baseline's.
     Abstract,
+    /// The abstract fingerprints agree, but the canonical symbolic
+    /// transfer functions differ (see [`crate::symbolic`]): some
+    /// observable's normal form changed even though its value *range*
+    /// did not.
+    Symbolic,
     /// Statically indistinguishable from the baseline.
     Unflagged,
 }
@@ -492,6 +497,7 @@ impl StaticFlag {
         match self {
             StaticFlag::Structural => "structural",
             StaticFlag::Abstract => "abstract",
+            StaticFlag::Symbolic => "symbolic",
             StaticFlag::Unflagged => "none",
         }
     }
@@ -533,6 +539,12 @@ pub fn flag_mutant(
             }
             (Err(_), _) | (_, Err(_)) => return StaticFlag::Structural,
         }
+    }
+    // Abstract ranges agree everywhere: compare canonical symbolic
+    // transfer functions. An executor bail (`None`) leaves the mutant
+    // unflagged — never flag without a definite difference.
+    if crate::symbolic::symbolic_equivalent(spec, baseline, mutant) == Some(false) {
+        return StaticFlag::Symbolic;
     }
     StaticFlag::Unflagged
 }

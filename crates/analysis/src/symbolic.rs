@@ -1,0 +1,1888 @@
+//! Symbolic translation validation: prove backend equivalence without
+//! packets.
+//!
+//! Where `translation_validate` can only *refute* (abstract disjointness),
+//! this module *proves*: every executable IR — the Unoptimized AST walk,
+//! the Scc specialized AST, the SCC-inline stack bytecode, and the fused
+//! register program — is executed symbolically over one shared hash-consed
+//! [`TermStore`], producing for every observable site (output container,
+//! stateful variable) a canonical term over the pipeline's free inputs.
+//! Two backends are equivalent on *all* packets and states iff their
+//! per-invocation transfer functions agree, and structural identity of
+//! canonical terms (one `TermId` comparison) certifies exactly that.
+//!
+//! ## Path discipline
+//!
+//! Every executor runs all paths to completion, carrying the full decision
+//! sequence `(condition term, taken)` from pipeline entry. Conditions are
+//! built through the same canonicalizing constructors everywhere, so a
+//! fork that one backend takes is the *same term* in every backend, and a
+//! condition whose truth the abstract product decides is pruned (not
+//! forked) identically everywhere. Completed paths are merged back into
+//! one term per site by rebuilding the decision tree (`merge_paths`);
+//! the Ite rewrite rules (equal-arm collapse, same-condition flattening
+//! and pushdown) make per-unit merging (staged backends) and end-of-
+//! pipeline merging (fused backend) meet in the same normal form.
+//!
+//! Executors bail to `None` (never a wrong term) on path explosion or
+//! structurally surprising programs; [`symbolic_validate`] then reports
+//! `Unknown` and callers fall back to bounded concrete verification.
+
+use std::collections::{BTreeSet, HashMap};
+
+use druzhba_alu_dsl::ast::{AluSpec, Expr, Stmt};
+use druzhba_core::value::Value;
+use druzhba_core::MachineCode;
+use druzhba_dgen::bytecode::{BytecodeProgram, Instr};
+use druzhba_dgen::fused::FusedInstr;
+use druzhba_dgen::pipeline::{AluUnit, Pipeline, PipelineSpec};
+use druzhba_dgen::{FusedPipeline, OptLevel};
+
+use crate::domain::{AbsVal, Tri};
+use crate::pipeline::LintRecord;
+use crate::term::{Sym, TermId, TermStore};
+
+/// Cap on simultaneously live whole-pipeline paths before an executor
+/// bails to `Unknown` (sound — never a wrong answer).
+const MAX_PATHS: usize = 4096;
+/// Cap on executed instructions across all paths of one program.
+const MAX_STEPS: usize = 1 << 20;
+
+/// One branch decision: the condition term and whether it was truthy.
+type Decision = (TermId, bool);
+
+/// Completed ALU-local paths: `(decisions, output term, state')`.
+type AluPaths = Vec<(Vec<Decision>, TermId, Vec<TermId>)>;
+
+/// Verdict of symbolic translation validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicVerdict {
+    /// Every observable site has an identical canonical term on both
+    /// sides: the backends are equivalent on all packets and states.
+    Proved,
+    /// Two sites carry terms with *disjoint* abstractions: every input
+    /// is a counterexample; `cex` is the all-zeros witness PHV.
+    Refuted {
+        level: &'static str,
+        site: String,
+        cex: Vec<Value>,
+    },
+    /// Residual sites whose terms are unequal but not provably disjoint
+    /// (or an executor bailed). Callers fall back to `verify_bounded`.
+    Unknown { residuals: Vec<SymbolicResidual> },
+}
+
+/// One site symbolic validation could neither prove nor refute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicResidual {
+    /// Backend key (`scc`, `scc_inline`, `fused`, `mat`).
+    pub level: &'static str,
+    /// Rendered site (`container[c]`, `state[si][slot][var]`, field name).
+    pub site: String,
+}
+
+/// The symbolic transfer function of one pipeline invocation: a term per
+/// output container and per stateful variable, as functions of the entry
+/// PHV/state symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymTransfer {
+    pub phv: Vec<TermId>,
+    /// `state[stage][slot][var]`.
+    pub state: Vec<Vec<Vec<TermId>>>,
+}
+
+// ---------------------------------------------------------------------
+// Path merging
+// ---------------------------------------------------------------------
+
+/// Rebuild the decision tree of a set of completed paths into one value
+/// vector. All paths carry full-from-entry decision sequences, so paths
+/// sharing a prefix agree on the next condition; a path that finished
+/// before a sibling's fork flows into both branches. Returns `None` on
+/// irreconcilable shapes (sound bail).
+fn merge_paths(
+    store: &mut TermStore,
+    paths: &[(Vec<Decision>, Vec<TermId>)],
+) -> Option<Vec<TermId>> {
+    let refs: Vec<&(Vec<Decision>, Vec<TermId>)> = paths.iter().collect();
+    merge_at(store, &refs, 0)
+}
+
+fn merge_at(
+    store: &mut TermStore,
+    paths: &[&(Vec<Decision>, Vec<TermId>)],
+    depth: usize,
+) -> Option<Vec<TermId>> {
+    let (first, rest) = paths.split_first()?;
+    if rest.is_empty() {
+        return Some(first.1.clone());
+    }
+    let Some(&(cond, _)) = paths.iter().find_map(|p| p.0.get(depth)) else {
+        // Every path exhausted its decisions: they must agree.
+        return paths
+            .iter()
+            .all(|p| p.1 == first.1)
+            .then(|| first.1.clone());
+    };
+    let mut tgroup = Vec::new();
+    let mut fgroup = Vec::new();
+    for p in paths {
+        match p.0.get(depth) {
+            None => {
+                tgroup.push(*p);
+                fgroup.push(*p);
+            }
+            Some(&(c, taken)) if c == cond => {
+                if taken {
+                    tgroup.push(*p);
+                } else {
+                    fgroup.push(*p);
+                }
+            }
+            Some(_) => return None,
+        }
+    }
+    if tgroup.is_empty() || fgroup.is_empty() {
+        let side = if tgroup.is_empty() { fgroup } else { tgroup };
+        return merge_at(store, &side, depth + 1);
+    }
+    let tv = merge_at(store, &tgroup, depth + 1)?;
+    let fv = merge_at(store, &fgroup, depth + 1)?;
+    Some(
+        tv.iter()
+            .zip(&fv)
+            .map(|(&a, &b)| store.ite(cond, a, b))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// ALU executors (AST walk and stack bytecode), path-producing
+// ---------------------------------------------------------------------
+
+/// One in-flight path through a single ALU invocation.
+#[derive(Clone)]
+struct LocalPath {
+    decisions: Vec<Decision>,
+    state: Vec<TermId>,
+    ret: Option<TermId>,
+}
+
+/// Symbolic walk of an ALU-DSL body, mirroring `dgen::eval` exactly:
+/// holes are concrete machine-code values (missing ⇒ 0), packet fields
+/// and state variables are terms, and `if` chains fork on undecided
+/// conditions. Covers both the Unoptimized semantics (unspecialized spec
+/// + hole environment) and the Scc backend (specialized spec, no holes).
+struct AluWalk<'a> {
+    store: &'a mut TermStore,
+    spec: &'a AluSpec,
+    holes: &'a HashMap<String, Value>,
+    operands: &'a [TermId],
+    /// When set, receives `taken` for every *decided* (pruned, not
+    /// forked) source-level rel-op condition — the always-taken lint.
+    decided_relops: Option<&'a mut Vec<bool>>,
+}
+
+impl<'a> AluWalk<'a> {
+    fn hole(&self, name: &str) -> Value {
+        self.holes.get(name).copied().unwrap_or(0)
+    }
+
+    /// Run the body; each completed path yields `(decisions, output,
+    /// state')` with the Banzai default-output convention (no executed
+    /// `return` ⇒ pre-update first state variable, or 0).
+    fn run(&mut self, state_in: &[TermId]) -> Option<AluPaths> {
+        let default = match state_in.first() {
+            Some(&t) => t,
+            None => self.store.konst(0),
+        };
+        let root = LocalPath {
+            decisions: Vec::new(),
+            state: state_in.to_vec(),
+            ret: None,
+        };
+        let mut done = Vec::new();
+        let body: &'a [Stmt] = &self.spec.body;
+        let live = self.block(body, vec![root], &mut done)?;
+        Some(
+            done.into_iter()
+                .chain(live)
+                .map(|p| (p.decisions, p.ret.unwrap_or(default), p.state))
+                .collect(),
+        )
+    }
+
+    fn block(
+        &mut self,
+        stmts: &'a [Stmt],
+        mut live: Vec<LocalPath>,
+        done: &mut Vec<LocalPath>,
+    ) -> Option<Vec<LocalPath>> {
+        for stmt in stmts {
+            if live.is_empty() {
+                break;
+            }
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    let idx = self.spec.state_var_index(target);
+                    for path in live.iter_mut() {
+                        let v = self.eval(value, &path.state);
+                        if let Some(j) = idx {
+                            if j < path.state.len() {
+                                path.state[j] = v;
+                            }
+                        }
+                    }
+                }
+                Stmt::If { arms, else_body } => {
+                    let mut survivors = Vec::new();
+                    for p in std::mem::take(&mut live) {
+                        self.if_chain(arms, else_body, p, &mut survivors, done)?;
+                    }
+                    live = survivors;
+                }
+                Stmt::Return(e) => {
+                    for mut p in live.drain(..) {
+                        p.ret = Some(self.eval(e, &p.state));
+                        done.push(p);
+                    }
+                }
+            }
+            if done.len() + live.len() > MAX_PATHS {
+                return None;
+            }
+        }
+        Some(live)
+    }
+
+    fn if_chain(
+        &mut self,
+        arms: &'a [(Expr, Vec<Stmt>)],
+        else_body: &'a [Stmt],
+        path: LocalPath,
+        out: &mut Vec<LocalPath>,
+        done: &mut Vec<LocalPath>,
+    ) -> Option<()> {
+        let mut pending = vec![(path, 0usize)];
+        while let Some((p, i)) = pending.pop() {
+            let Some((cond, body)) = arms.get(i) else {
+                out.extend(self.block(else_body, vec![p], done)?);
+                continue;
+            };
+            let c = self.eval(cond, &p.state);
+            match self.store.truth(c) {
+                Tri::True => {
+                    self.note_decided(cond, true);
+                    out.extend(self.block(body, vec![p], done)?);
+                }
+                Tri::False => {
+                    self.note_decided(cond, false);
+                    pending.push((p, i + 1));
+                }
+                Tri::Unknown => {
+                    let mut taken = p.clone();
+                    taken.decisions.push((c, true));
+                    out.extend(self.block(body, vec![taken], done)?);
+                    let mut fall = p;
+                    fall.decisions.push((c, false));
+                    pending.push((fall, i + 1));
+                }
+            }
+            if out.len() + done.len() + pending.len() > MAX_PATHS {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    fn note_decided(&mut self, cond: &Expr, taken: bool) {
+        let relop = match cond {
+            Expr::RelOp { .. } => true,
+            Expr::Binary { op, .. } => op.is_boolean(),
+            _ => false,
+        };
+        if relop {
+            if let Some(sink) = self.decided_relops.as_deref_mut() {
+                sink.push(taken);
+            }
+        }
+    }
+
+    /// Mirror of `Evaluator::eval` over terms; mux arms need not be
+    /// forced eagerly (terms are pure).
+    fn eval(&mut self, expr: &Expr, state: &[TermId]) -> TermId {
+        match expr {
+            Expr::Const(v) => self.store.konst(*v),
+            Expr::Var(name) => {
+                if let Some(i) = self.spec.packet_field_index(name) {
+                    return match self.operands.get(i) {
+                        Some(&t) => t,
+                        None => self.store.konst(0),
+                    };
+                }
+                if let Some(i) = self.spec.state_var_index(name) {
+                    return match state.get(i) {
+                        Some(&t) => t,
+                        None => self.store.konst(0),
+                    };
+                }
+                let v = self.hole(name);
+                self.store.konst(v)
+            }
+            Expr::CConst { hole } => {
+                let v = self.hole(hole);
+                self.store.konst(v)
+            }
+            Expr::Opt { hole, arg } => {
+                let x = self.eval(arg, state);
+                if self.hole(hole) == 0 {
+                    x
+                } else {
+                    self.store.konst(0)
+                }
+            }
+            Expr::Mux2 { hole, a, b } => {
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                if self.hole(hole) == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            Expr::Mux3 { hole, a, b, c } => {
+                let (a, b, c) = (
+                    self.eval(a, state),
+                    self.eval(b, state),
+                    self.eval(c, state),
+                );
+                match self.hole(hole) {
+                    0 => a,
+                    1 => b,
+                    _ => c,
+                }
+            }
+            Expr::RelOp { hole, a, b } => {
+                use druzhba_alu_dsl::ast::BinOp;
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                let op = match self.hole(hole) & 3 {
+                    0 => BinOp::Ge,
+                    1 => BinOp::Le,
+                    2 => BinOp::Eq,
+                    _ => BinOp::Ne,
+                };
+                self.store.bin(op, a, b)
+            }
+            Expr::ArithOp { hole, a, b } => {
+                use druzhba_alu_dsl::ast::BinOp;
+                let (a, b) = (self.eval(a, state), self.eval(b, state));
+                let op = if self.hole(hole) & 1 == 0 {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                self.store.bin(op, a, b)
+            }
+            Expr::Binary { op, l, r } => {
+                let (l, r) = (self.eval(l, state), self.eval(r, state));
+                self.store.bin(*op, l, r)
+            }
+            Expr::Unary { op, x } => {
+                let x = self.eval(x, state);
+                self.store.un(*op, x)
+            }
+        }
+    }
+}
+
+/// Symbolic stack machine over the SCC-inline bytecode, mirroring
+/// `BytecodeProgram::run_with_coverage` (out-of-range reads push 0,
+/// `JumpIfZero` takes on falsy, `Halt` yields the entry-captured default
+/// output).
+fn sym_eval_bytecode(
+    store: &mut TermStore,
+    prog: &BytecodeProgram,
+    operands: &[TermId],
+    state_in: &[TermId],
+) -> Option<AluPaths> {
+    struct P {
+        pc: usize,
+        stack: Vec<TermId>,
+        state: Vec<TermId>,
+        decisions: Vec<Decision>,
+    }
+    let instrs = prog.instrs();
+    let zero = store.konst(0);
+    let default = state_in.first().copied().unwrap_or(zero);
+    let mut work = vec![P {
+        pc: 0,
+        stack: Vec::new(),
+        state: state_in.to_vec(),
+        decisions: Vec::new(),
+    }];
+    let mut out = Vec::new();
+    let mut steps = 0usize;
+    while let Some(mut p) = work.pop() {
+        loop {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return None;
+            }
+            let Some(instr) = instrs.get(p.pc) else {
+                out.push((p.decisions, default, p.state));
+                break;
+            };
+            match *instr {
+                Instr::Const(v) => {
+                    let t = store.konst(v);
+                    p.stack.push(t);
+                    p.pc += 1;
+                }
+                Instr::Operand(i) => {
+                    p.stack
+                        .push(operands.get(i as usize).copied().unwrap_or(zero));
+                    p.pc += 1;
+                }
+                Instr::State(i) => {
+                    p.stack
+                        .push(p.state.get(i as usize).copied().unwrap_or(zero));
+                    p.pc += 1;
+                }
+                Instr::Bin(op) => {
+                    let r = p.stack.pop()?;
+                    let l = p.stack.pop()?;
+                    p.stack.push(store.bin(op, l, r));
+                    p.pc += 1;
+                }
+                Instr::Un(op) => {
+                    let x = p.stack.pop()?;
+                    p.stack.push(store.un(op, x));
+                    p.pc += 1;
+                }
+                Instr::StoreState(i) => {
+                    let v = p.stack.pop()?;
+                    let slot = p.state.get_mut(i as usize)?;
+                    *slot = v;
+                    p.pc += 1;
+                }
+                Instr::JumpIfZero(target) => {
+                    let v = p.stack.pop()?;
+                    match store.truth(v) {
+                        Tri::True => p.pc += 1,
+                        Tri::False => p.pc = target as usize,
+                        Tri::Unknown => {
+                            let mut jumped = P {
+                                pc: target as usize,
+                                stack: p.stack.clone(),
+                                state: p.state.clone(),
+                                decisions: p.decisions.clone(),
+                            };
+                            jumped.decisions.push((v, false));
+                            work.push(jumped);
+                            p.decisions.push((v, true));
+                            p.pc += 1;
+                        }
+                    }
+                }
+                Instr::Jump(target) => p.pc = target as usize,
+                Instr::ReturnValue => {
+                    let v = p.stack.pop()?;
+                    out.push((p.decisions, v, p.state));
+                    break;
+                }
+                Instr::Halt => {
+                    out.push((p.decisions, default, p.state));
+                    break;
+                }
+            }
+        }
+        if out.len() + work.len() > MAX_PATHS {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Dispatch one pipeline ALU unit to its symbolic executor. Returns the
+/// per-path `(decisions, output, state')` fan-out.
+fn exec_unit(
+    store: &mut TermStore,
+    unit: &AluUnit,
+    phv: &[TermId],
+    state_in: &[TermId],
+    decided_relops: Option<&mut Vec<bool>>,
+) -> Option<AluPaths> {
+    let spec = unit.spec();
+    let zero = store.konst(0);
+    let operands: Vec<TermId> = (0..spec.operand_count())
+        .map(|k| phv.get(unit.operand_selection(k)).copied().unwrap_or(zero))
+        .collect();
+    if let Some(holes) = unit.hole_env() {
+        return AluWalk {
+            store,
+            spec,
+            holes,
+            operands: &operands,
+            decided_relops,
+        }
+        .run(state_in);
+    }
+    if let Some(sspec) = unit.specialized_spec() {
+        let empty = HashMap::new();
+        return AluWalk {
+            store,
+            spec: sspec,
+            holes: &empty,
+            operands: &operands,
+            decided_relops,
+        }
+        .run(state_in);
+    }
+    if let Some(prog) = unit.bytecode() {
+        return sym_eval_bytecode(store, prog, &operands, state_in);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Whole-pipeline executors
+// ---------------------------------------------------------------------
+
+/// One in-flight whole-pipeline path (staged backends).
+#[derive(Clone)]
+struct GPath {
+    decisions: Vec<Decision>,
+    phv: Vec<TermId>,
+    state: Vec<Vec<Vec<TermId>>>,
+}
+
+/// A decided rel-op event located at a pipeline site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DecidedRelop {
+    stage: u32,
+    slot: u32,
+    stateful: bool,
+    taken: bool,
+}
+
+/// Symbolically execute one pipeline invocation at `level` and merge all
+/// paths into the canonical per-site transfer function. The entry PHV and
+/// state are fresh symbols interned in `store` (shared across calls, so
+/// transfer functions from different levels or machine codes compare by
+/// id). Returns `None` if the executor bails (sound).
+pub fn symbolic_transfer(
+    store: &mut TermStore,
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    level: OptLevel,
+) -> Option<SymTransfer> {
+    sym_run_level(store, spec, mc, level, None)
+}
+
+fn sym_run_level(
+    store: &mut TermStore,
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    level: OptLevel,
+    decided_sink: Option<&mut Vec<DecidedRelop>>,
+) -> Option<SymTransfer> {
+    let pipeline = Pipeline::generate(spec, mc, level).ok()?;
+    let cfg = *pipeline.config();
+    let n_state = spec.stateful_alu.state_vars.len();
+
+    let phv0: Vec<TermId> = (0..cfg.phv_length)
+        .map(|c| store.sym(Sym::Phv(c as u32), AbsVal::top()))
+        .collect();
+    let state0: Vec<Vec<Vec<TermId>>> = (0..cfg.depth)
+        .map(|si| {
+            (0..cfg.width)
+                .map(|slot| {
+                    (0..n_state)
+                        .map(|var| {
+                            store.sym(
+                                Sym::State {
+                                    stage: si as u32,
+                                    slot: slot as u32,
+                                    var: var as u32,
+                                },
+                                AbsVal::top(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let completed: Vec<(Vec<Decision>, Vec<TermId>)> = match pipeline.fused_program() {
+        Some(fp) => sym_run_fused(store, fp, &phv0, &state0)?,
+        None => sym_run_staged(store, &pipeline, &cfg, phv0, state0, decided_sink)?,
+    };
+
+    let merged = merge_paths(store, &completed)?;
+    let (phv, flat_state) = merged.split_at(cfg.phv_length);
+    let mut it = flat_state.iter().copied();
+    let state: Vec<Vec<Vec<TermId>>> = (0..cfg.depth)
+        .map(|_| {
+            (0..cfg.width)
+                .map(|_| {
+                    (0..n_state)
+                        .map(|_| it.next().expect("state arity"))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    Some(SymTransfer {
+        phv: phv.to_vec(),
+        state,
+    })
+}
+
+/// Flatten a path's observables into the merge value vector.
+fn flatten(phv: &[TermId], state: &[Vec<Vec<TermId>>]) -> Vec<TermId> {
+    let mut v = phv.to_vec();
+    for row in state {
+        for slot in row {
+            v.extend_from_slice(slot);
+        }
+    }
+    v
+}
+
+/// Staged symbolic execution (Unoptimized / Scc / SccInline), mirroring
+/// the concrete `run_once_staged` order: selected stateless ALUs in slot
+/// order, then every stateful ALU in slot order, then the output muxes.
+/// Unselected stateless ALUs are skipped on every backend (pure and
+/// unobservable; the fuser does not even emit them), which keeps the
+/// global decision sequences of staged and fused execution identical.
+fn sym_run_staged(
+    store: &mut TermStore,
+    pipeline: &Pipeline,
+    cfg: &druzhba_core::PipelineConfig,
+    phv0: Vec<TermId>,
+    state0: Vec<Vec<Vec<TermId>>>,
+    mut decided_sink: Option<&mut Vec<DecidedRelop>>,
+) -> Option<Vec<(Vec<Decision>, Vec<TermId>)>> {
+    let width = cfg.width;
+    let zero = store.konst(0);
+    let mut paths = vec![GPath {
+        decisions: Vec::new(),
+        phv: phv0,
+        state: state0,
+    }];
+
+    for (si, stage) in pipeline.stages().iter().enumerate() {
+        let selected: Vec<bool> = (0..width)
+            .map(|slot| (0..cfg.phv_length).any(|c| stage.output_selection(c) == 1 + slot))
+            .collect();
+
+        // Per-path scratch outputs for this stage.
+        struct StagePath {
+            gp: GPath,
+            stateless_out: Vec<TermId>,
+            stateful_out: Vec<TermId>,
+        }
+        let mut sub: Vec<StagePath> = paths
+            .drain(..)
+            .map(|gp| StagePath {
+                gp,
+                stateless_out: Vec::with_capacity(width),
+                stateful_out: Vec::with_capacity(width),
+            })
+            .collect();
+
+        for (slot, unit) in stage.stateless_alus().iter().enumerate() {
+            if !selected[slot] {
+                for s in &mut sub {
+                    s.stateless_out.push(zero);
+                }
+                continue;
+            }
+            let mut events = Vec::new();
+            let mut next_sub = Vec::new();
+            for s in sub {
+                let results = exec_unit(store, unit, &s.gp.phv, &[], Some(&mut events))?;
+                for (decs, out, _st) in results {
+                    let mut s2 = StagePath {
+                        gp: s.gp.clone(),
+                        stateless_out: s.stateless_out.clone(),
+                        stateful_out: s.stateful_out.clone(),
+                    };
+                    s2.gp.decisions.extend(decs);
+                    s2.stateless_out.push(out);
+                    next_sub.push(s2);
+                }
+                if next_sub.len() > MAX_PATHS {
+                    return None;
+                }
+            }
+            sub = next_sub;
+            if let Some(sink) = decided_sink.as_deref_mut() {
+                sink.extend(events.into_iter().map(|taken| DecidedRelop {
+                    stage: si as u32,
+                    slot: slot as u32,
+                    stateful: false,
+                    taken,
+                }));
+            }
+        }
+
+        for (slot, unit) in stage.stateful_alus().iter().enumerate() {
+            let mut events = Vec::new();
+            let mut next_sub = Vec::new();
+            for s in sub {
+                let state_in = s.gp.state[si][slot].clone();
+                let results = exec_unit(store, unit, &s.gp.phv, &state_in, Some(&mut events))?;
+                for (decs, out, st) in results {
+                    let mut s2 = StagePath {
+                        gp: s.gp.clone(),
+                        stateless_out: s.stateless_out.clone(),
+                        stateful_out: s.stateful_out.clone(),
+                    };
+                    s2.gp.decisions.extend(decs);
+                    s2.stateful_out.push(out);
+                    s2.gp.state[si][slot] = st;
+                    next_sub.push(s2);
+                }
+                if next_sub.len() > MAX_PATHS {
+                    return None;
+                }
+            }
+            sub = next_sub;
+            if let Some(sink) = decided_sink.as_deref_mut() {
+                sink.extend(events.into_iter().map(|taken| DecidedRelop {
+                    stage: si as u32,
+                    slot: slot as u32,
+                    stateful: true,
+                    taken,
+                }));
+            }
+        }
+
+        // Output multiplexers: 0 pass-through, 1..=w stateless, else
+        // stateful — identical to the concrete and abstract pipelines.
+        for s in &mut sub {
+            let mut next = s.gp.phv.clone();
+            for (c, out) in next.iter_mut().enumerate() {
+                let sel = stage.output_selection(c);
+                if (1..=width).contains(&sel) {
+                    *out = s.stateless_out[sel - 1];
+                } else if sel > width {
+                    *out = s.stateful_out[sel - 1 - width];
+                }
+            }
+            s.gp.phv = next;
+        }
+        paths = sub.into_iter().map(|s| s.gp).collect();
+    }
+
+    Some(
+        paths
+            .into_iter()
+            .map(|gp| (gp.decisions, flatten(&gp.phv, &gp.state)))
+            .collect(),
+    )
+}
+
+/// Fused symbolic execution: the whole register program in one path
+/// space, state windows seeded from the entry symbols and read back at
+/// the end.
+fn sym_run_fused(
+    store: &mut TermStore,
+    fp: &FusedPipeline,
+    phv0: &[TermId],
+    state0: &[Vec<Vec<TermId>>],
+) -> Option<Vec<(Vec<Decision>, Vec<TermId>)>> {
+    let phv_len = fp.phv_len();
+    let zero = store.konst(0);
+    let mut frame = vec![zero; fp.frame_len()];
+    frame[..phv_len].copy_from_slice(phv0);
+    for (si, row) in fp.state_regs().iter().enumerate() {
+        for (slot, &(first, count)) in row.iter().enumerate() {
+            for v in 0..count as usize {
+                frame[first as usize + v] = state0[si][slot][v];
+            }
+        }
+    }
+
+    struct P {
+        pc: usize,
+        frame: Vec<TermId>,
+        decisions: Vec<Decision>,
+    }
+    let instrs = fp.instrs();
+    let mut work = vec![P {
+        pc: 0,
+        frame,
+        decisions: Vec::new(),
+    }];
+    let mut out = Vec::new();
+    let mut steps = 0usize;
+    while let Some(mut p) = work.pop() {
+        loop {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return None;
+            }
+            let Some(instr) = instrs.get(p.pc) else {
+                // End of program: read the observables back out.
+                let phv = p.frame[..phv_len].to_vec();
+                let state: Vec<Vec<Vec<TermId>>> = fp
+                    .state_regs()
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|&(first, count)| {
+                                (0..count as usize)
+                                    .map(|v| p.frame[first as usize + v])
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                out.push((p.decisions, flatten(&phv, &state)));
+                break;
+            };
+            let branch =
+                |store: &mut TermStore, p: &mut P, work: &mut Vec<P>, cond: TermId, target: u32| {
+                    match store.truth(cond) {
+                        Tri::True => p.pc += 1,
+                        Tri::False => p.pc = target as usize,
+                        Tri::Unknown => {
+                            let mut jumped = P {
+                                pc: target as usize,
+                                frame: p.frame.clone(),
+                                decisions: p.decisions.clone(),
+                            };
+                            jumped.decisions.push((cond, false));
+                            work.push(jumped);
+                            p.decisions.push((cond, true));
+                            p.pc += 1;
+                        }
+                    }
+                };
+            match *instr {
+                FusedInstr::Const { dst, v } => {
+                    p.frame[dst as usize] = store.konst(v);
+                    p.pc += 1;
+                }
+                FusedInstr::Copy { dst, src } => {
+                    p.frame[dst as usize] = p.frame[src as usize];
+                    p.pc += 1;
+                }
+                FusedInstr::Bin { op, dst, l, r } => {
+                    let t = store.bin(op, p.frame[l as usize], p.frame[r as usize]);
+                    p.frame[dst as usize] = t;
+                    p.pc += 1;
+                }
+                FusedInstr::BinImm { op, dst, l, imm } => {
+                    let i = store.konst(imm);
+                    let t = store.bin(op, p.frame[l as usize], i);
+                    p.frame[dst as usize] = t;
+                    p.pc += 1;
+                }
+                FusedInstr::Un { op, dst, src } => {
+                    let t = store.un(op, p.frame[src as usize]);
+                    p.frame[dst as usize] = t;
+                    p.pc += 1;
+                }
+                FusedInstr::JumpIfZero { src, target } => {
+                    let cond = p.frame[src as usize];
+                    branch(store, &mut p, &mut work, cond, target);
+                }
+                FusedInstr::CmpJumpIfZero { op, l, r, target } => {
+                    let cond = store.bin(op, p.frame[l as usize], p.frame[r as usize]);
+                    branch(store, &mut p, &mut work, cond, target);
+                }
+                FusedInstr::CmpImmJumpIfZero { op, l, imm, target } => {
+                    let i = store.konst(imm);
+                    let cond = store.bin(op, p.frame[l as usize], i);
+                    branch(store, &mut p, &mut work, cond, target);
+                }
+                FusedInstr::Jump { target } => p.pc = target as usize,
+            }
+        }
+        if out.len() + work.len() > MAX_PATHS {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Validation, equivalence, lints
+// ---------------------------------------------------------------------
+
+/// Render a Domino comparison site.
+fn domino_site(cfg: &druzhba_core::PipelineConfig, index: usize, n_state: usize) -> String {
+    if index < cfg.phv_length {
+        return format!("container[{index}]");
+    }
+    let flat = index - cfg.phv_length;
+    let per_stage = cfg.width * n_state;
+    let stage = flat / per_stage;
+    let slot = (flat % per_stage) / n_state.max(1);
+    let var = flat % n_state.max(1);
+    format!("state[{stage}][{slot}][{var}]")
+}
+
+/// Compare two transfer functions site by site, extending `residuals`
+/// and returning a refutation if any pair of terms is provably disjoint.
+fn compare_transfers(
+    store: &TermStore,
+    cfg: &druzhba_core::PipelineConfig,
+    n_state: usize,
+    level: &'static str,
+    src: &SymTransfer,
+    cmp: &SymTransfer,
+    residuals: &mut Vec<SymbolicResidual>,
+) -> Option<SymbolicVerdict> {
+    let a = flatten(&src.phv, &src.state);
+    let b = flatten(&cmp.phv, &cmp.state);
+    for (i, (&ta, &tb)) in a.iter().zip(&b).enumerate() {
+        if ta == tb {
+            continue;
+        }
+        let site = domino_site(cfg, i, n_state);
+        if store.abs(ta).is_disjoint(store.abs(tb)) {
+            // Disjoint abstractions: *every* valuation is a witness.
+            let va = store.eval(ta, &|_| 0);
+            let vb = store.eval(tb, &|_| 0);
+            debug_assert_ne!(va, vb, "disjoint terms must differ under zeros");
+            if va != vb {
+                return Some(SymbolicVerdict::Refuted {
+                    level,
+                    site,
+                    cex: vec![0; cfg.phv_length],
+                });
+            }
+        }
+        residuals.push(SymbolicResidual { level, site });
+    }
+    None
+}
+
+/// Symbolically validate one compiled backend against the Unoptimized
+/// reference semantics.
+pub fn symbolic_validate_level(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    level: OptLevel,
+) -> SymbolicVerdict {
+    validate_levels(spec, mc, &[level])
+}
+
+/// Symbolically validate every compiled backend (`Scc`, `SccInline`,
+/// `Fused`) against the Unoptimized reference semantics: `Proved` means
+/// each observable container and stateful variable carries an identical
+/// canonical term — equivalence on all packets and all states, no
+/// packets executed.
+pub fn symbolic_validate(spec: &PipelineSpec, mc: &MachineCode) -> SymbolicVerdict {
+    validate_levels(
+        spec,
+        mc,
+        &[OptLevel::Scc, OptLevel::SccInline, OptLevel::Fused],
+    )
+}
+
+fn validate_levels(spec: &PipelineSpec, mc: &MachineCode, levels: &[OptLevel]) -> SymbolicVerdict {
+    let mut store = TermStore::new();
+    let cfg = spec.config;
+    let n_state = spec.stateful_alu.state_vars.len();
+    let Some(src) = symbolic_transfer(&mut store, spec, mc, OptLevel::Unoptimized) else {
+        return SymbolicVerdict::Unknown {
+            residuals: vec![SymbolicResidual {
+                level: OptLevel::Unoptimized.key(),
+                site: "<source not symbolically executable>".into(),
+            }],
+        };
+    };
+    let mut residuals = Vec::new();
+    for &level in levels {
+        let Some(cmp) = symbolic_transfer(&mut store, spec, mc, level) else {
+            residuals.push(SymbolicResidual {
+                level: level.key(),
+                site: "<backend not symbolically executable>".into(),
+            });
+            continue;
+        };
+        if let Some(refuted) = compare_transfers(
+            &store,
+            &cfg,
+            n_state,
+            level.key(),
+            &src,
+            &cmp,
+            &mut residuals,
+        ) {
+            return refuted;
+        }
+    }
+    if residuals.is_empty() {
+        SymbolicVerdict::Proved
+    } else {
+        SymbolicVerdict::Unknown { residuals }
+    }
+}
+
+/// Prove two machine codes equivalent under the shared pipeline spec by
+/// comparing their Unoptimized symbolic transfer functions in one store.
+/// `Some(true)` is a *proof* of equivalence on all packets and states;
+/// `Some(false)` means the canonical forms differ (the `symbolic` static
+/// flag); `None` means an executor bailed.
+pub fn symbolic_equivalent(spec: &PipelineSpec, a: &MachineCode, b: &MachineCode) -> Option<bool> {
+    let mut store = TermStore::new();
+    let ta = symbolic_transfer(&mut store, spec, a, OptLevel::Unoptimized)?;
+    let tb = symbolic_transfer(&mut store, spec, b, OptLevel::Unoptimized)?;
+    Some(ta == tb)
+}
+
+/// Lints derived from symbolic facts about the Unoptimized transfer
+/// function: constant-output containers, state updates independent of
+/// packet input, and source rel-ops whose outcome is decided for every
+/// packet. Deterministic (sorted, deduped); empty if the executor bails.
+pub fn symbolic_lints(spec: &PipelineSpec, mc: &MachineCode) -> Vec<LintRecord> {
+    let mut store = TermStore::new();
+    let mut decided = Vec::new();
+    let Some(tr) = sym_run_level(
+        &mut store,
+        spec,
+        mc,
+        OptLevel::Unoptimized,
+        Some(&mut decided),
+    ) else {
+        return Vec::new();
+    };
+    let cfg = spec.config;
+    let mut out = Vec::new();
+
+    for (c, &t) in tr.phv.iter().enumerate() {
+        if let Some(v) = store.as_const(t) {
+            out.push(LintRecord {
+                stage: cfg.depth as u32,
+                pc: c as u32,
+                code: "constant-output",
+                message: format!(
+                    "container {c} leaves the pipeline holding the constant {v} for every packet"
+                ),
+            });
+        }
+    }
+
+    for (si, row) in tr.state.iter().enumerate() {
+        for (slot, vars) in row.iter().enumerate() {
+            for (var, &t) in vars.iter().enumerate() {
+                let init = store.sym(
+                    Sym::State {
+                        stage: si as u32,
+                        slot: slot as u32,
+                        var: var as u32,
+                    },
+                    AbsVal::top(),
+                );
+                if t != init && !store.depends_on_phv(t) {
+                    out.push(LintRecord {
+                        stage: si as u32,
+                        pc: (1 << 15) | ((slot as u32) << 8) | (var as u32 & 0xFF),
+                        code: "input-independent-write",
+                        message: format!(
+                            "state[{si}][{slot}][{var}] is updated without reading any \
+                             packet input"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let events: BTreeSet<DecidedRelop> = decided.into_iter().collect();
+    for e in events {
+        out.push(LintRecord {
+            stage: e.stage,
+            pc: (u32::from(e.stateful) << 15) | (e.slot << 8),
+            code: "always-taken-relop",
+            message: format!(
+                "{} ALU slot {} has a rel-op condition that is {} for every packet",
+                if e.stateful { "stateful" } else { "stateless" },
+                e.slot,
+                if e.taken {
+                    "always true"
+                } else {
+                    "always false"
+                }
+            ),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The P4 stack: HLIR match-action semantics vs the lowered fused
+// MatInstr program.
+// ---------------------------------------------------------------------
+
+use druzhba_dgen::mat::{MatInstr, MatPipeline, Src};
+use druzhba_p4::ast::{ActionArg, MatchKind, Primitive};
+use druzhba_p4::hlir::Hlir;
+use druzhba_p4::lower::RmtLowering;
+use druzhba_p4::tables::{bind, TableEntry};
+
+/// Longest register-select chain built for a non-constant index before
+/// the executor bails.
+const MAX_REG_SELECT: usize = 256;
+
+/// Register read with hardware semantics (`idx >= len` reads 0). A
+/// non-constant index builds a select chain; both P4 executors share
+/// this helper so their terms align.
+fn reg_read_term(
+    store: &mut TermStore,
+    regs: &[TermId],
+    base: usize,
+    len: usize,
+    idx: TermId,
+) -> Option<TermId> {
+    if let Some(i) = store.as_const(idx) {
+        return Some(if (i as usize) < len {
+            regs[base + i as usize]
+        } else {
+            store.konst(0)
+        });
+    }
+    if len > MAX_REG_SELECT {
+        return None;
+    }
+    let mut acc = store.konst(0);
+    for i in (0..len).rev() {
+        let iv = store.konst(i as Value);
+        let hit = store.bin(druzhba_alu_dsl::ast::BinOp::Eq, idx, iv);
+        acc = store.ite(hit, regs[base + i], acc);
+    }
+    Some(acc)
+}
+
+/// Register write (`idx >= len` drops the write); select-guarded per
+/// cell for a non-constant index.
+fn reg_write_term(
+    store: &mut TermStore,
+    regs: &mut [TermId],
+    base: usize,
+    len: usize,
+    idx: TermId,
+    v: TermId,
+) -> Option<()> {
+    if let Some(i) = store.as_const(idx) {
+        if (i as usize) < len {
+            regs[base + i as usize] = v;
+        }
+        return Some(());
+    }
+    if len > MAX_REG_SELECT {
+        return None;
+    }
+    for i in 0..len {
+        let iv = store.konst(i as Value);
+        let hit = store.bin(druzhba_alu_dsl::ast::BinOp::Eq, idx, iv);
+        regs[base + i] = store.ite(hit, v, regs[base + i]);
+    }
+    Some(())
+}
+
+/// A resolved match pattern over containers, pre-masked / pre-shifted
+/// exactly like the lowering (`mat.rs::resolve_entry`). Always-matching
+/// patterns (zero-length LPM prefixes) are dropped during resolution,
+/// mirroring `compile_table` emitting no instruction for them.
+#[derive(Clone, Copy)]
+enum SymPat {
+    Exact {
+        slot: usize,
+        value: Value,
+    },
+    Ternary {
+        slot: usize,
+        value: Value,
+        mask: Value,
+    },
+    Lpm {
+        slot: usize,
+        value: Value,
+        shift: u32,
+    },
+}
+
+/// A resolved action primitive over containers and flat register cells
+/// (counters are unobservable and resolve away; `no_op` is the dead
+/// self-copy the lowering also skips).
+#[derive(Clone, Copy)]
+enum SymOp {
+    Set {
+        dst: usize,
+        src: Src,
+    },
+    Add {
+        dst: usize,
+        src: Src,
+    },
+    Sub {
+        dst: usize,
+        src: Src,
+    },
+    RegRead {
+        dst: usize,
+        base: usize,
+        len: usize,
+        idx: Src,
+    },
+    RegWrite {
+        base: usize,
+        len: usize,
+        idx: Src,
+        src: Src,
+    },
+}
+
+struct SymEntry {
+    patterns: Vec<SymPat>,
+    ops: Vec<SymOp>,
+}
+
+struct SymTable {
+    entries: Vec<SymEntry>,
+    default_ops: Option<Vec<SymOp>>,
+}
+
+/// Flat register layout mirror of `mat.rs::StateLayout`: declaration
+/// order, cumulative bases.
+fn reg_layout(hlir: &Hlir) -> (Vec<(String, usize, usize)>, usize) {
+    let mut decls = Vec::new();
+    let mut next = 0;
+    for r in &hlir.program.registers {
+        let len = r.instance_count as usize;
+        decls.push((r.name.clone(), next, len));
+        next += len;
+    }
+    (decls, next)
+}
+
+/// Resolve the program into per-stage symbolic tables, mirroring
+/// `resolve_stages`: guard-false tables eliminated, LPM entries sorted
+/// (total prefix desc, priority asc), patterns pre-masked/pre-shifted,
+/// entry arguments folded into the action ops.
+fn resolve_sym_stages(
+    hlir: &Hlir,
+    entries: &[TableEntry],
+    lowering: &RmtLowering,
+) -> Option<Vec<Vec<SymTable>>> {
+    let tables = bind(hlir, entries).ok()?;
+    let layout = &lowering.layout;
+    let (reg_decls, _) = reg_layout(hlir);
+    let reg_of = |name: &str| -> Option<(usize, usize)> {
+        reg_decls
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, base, len)| (base, len))
+    };
+    let drop_slot = layout.drop_flag();
+
+    let resolve_ops = |action_name: &str, args: &[Value]| -> Option<Vec<SymOp>> {
+        let action = hlir.program.action(action_name)?;
+        let src_of = |arg: &ActionArg| -> Option<Src> {
+            Some(match arg {
+                ActionArg::Const(v) => Src::Const(*v),
+                ActionArg::Field(f) => Src::Slot(layout.container(f)?),
+                ActionArg::Param(p) => {
+                    let idx = action.params.iter().position(|q| q == p);
+                    Src::Const(idx.and_then(|i| args.get(i)).copied().unwrap_or(0))
+                }
+                ActionArg::Stateful(_) => Src::Const(0),
+            })
+        };
+        let mut ops = Vec::new();
+        for prim in &action.body {
+            match prim {
+                Primitive::ModifyField { dst, src } => ops.push(SymOp::Set {
+                    dst: layout.container(dst)?,
+                    src: src_of(src)?,
+                }),
+                Primitive::AddToField { dst, src } => ops.push(SymOp::Add {
+                    dst: layout.container(dst)?,
+                    src: src_of(src)?,
+                }),
+                Primitive::SubtractFromField { dst, src } => ops.push(SymOp::Sub {
+                    dst: layout.container(dst)?,
+                    src: src_of(src)?,
+                }),
+                Primitive::RegisterRead {
+                    dst,
+                    register,
+                    index,
+                } => {
+                    let (base, len) = reg_of(register)?;
+                    ops.push(SymOp::RegRead {
+                        dst: layout.container(dst)?,
+                        base,
+                        len,
+                        idx: src_of(index)?,
+                    });
+                }
+                Primitive::RegisterWrite {
+                    register,
+                    index,
+                    src,
+                } => {
+                    let (base, len) = reg_of(register)?;
+                    ops.push(SymOp::RegWrite {
+                        base,
+                        len,
+                        idx: src_of(index)?,
+                        src: src_of(src)?,
+                    });
+                }
+                Primitive::Count { .. } => {}
+                Primitive::Drop => ops.push(SymOp::Set {
+                    dst: drop_slot,
+                    src: Src::Const(1),
+                }),
+                Primitive::NoOp => {}
+            }
+        }
+        Some(ops)
+    };
+
+    let mut stages = Vec::with_capacity(lowering.num_stages());
+    for table_indices in &lowering.stages {
+        let mut stage = Vec::new();
+        for &t in table_indices {
+            let info = &hlir.tables[t];
+            let guard_ok = info
+                .guards
+                .iter()
+                .all(|(h, pol)| hlir.header_valid(h) == *pol);
+            if !guard_ok {
+                continue;
+            }
+            let rt = tables.table(t);
+            let mut order: Vec<usize> = (0..rt.entries.len()).collect();
+            if rt.has_lpm {
+                order.sort_by(|&a, &b| {
+                    rt.entries[b]
+                        .lpm_score
+                        .cmp(&rt.entries[a].lpm_score)
+                        .then(a.cmp(&b))
+                });
+            }
+            let mut sym_entries = Vec::with_capacity(order.len());
+            for &ei in &order {
+                let e = &rt.entries[ei];
+                let mut patterns = Vec::new();
+                for p in &e.patterns {
+                    let slot = layout.container(&p.field)?;
+                    match p.kind {
+                        MatchKind::Exact => patterns.push(SymPat::Exact {
+                            slot,
+                            value: p.value,
+                        }),
+                        MatchKind::Ternary => {
+                            let mask = p.qualifier.unwrap_or(Value::MAX);
+                            patterns.push(SymPat::Ternary {
+                                slot,
+                                value: p.value & mask,
+                                mask,
+                            });
+                        }
+                        MatchKind::Lpm => {
+                            let len = p.lpm_len();
+                            let shift = p.width - len;
+                            if len > 0 && shift < 32 {
+                                patterns.push(SymPat::Lpm {
+                                    slot,
+                                    value: p.value >> shift,
+                                    shift,
+                                });
+                            }
+                        }
+                    }
+                }
+                sym_entries.push(SymEntry {
+                    patterns,
+                    ops: resolve_ops(&e.action, &e.args)?,
+                });
+            }
+            let default_ops = match &rt.default_action {
+                Some(name) => Some(resolve_ops(name, &[])?),
+                None => None,
+            };
+            stage.push(SymTable {
+                entries: sym_entries,
+                default_ops,
+            });
+        }
+        stages.push(stage);
+    }
+    Some(stages)
+}
+
+/// One in-flight path through the P4 pipeline (either executor).
+#[derive(Clone)]
+struct P4Path {
+    frame: Vec<TermId>,
+    snap: Vec<TermId>,
+    regs: Vec<TermId>,
+    decisions: Vec<Decision>,
+}
+
+impl P4Path {
+    fn observables(&self) -> Vec<TermId> {
+        let mut v = self.frame.clone();
+        v.extend_from_slice(&self.regs);
+        v
+    }
+}
+
+fn p4_src_term(store: &mut TermStore, frame: &[TermId], src: Src) -> TermId {
+    match src {
+        Src::Slot(i) => frame[i],
+        Src::Const(v) => store.konst(v),
+    }
+}
+
+fn p4_apply_op(store: &mut TermStore, p: &mut P4Path, op: SymOp) -> Option<()> {
+    use druzhba_alu_dsl::ast::BinOp;
+    match op {
+        SymOp::Set { dst, src } => p.frame[dst] = p4_src_term(store, &p.frame, src),
+        SymOp::Add { dst, src } => {
+            let v = p4_src_term(store, &p.frame, src);
+            p.frame[dst] = store.bin(BinOp::Add, p.frame[dst], v);
+        }
+        SymOp::Sub { dst, src } => {
+            let v = p4_src_term(store, &p.frame, src);
+            p.frame[dst] = store.bin(BinOp::Sub, p.frame[dst], v);
+        }
+        SymOp::RegRead {
+            dst,
+            base,
+            len,
+            idx,
+        } => {
+            let i = p4_src_term(store, &p.frame, idx);
+            p.frame[dst] = reg_read_term(store, &p.regs, base, len, i)?;
+        }
+        SymOp::RegWrite {
+            base,
+            len,
+            idx,
+            src,
+        } => {
+            let i = p4_src_term(store, &p.frame, idx);
+            let v = p4_src_term(store, &p.frame, src);
+            reg_write_term(store, &mut p.regs, base, len, i, v)?;
+        }
+    }
+    Some(())
+}
+
+/// The match condition of one pattern against the stage snapshot, built
+/// in the exact shape both executors share.
+fn pattern_cond(store: &mut TermStore, snap: &[TermId], pat: SymPat) -> TermId {
+    use druzhba_alu_dsl::ast::BinOp;
+    match pat {
+        SymPat::Exact { slot, value } => {
+            let v = store.konst(value);
+            store.bin(BinOp::Eq, snap[slot], v)
+        }
+        SymPat::Ternary { slot, value, mask } => {
+            let m = store.konst(mask);
+            let masked = store.bit_and(snap[slot], m);
+            let v = store.konst(value);
+            store.bin(BinOp::Eq, masked, v)
+        }
+        SymPat::Lpm { slot, value, shift } => {
+            let shifted = store.shr(snap[slot], shift);
+            let v = store.konst(value);
+            store.bin(BinOp::Eq, shifted, v)
+        }
+    }
+}
+
+/// Symbolically execute the source semantics: stages in order (snapshot
+/// at each boundary), tables in control order within a stage, entries
+/// first-hit in resolved order (≡ longest-prefix for LPM tables), the
+/// hit entry's action on the live frame.
+fn sym_run_hlir(
+    store: &mut TermStore,
+    stages: &[Vec<SymTable>],
+    entry_path: P4Path,
+) -> Option<Vec<(Vec<Decision>, Vec<TermId>)>> {
+    let mut paths = vec![entry_path];
+    for stage in stages {
+        for p in &mut paths {
+            p.snap.copy_from_slice(&p.frame);
+        }
+        for table in stage {
+            let mut done = Vec::new();
+            // (path, entry index, pattern index) — first-hit scan.
+            let mut work: Vec<(P4Path, usize, usize)> =
+                paths.drain(..).map(|p| (p, 0, 0)).collect();
+            while let Some((mut p, e, k)) = work.pop() {
+                let Some(entry) = table.entries.get(e) else {
+                    // Every entry missed: default action (if any).
+                    if let Some(ops) = &table.default_ops {
+                        for &op in ops {
+                            p4_apply_op(store, &mut p, op)?;
+                        }
+                    }
+                    done.push(p);
+                    continue;
+                };
+                let Some(&pat) = entry.patterns.get(k) else {
+                    // Hit: run the action, skip the rest of the table.
+                    for &op in &entry.ops {
+                        p4_apply_op(store, &mut p, op)?;
+                    }
+                    done.push(p);
+                    continue;
+                };
+                let cond = pattern_cond(store, &p.snap, pat);
+                match store.truth(cond) {
+                    Tri::True => work.push((p, e, k + 1)),
+                    Tri::False => work.push((p, e + 1, 0)),
+                    Tri::Unknown => {
+                        let mut hit = p.clone();
+                        hit.decisions.push((cond, true));
+                        work.push((hit, e, k + 1));
+                        p.decisions.push((cond, false));
+                        work.push((p, e + 1, 0));
+                    }
+                }
+                if done.len() + work.len() > MAX_PATHS {
+                    return None;
+                }
+            }
+            paths = done;
+        }
+    }
+    Some(
+        paths
+            .into_iter()
+            .map(|p| (p.observables(), p))
+            .map(|(o, p)| (p.decisions, o))
+            .collect(),
+    )
+}
+
+/// Symbolically execute the lowered fused `MatInstr` program.
+fn sym_run_mat(
+    store: &mut TermStore,
+    prog: &[MatInstr],
+    entry_path: P4Path,
+) -> Option<Vec<(Vec<Decision>, Vec<TermId>)>> {
+    let mut work = vec![(entry_path, 0usize)];
+    let mut out = Vec::new();
+    let mut steps = 0usize;
+    while let Some((mut p, mut pc)) = work.pop() {
+        loop {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return None;
+            }
+            let Some(instr) = prog.get(pc) else {
+                let obs = p.observables();
+                out.push((p.decisions, obs));
+                break;
+            };
+            match *instr {
+                MatInstr::Snapshot => {
+                    p.snap.copy_from_slice(&p.frame);
+                    pc += 1;
+                }
+                MatInstr::CmpExact { slot, value, miss } => {
+                    let cond = pattern_cond(store, &p.snap, SymPat::Exact { slot, value });
+                    match store.truth(cond) {
+                        Tri::True => pc += 1,
+                        Tri::False => pc = miss,
+                        Tri::Unknown => {
+                            let mut missed = p.clone();
+                            missed.decisions.push((cond, false));
+                            work.push((missed, miss));
+                            p.decisions.push((cond, true));
+                            pc += 1;
+                        }
+                    }
+                }
+                MatInstr::CmpTernary {
+                    slot,
+                    value,
+                    mask,
+                    miss,
+                } => {
+                    let cond = pattern_cond(store, &p.snap, SymPat::Ternary { slot, value, mask });
+                    match store.truth(cond) {
+                        Tri::True => pc += 1,
+                        Tri::False => pc = miss,
+                        Tri::Unknown => {
+                            let mut missed = p.clone();
+                            missed.decisions.push((cond, false));
+                            work.push((missed, miss));
+                            p.decisions.push((cond, true));
+                            pc += 1;
+                        }
+                    }
+                }
+                MatInstr::CmpLpm {
+                    slot,
+                    value,
+                    shift,
+                    miss,
+                } => {
+                    let cond = pattern_cond(store, &p.snap, SymPat::Lpm { slot, value, shift });
+                    match store.truth(cond) {
+                        Tri::True => pc += 1,
+                        Tri::False => pc = miss,
+                        Tri::Unknown => {
+                            let mut missed = p.clone();
+                            missed.decisions.push((cond, false));
+                            work.push((missed, miss));
+                            p.decisions.push((cond, true));
+                            pc += 1;
+                        }
+                    }
+                }
+                MatInstr::Jump { target } => pc = target,
+                MatInstr::Set { dst, src } => {
+                    p.frame[dst] = p4_src_term(store, &p.frame, src);
+                    pc += 1;
+                }
+                MatInstr::Add { dst, src } => {
+                    let v = p4_src_term(store, &p.frame, src);
+                    p.frame[dst] = store.bin(druzhba_alu_dsl::ast::BinOp::Add, p.frame[dst], v);
+                    pc += 1;
+                }
+                MatInstr::Sub { dst, src } => {
+                    let v = p4_src_term(store, &p.frame, src);
+                    p.frame[dst] = store.bin(druzhba_alu_dsl::ast::BinOp::Sub, p.frame[dst], v);
+                    pc += 1;
+                }
+                MatInstr::RegRead {
+                    dst,
+                    base,
+                    len,
+                    idx,
+                } => {
+                    let i = p4_src_term(store, &p.frame, idx);
+                    p.frame[dst] = reg_read_term(store, &p.regs, base, len, i)?;
+                    pc += 1;
+                }
+                MatInstr::RegWrite {
+                    base,
+                    len,
+                    idx,
+                    src,
+                } => {
+                    let i = p4_src_term(store, &p.frame, idx);
+                    let v = p4_src_term(store, &p.frame, src);
+                    reg_write_term(store, &mut p.regs, base, len, i, v)?;
+                    pc += 1;
+                }
+                MatInstr::Count { .. } => pc += 1,
+            }
+        }
+        if out.len() + work.len() > MAX_PATHS {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// The shared P4 entry state: container symbols with the abstract-input
+/// widths (metadata folds to 0), zero drop flag, register-cell symbols.
+fn p4_entry_path(store: &mut TermStore, hlir: &Hlir, lowering: &RmtLowering) -> P4Path {
+    let layout = &lowering.layout;
+    let phv_len = layout.phv_length();
+    let input = crate::p4::abstract_input(hlir, lowering);
+    let mut frame = vec![store.konst(0); phv_len];
+    for (f, abs) in &input {
+        if let Some(c) = layout.container(f) {
+            frame[c] = store.sym(Sym::Phv(c as u32), *abs);
+        }
+    }
+    let (_, total_regs) = reg_layout(hlir);
+    let regs: Vec<TermId> = (0..total_regs)
+        .map(|i| store.sym(Sym::RegCell(i as u32), AbsVal::top()))
+        .collect();
+    P4Path {
+        snap: frame.clone(),
+        frame,
+        regs,
+        decisions: Vec::new(),
+    }
+}
+
+/// Render a P4 comparison site: field name, `drop`, or register cell.
+fn p4_site(hlir: &Hlir, lowering: &RmtLowering, index: usize) -> String {
+    let layout = &lowering.layout;
+    let phv_len = layout.phv_length();
+    if index < phv_len {
+        if index == layout.drop_flag() {
+            return "drop".to_string();
+        }
+        for (f, _) in layout.fields() {
+            if layout.container(f) == Some(index) {
+                return f.to_string();
+            }
+        }
+        return format!("container[{index}]");
+    }
+    let mut flat = index - phv_len;
+    for (name, _, len) in reg_layout(hlir).0 {
+        if flat < len {
+            return format!("{name}[{flat}]");
+        }
+        flat -= len;
+    }
+    format!("reg[{flat}]")
+}
+
+/// Symbolically validate the lowered fused `MatInstr` program against
+/// the HLIR match-action semantics: `Proved` means every output field,
+/// the drop flag, and every register cell carry identical canonical
+/// terms over symbolic packets *and* symbolic pre-states.
+pub fn p4_symbolic_validate(
+    hlir: &Hlir,
+    entries: &[TableEntry],
+    lowering: &RmtLowering,
+) -> SymbolicVerdict {
+    let unknown = |site: &str| SymbolicVerdict::Unknown {
+        residuals: vec![SymbolicResidual {
+            level: "mat",
+            site: site.to_string(),
+        }],
+    };
+    let Some(stages) = resolve_sym_stages(hlir, entries, lowering) else {
+        return unknown("<entries not bindable>");
+    };
+    let mut store = TermStore::new();
+    let entry_path = p4_entry_path(&mut store, hlir, lowering);
+    let Some(src_paths) = sym_run_hlir(&mut store, &stages, entry_path.clone()) else {
+        return unknown("<source not symbolically executable>");
+    };
+    let Some(src) = merge_paths(&mut store, &src_paths) else {
+        return unknown("<source paths not mergeable>");
+    };
+    let Ok(mat) = MatPipeline::generate(hlir, entries, lowering, OptLevel::Fused) else {
+        return unknown("<fused backend not generatable>");
+    };
+    let prog = mat
+        .fused_program()
+        .expect("fused level exposes its program");
+    let Some(cmp_paths) = sym_run_mat(&mut store, prog, entry_path) else {
+        return unknown("<backend not symbolically executable>");
+    };
+    let Some(cmp) = merge_paths(&mut store, &cmp_paths) else {
+        return unknown("<backend paths not mergeable>");
+    };
+
+    let mut residuals = Vec::new();
+    for (i, (&ta, &tb)) in src.iter().zip(&cmp).enumerate() {
+        if ta == tb {
+            continue;
+        }
+        let site = p4_site(hlir, lowering, i);
+        if store.abs(ta).is_disjoint(store.abs(tb)) {
+            let va = store.eval(ta, &|_| 0);
+            let vb = store.eval(tb, &|_| 0);
+            if va != vb {
+                return SymbolicVerdict::Refuted {
+                    level: "mat",
+                    site,
+                    cex: vec![0; lowering.layout.phv_length()],
+                };
+            }
+        }
+        residuals.push(SymbolicResidual { level: "mat", site });
+    }
+    if residuals.is_empty() {
+        SymbolicVerdict::Proved
+    } else {
+        SymbolicVerdict::Unknown { residuals }
+    }
+}
+
+/// Decide whether two table-entry sets drive the lowered pipeline to the
+/// same transfer function: both fused `MatInstr` programs are executed
+/// from one shared symbolic entry state and their merged observable
+/// terms compared. `Some(true)` is a proof that no packet stream under
+/// any register pre-state can distinguish the two entry sets —
+/// mutation-hunt screening uses it to discard equivalent mutants without
+/// spending probe executions. `None` means an executor bailed (path
+/// explosion, unmergeable decisions) and the caller must fall back to
+/// concrete probing.
+pub fn p4_symbolic_entries_equivalent(
+    hlir: &Hlir,
+    entries_a: &[TableEntry],
+    entries_b: &[TableEntry],
+    lowering: &RmtLowering,
+) -> Option<bool> {
+    let mut store = TermStore::new();
+    let entry_path = p4_entry_path(&mut store, hlir, lowering);
+    let mut transfer = |entries: &[TableEntry]| -> Option<Vec<TermId>> {
+        let mat = MatPipeline::generate(hlir, entries, lowering, OptLevel::Fused).ok()?;
+        let prog = mat
+            .fused_program()
+            .expect("fused level exposes its program");
+        let paths = sym_run_mat(&mut store, prog, entry_path.clone())?;
+        merge_paths(&mut store, &paths)
+    };
+    let ta = transfer(entries_a)?;
+    let tb = transfer(entries_b)?;
+    Some(ta == tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use druzhba_programs::PROGRAMS;
+
+    #[test]
+    fn corpus_symbolic_validation_proves_every_backend() {
+        for def in &PROGRAMS {
+            let compiled = def.compile_cached().expect("corpus compiles");
+            let verdict = symbolic_validate(&compiled.pipeline_spec, &compiled.machine_code);
+            assert_eq!(
+                verdict,
+                SymbolicVerdict::Proved,
+                "{}: expected a proof of backend equivalence",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn p4_corpus_symbolic_validation_proves_lowered_program() {
+        for def in &druzhba_programs::P4_PROGRAMS {
+            let w = def.workload().expect("corpus lowers");
+            let verdict = p4_symbolic_validate(&w.hlir, &w.entries, &w.lowering);
+            assert_eq!(
+                verdict,
+                SymbolicVerdict::Proved,
+                "{}: expected a proof of lowering equivalence",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn program_is_symbolically_equivalent_to_itself() {
+        for def in &PROGRAMS {
+            let compiled = def.compile_cached().expect("corpus compiles");
+            assert_eq!(
+                symbolic_equivalent(
+                    &compiled.pipeline_spec,
+                    &compiled.machine_code,
+                    &compiled.machine_code
+                ),
+                Some(true),
+                "{}: a program must be proven equal to itself",
+                def.name
+            );
+        }
+    }
+}

@@ -12,8 +12,8 @@
 use std::fmt::Write as _;
 
 use druzhba_analysis::{
-    p4_translation_validate, proven_dead_edges, screen, translation_validate, AbsVal, LintRecord,
-    Screened, TvSite,
+    p4_symbolic_validate, p4_translation_validate, proven_dead_edges, screen, symbolic_lints,
+    symbolic_validate, translation_validate, AbsVal, LintRecord, Screened, SymbolicVerdict, TvSite,
 };
 use druzhba_core::diag::{sort_diagnostics, Diagnostic, Severity};
 use druzhba_dgen::OptLevel;
@@ -25,6 +25,9 @@ use druzhba_programs::{P4ProgramDef, ProgramDef, P4_PROGRAMS, PROGRAMS};
 fn severity_of(code: &str) -> Severity {
     match code {
         "lpm-always-match" => Severity::Note,
+        // Symbolic-fact lints describe suspicious-but-legal programs
+        // (the corpus itself trips none); they inform, they don't gate.
+        "constant-output" | "input-independent-write" | "always-taken-relop" => Severity::Note,
         _ => Severity::Warning,
     }
 }
@@ -45,6 +48,12 @@ pub struct ProgramAnalysis {
     /// Conditional-branch coverage edges proven statically unreachable,
     /// per statically-keyed backend (`scc_inline`, `fused`).
     pub proven_dead: Vec<(&'static str, usize)>,
+    /// Known-imprecision list: branch edges the abstraction predicts
+    /// live but a deterministic seeded campaign never hits — candidates
+    /// for sharper transfer functions, not failures. Sorted and deduped.
+    pub imprecision: Vec<String>,
+    /// Symbolic translation-validation verdict (`--symbolic` runs only).
+    pub symbolic: Option<SymbolicVerdict>,
 }
 
 /// Whole-corpus analysis (17 programs: 12 Domino + 5 P4).
@@ -57,6 +66,29 @@ impl CorpusAnalysis {
     /// Total translation-validation mismatches.
     pub fn tv_mismatches(&self) -> usize {
         self.programs.iter().map(|p| p.tv_mismatches.len()).sum()
+    }
+
+    /// Programs whose symbolic validation produced a refutation — a
+    /// proven miscompilation, counted alongside abstract TV mismatches.
+    pub fn symbolic_refutations(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|p| matches!(p.symbolic, Some(SymbolicVerdict::Refuted { .. })))
+            .count()
+    }
+
+    /// The documented `druzhba analyze` exit code (see docs/FUZZING.md):
+    /// `2` when any compiled form provably disagrees with its source
+    /// (abstract TV mismatch or symbolic refutation), `0` for a clean
+    /// corpus or one that only carries lint diagnostics. Operational
+    /// failures (bad arguments, unreadable files) exit `1` via the CLI's
+    /// generic error path and never reach this classification.
+    pub fn exit_code(&self) -> u8 {
+        if self.tv_mismatches() > 0 || self.symbolic_refutations() > 0 {
+            2
+        } else {
+            0
+        }
     }
 
     /// Diagnostics at [`Severity::Warning`] or above.
@@ -94,9 +126,14 @@ impl CorpusAnalysis {
                 .screen
                 .map(|v| format!(", screen: {}", v.label()))
                 .unwrap_or_default();
+            let symbolic = p
+                .symbolic
+                .as_ref()
+                .map(|v| format!(", symbolic: {}", symbolic_label(v)))
+                .unwrap_or_default();
             let _ = writeln!(
                 s,
-                "{} [{}]: {} TV mismatch(es), {} diagnostic(s){screen}",
+                "{} [{}]: {} TV mismatch(es), {} diagnostic(s){screen}{symbolic}",
                 p.name,
                 p.kind,
                 p.tv_mismatches.len(),
@@ -113,6 +150,9 @@ impl CorpusAnalysis {
                     let _ = writeln!(s, "  {n} branch edge(s) proven unreachable at {level}");
                 }
             }
+            for e in &p.imprecision {
+                let _ = writeln!(s, "  imprecision: {e}");
+            }
         }
         let _ = writeln!(
             s,
@@ -122,6 +162,21 @@ impl CorpusAnalysis {
             self.warnings()
         );
         s
+    }
+}
+
+/// One-line rendering of a symbolic verdict for text and JSON output.
+fn symbolic_label(v: &SymbolicVerdict) -> String {
+    match v {
+        SymbolicVerdict::Proved => "proved".to_string(),
+        SymbolicVerdict::Refuted { level, site, .. } => format!("refuted at {site} ({level})"),
+        SymbolicVerdict::Unknown { residuals } => {
+            let sites: Vec<String> = residuals
+                .iter()
+                .map(|r| format!("{} ({})", r.site, r.level))
+                .collect();
+            format!("unknown: {}", sites.join(", "))
+        }
     }
 }
 
@@ -143,7 +198,7 @@ fn program_json(p: &ProgramAnalysis) -> String {
     let tv: Vec<String> = p
         .tv_mismatches
         .iter()
-        .map(|m| format!("\"{}\"", druzhba_core::diag::json_string(m)))
+        .map(|m| druzhba_core::diag::json_string(m))
         .collect();
     let _ = write!(s, "\"tv_mismatches\": [{}], ", tv.join(", "));
     let dead: Vec<String> = p
@@ -152,6 +207,24 @@ fn program_json(p: &ProgramAnalysis) -> String {
         .map(|(level, n)| format!("\"{level}\": {n}"))
         .collect();
     let _ = write!(s, "\"proven_dead_edges\": {{{}}}, ", dead.join(", "));
+    match &p.symbolic {
+        Some(v) => {
+            let _ = write!(
+                s,
+                "\"symbolic\": {}, ",
+                druzhba_core::diag::json_string(&symbolic_label(v))
+            );
+        }
+        None => {
+            let _ = write!(s, "\"symbolic\": null, ");
+        }
+    }
+    let imp: Vec<String> = p
+        .imprecision
+        .iter()
+        .map(|e| druzhba_core::diag::json_string(e))
+        .collect();
+    let _ = write!(s, "\"imprecision\": [{}], ", imp.join(", "));
     let diags: Vec<String> = p
         .diagnostics
         .iter()
@@ -189,12 +262,60 @@ fn render_tv_site(site: TvSite) -> String {
     }
 }
 
-/// Analyze one compiled Domino pipeline (name is only used for labeling).
+/// Known-imprecision list for one compiled Domino pipeline: branch
+/// edges the abstraction predicts live (under the campaign's input
+/// bit-width) that a deterministic seeded campaign never hits. The
+/// campaign shape (bit-widths 10 and 4, statically-keyed levels, 4 seeds
+/// × 256 PHVs) mirrors the greybox cross-check so the two lists agree.
+/// Entries are sorted and deduped; the list is a pure function of the
+/// program.
+fn imprecision_list(
+    spec: &druzhba_dgen::pipeline::PipelineSpec,
+    mc: &druzhba_core::MachineCode,
+) -> Result<Vec<String>, String> {
+    use druzhba_core::coverage::edge_id;
+    let len = spec.config.phv_length;
+    let mut out: Vec<String> = Vec::new();
+    for bits in [10u32, 4] {
+        let input = vec![AbsVal::bits(bits); len];
+        for level in [OptLevel::SccInline, OptLevel::Fused] {
+            let abs = druzhba_analysis::analyze_pipeline(spec, mc, level, &input)
+                .map_err(|e| e.to_string())?;
+            let mut pipeline =
+                druzhba_dgen::Pipeline::generate(spec, mc, level).map_err(|e| e.to_string())?;
+            pipeline.enable_coverage();
+            for seed in 0..4u64 {
+                let trace = druzhba_dsim::TrafficGenerator::new(seed, len, bits).trace(256);
+                for phv in &trace.phvs {
+                    pipeline.process(phv);
+                }
+            }
+            let cov = pipeline.coverage().expect("coverage enabled");
+            for &(site, event, outcome) in &abs.live_edges {
+                let slot = edge_id(site, event, outcome) as usize % 4096;
+                if cov.count(slot) == 0 {
+                    out.push(format!(
+                        "{}@{bits}bit (site={site:#x}, pc={event}, taken={outcome})",
+                        level.key()
+                    ));
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Analyze one compiled Domino pipeline (name is only used for
+/// labeling). With `symbolic`, also run symbolic translation validation
+/// of every optimized backend against the source semantics.
 pub fn analyze_compiled(
     name: &str,
     spec: &druzhba_dgen::pipeline::PipelineSpec,
     mc: &druzhba_core::MachineCode,
     observable: Option<&[usize]>,
+    symbolic: bool,
 ) -> Result<ProgramAnalysis, String> {
     let input = vec![AbsVal::top(); spec.config.phv_length];
 
@@ -206,7 +327,9 @@ pub fn analyze_compiled(
 
     let abs = druzhba_analysis::analyze_pipeline(spec, mc, OptLevel::Unoptimized, &input)
         .map_err(|e| format!("{name}: {e}"))?;
-    let diagnostics = lints_to_diags(name, &abs.lints);
+    let mut lints = abs.lints.clone();
+    lints.extend(symbolic_lints(spec, mc));
+    let diagnostics = lints_to_diags(name, &lints);
 
     let verdict = screen(spec, mc, observable).map_err(|e| format!("{name}: {e}"))?;
 
@@ -227,11 +350,13 @@ pub fn analyze_compiled(
         diagnostics,
         screen: Some(verdict),
         proven_dead,
+        imprecision: imprecision_list(spec, mc).map_err(|e| format!("{name}: {e}"))?,
+        symbolic: symbolic.then(|| symbolic_validate(spec, mc)),
     })
 }
 
 /// Analyze one Table 1 Domino program (compiles via the shared cache).
-pub fn analyze_domino_def(def: &ProgramDef) -> Result<ProgramAnalysis, String> {
+pub fn analyze_domino_def(def: &ProgramDef, symbolic: bool) -> Result<ProgramAnalysis, String> {
     let compiled = def
         .compile_cached()
         .map_err(|e| format!("{}: {e}", def.name))?;
@@ -241,11 +366,16 @@ pub fn analyze_domino_def(def: &ProgramDef) -> Result<ProgramAnalysis, String> {
         &compiled.pipeline_spec,
         &compiled.machine_code,
         Some(&observable),
+        symbolic,
     )
 }
 
 /// Analyze one P4 workload (parsed program + bound entries + lowering).
-pub fn analyze_p4_workload(name: &str, workload: &P4Workload) -> Result<ProgramAnalysis, String> {
+pub fn analyze_p4_workload(
+    name: &str,
+    workload: &P4Workload,
+    symbolic: bool,
+) -> Result<ProgramAnalysis, String> {
     let (tv, habs) = p4_translation_validate(&workload.hlir, &workload.entries, &workload.lowering)
         .map_err(|e| format!("{name}: {e}"))?;
     let tv_mismatches: Vec<String> = tv
@@ -259,23 +389,26 @@ pub fn analyze_p4_workload(name: &str, workload: &P4Workload) -> Result<ProgramA
         diagnostics: lints_to_diags(name, &habs.lints),
         screen: None,
         proven_dead: Vec::new(),
+        imprecision: Vec::new(),
+        symbolic: symbolic
+            .then(|| p4_symbolic_validate(&workload.hlir, &workload.entries, &workload.lowering)),
     })
 }
 
 /// Analyze one P4 corpus program.
-pub fn analyze_p4_def(def: &P4ProgramDef) -> Result<ProgramAnalysis, String> {
+pub fn analyze_p4_def(def: &P4ProgramDef, symbolic: bool) -> Result<ProgramAnalysis, String> {
     let workload = def.workload().map_err(|e| format!("{}: {e}", def.name))?;
-    analyze_p4_workload(def.name, &workload)
+    analyze_p4_workload(def.name, &workload, symbolic)
 }
 
 /// Analyze the whole corpus in registry order (12 Domino, then 5 P4).
-pub fn analyze_corpus() -> Result<CorpusAnalysis, String> {
+pub fn analyze_corpus(symbolic: bool) -> Result<CorpusAnalysis, String> {
     let mut programs = Vec::new();
     for def in &PROGRAMS {
-        programs.push(analyze_domino_def(def)?);
+        programs.push(analyze_domino_def(def, symbolic)?);
     }
     for def in &P4_PROGRAMS {
-        programs.push(analyze_p4_def(def)?);
+        programs.push(analyze_p4_def(def, symbolic)?);
     }
     Ok(CorpusAnalysis { programs })
 }

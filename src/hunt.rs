@@ -44,7 +44,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use druzhba_analysis::{flag_mutant, StaticFlag};
+use druzhba_analysis::{flag_mutant, symbolic_equivalent, StaticFlag};
 use druzhba_chipmunk::CompiledProgram;
 use druzhba_core::Trace;
 use druzhba_dgen::OptLevel;
@@ -292,6 +292,7 @@ fn static_flag_from_label(label: &str) -> Option<StaticFlag> {
     [
         StaticFlag::Structural,
         StaticFlag::Abstract,
+        StaticFlag::Symbolic,
         StaticFlag::Unflagged,
     ]
     .into_iter()
@@ -873,6 +874,13 @@ fn screen_mutant(
     mc: &druzhba_core::MachineCode,
     probe_seed: u64,
 ) -> Option<Option<u64>> {
+    // Screen by proof first: identical canonical symbolic transfer
+    // functions mean the candidate is equivalent on *every* packet and
+    // state — no witness probing can ever distinguish it. `Some(false)`
+    // and `None` both fall through to the concrete probes.
+    if symbolic_equivalent(&comp.pipeline_spec, &comp.machine_code, mc) == Some(true) {
+        return None;
+    }
     let mut reference = def.interpreter_spec(comp);
     for run in 0..cfg.fuzz_runs.max(1) {
         let seed = shard_seed(probe_seed, run as u64);

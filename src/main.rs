@@ -61,7 +61,10 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "emit" => cmd_emit(&args[1..]),
         "hunt" => cmd_hunt(&args[1..]),
-        "analyze" => cmd_analyze(&args[1..]),
+        "analyze" => match cmd_analyze(&args[1..]) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "p4-fuzz" => cmd_p4_fuzz(&args[1..]),
         "atoms" => cmd_atoms(),
         "programs" => cmd_programs(),
@@ -108,11 +111,14 @@ USAGE:
                   mutation campaign over the Table 1 corpus (JSON report;
                   every mutant also carries its static-analysis flag)
   druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
-                  [--depth D --width W --atom NAME] [--entries FILE]
+                  [--depth D --width W --atom NAME] [--entries FILE] [--symbolic]
                   abstract-interpretation static analysis: translation
-                  validation across every backend, lint diagnostics, and the
-                  generator screen; no positional = the whole 17-program
-                  corpus; nonzero exit on any TV mismatch
+                  validation across every backend, lint diagnostics, the
+                  generator screen, and the greybox imprecision list; with
+                  --symbolic, a term-level equivalence proof per backend;
+                  no positional = the whole 17-program corpus; exit 2 on a
+                  proven miscompilation (TV mismatch or symbolic refutation),
+                  0 for clean or lint-only output, 1 on operational errors
   druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--lint] [--phvs N]
                   [--bits B] [--seed S] [--level 0|1|2|3|all] [--runs R --jobs J]
                   [--stages N] [--tables-per-stage T] [--cross-model on|off]
@@ -150,7 +156,7 @@ impl Args {
         let mut file = None;
         let mut flags = Vec::new();
         // Flags that take no value (presence is the signal).
-        const BOOLEAN_FLAGS: &[&str] = &["json", "lint"];
+        const BOOLEAN_FLAGS: &[&str] = &["json", "lint", "symbolic"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
@@ -593,7 +599,7 @@ fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
         // lowered program before spending any fuzz budget.
         let mut tv_mismatches = 0usize;
         for (name, workload) in &targets {
-            let analysis = druzhba::analyze::analyze_p4_workload(name, workload)?;
+            let analysis = druzhba::analyze::analyze_p4_workload(name, workload, false)?;
             for d in &analysis.diagnostics {
                 eprintln!("lint: {d}");
             }
@@ -1161,24 +1167,25 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+fn cmd_analyze(rest: &[String]) -> Result<ExitCode, String> {
     use druzhba::analyze::{
         analyze_compiled, analyze_corpus, analyze_domino_def, analyze_p4_workload, CorpusAnalysis,
     };
 
     let args = Args::parse(rest)?;
+    let symbolic = args.get("symbolic").is_some();
     let analysis = match args.file.as_deref() {
         // No positional: the whole 17-program corpus.
-        None => analyze_corpus()?,
+        None => analyze_corpus(symbolic)?,
         Some(file) if is_p4_path(file) || p4_by_name(file).is_some() => {
             let (name, workload) = load_p4_target(&args, file)?;
             CorpusAnalysis {
-                programs: vec![analyze_p4_workload(&name, &workload)?],
+                programs: vec![analyze_p4_workload(&name, &workload, symbolic)?],
             }
         }
         Some(name_or_file) => {
             let program = if let Some(def) = druzhba::programs::by_name(name_or_file) {
-                analyze_domino_def(def)?
+                analyze_domino_def(def, symbolic)?
             } else {
                 let (_, compiled) = compile_from(&args)?;
                 let observable = compiled.observable_containers();
@@ -1187,6 +1194,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
                     &compiled.pipeline_spec,
                     &compiled.machine_code,
                     Some(&observable),
+                    symbolic,
                 )?
             };
             CorpusAnalysis {
@@ -1207,14 +1215,19 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         }
         None => print!("{rendered}"),
     }
-    if analysis.tv_mismatches() > 0 {
-        return Err(format!(
-            "analyze: {} translation-validation mismatch(es) — the compiled forms \
-             provably disagree with the source semantics",
-            analysis.tv_mismatches()
-        ));
+    // Exit-code matrix (docs/FUZZING.md): 2 = proven miscompilation
+    // (abstract TV mismatch or symbolic refutation), 0 = clean or
+    // lint-only. Operational errors exit 1 via the generic Err path.
+    let code = analysis.exit_code();
+    if code != 0 {
+        eprintln!(
+            "analyze: {} translation-validation mismatch(es), {} symbolic refutation(s) — \
+             the compiled forms provably disagree with the source semantics",
+            analysis.tv_mismatches(),
+            analysis.symbolic_refutations()
+        );
     }
-    Ok(())
+    Ok(ExitCode::from(code))
 }
 
 fn cmd_emit(rest: &[String]) -> Result<(), String> {

@@ -33,6 +33,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
+use druzhba_analysis::p4_symbolic_entries_equivalent;
 use druzhba_core::{Trace, Value};
 use druzhba_dgen::mat::MatPipeline;
 use druzhba_dgen::OptLevel;
@@ -670,6 +671,18 @@ fn screen(
     entries: &[TableEntry],
     probe_seed: u64,
 ) -> Option<u64> {
+    // Screen by proof first: if the mutated entry set compiles to the
+    // same canonical symbolic transfer function as the intended one, no
+    // packet stream can distinguish them — discard without probing.
+    if p4_symbolic_entries_equivalent(
+        &workload.hlir,
+        &workload.entries,
+        entries,
+        &workload.lowering,
+    ) == Some(true)
+    {
+        return None;
+    }
     for run in 0..cfg.fuzz_runs.max(1) {
         let seed = shard_seed(probe_seed, run as u64);
         let input = P4Traffic::new(workload, seed, cfg.input_bits).trace(cfg.fuzz_phvs);

@@ -9,7 +9,7 @@
 
 use std::process::{Command, Output};
 
-use druzhba::analysis::Screened;
+use druzhba::analysis::{Screened, SymbolicVerdict};
 use druzhba::analyze::analyze_corpus;
 
 fn druzhba(args: &[&str]) -> Output {
@@ -29,7 +29,7 @@ fn golden(name: &str) -> String {
 
 #[test]
 fn corpus_translation_validation_is_clean() {
-    let analysis = analyze_corpus().expect("corpus analyzes");
+    let analysis = analyze_corpus(false).expect("corpus analyzes");
     assert_eq!(analysis.programs.len(), 17, "12 Domino + 5 P4 programs");
     assert_eq!(
         analysis.tv_mismatches(),
@@ -51,7 +51,7 @@ fn corpus_translation_validation_is_clean() {
 
 #[test]
 fn analyzer_output_matches_golden_baseline() {
-    let analysis = analyze_corpus().expect("corpus analyzes");
+    let analysis = analyze_corpus(false).expect("corpus analyzes");
     let expected = golden("analyze.json");
     assert_eq!(
         analysis.to_json(),
@@ -130,4 +130,109 @@ fn cli_p4_fuzz_lint_reports_diagnostics_before_fuzzing() {
     );
     assert!(stderr.contains("unreachable-table"), "{stderr}");
     assert!(stderr.contains("invalid-header-read"), "{stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code matrix (documented in docs/FUZZING.md):
+//   0 — clean corpus, or lint diagnostics only
+//   1 — operational error (unknown program, unreadable file)
+//   2 — proven miscompilation (abstract TV mismatch or symbolic refutation)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cli_analyze_exits_zero_on_clean_corpus_with_lints() {
+    // The corpus carries Note-severity lints but no proven
+    // miscompilation, so the documented exit code is 0.
+    let out = druzhba(&["analyze"]);
+    assert_eq!(out.status.code(), Some(0), "lint-only analysis exits 0");
+}
+
+#[test]
+fn cli_analyze_exits_one_on_operational_error() {
+    let out = druzhba(&["analyze", "no_such_program"]);
+    assert_eq!(out.status.code(), Some(1), "bad arguments exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no_such_program"), "{stderr}");
+}
+
+#[test]
+fn exit_code_two_for_proven_miscompilation() {
+    use druzhba::analyze::{CorpusAnalysis, ProgramAnalysis};
+
+    let clean = ProgramAnalysis {
+        name: "clean".into(),
+        kind: "domino",
+        tv_mismatches: Vec::new(),
+        diagnostics: Vec::new(),
+        screen: None,
+        proven_dead: Vec::new(),
+        imprecision: Vec::new(),
+        symbolic: Some(SymbolicVerdict::Proved),
+    };
+    assert_eq!(
+        CorpusAnalysis {
+            programs: vec![clean.clone()]
+        }
+        .exit_code(),
+        0,
+        "proved programs exit 0"
+    );
+
+    let mut tv_bad = clean.clone();
+    tv_bad.tv_mismatches = vec!["scc_inline: container 0 escapes".into()];
+    assert_eq!(
+        CorpusAnalysis {
+            programs: vec![clean.clone(), tv_bad]
+        }
+        .exit_code(),
+        2,
+        "an abstract TV mismatch anywhere in the corpus exits 2"
+    );
+
+    let mut refuted = clean.clone();
+    refuted.symbolic = Some(SymbolicVerdict::Refuted {
+        level: "fused",
+        site: "container 1".into(),
+        cex: vec![0, 0],
+    });
+    assert_eq!(
+        CorpusAnalysis {
+            programs: vec![clean, refuted]
+        }
+        .exit_code(),
+        2,
+        "a symbolic refutation anywhere in the corpus exits 2"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic translation validation over the corpus.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corpus_symbolic_validation_proves_every_program() {
+    let analysis = analyze_corpus(true).expect("corpus analyzes");
+    for p in &analysis.programs {
+        assert_eq!(
+            p.symbolic,
+            Some(SymbolicVerdict::Proved),
+            "{}: every corpus program must be symbolically proved on every \
+             backend pair (no Unknown residuals, no refutations)",
+            p.name
+        );
+    }
+    assert_eq!(analysis.exit_code(), 0);
+}
+
+#[test]
+fn cli_analyze_symbolic_json_matches_golden_baseline() {
+    let out = druzhba(&["analyze", "--json", "--symbolic"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden("analyze_symbolic.json"),
+        "symbolic analyzer drifted from tests/golden/analyze_symbolic.json; \
+         if intentional, regenerate with \
+         `druzhba analyze --json --symbolic --out tests/golden/analyze_symbolic.json`"
+    );
 }

@@ -408,3 +408,205 @@ mod drmt_props {
         }
     }
 }
+
+/// Symbolic-engine properties (DESIGN §12): canonical terms are a faithful
+/// compression of each backend's concrete semantics, and the rewrite
+/// system is a terminating fixed point.
+mod symbolic {
+    use super::*;
+    use druzhba::alu_dsl::ast::{BinOp, UnOp};
+    use druzhba::analysis::{symbolic_transfer, AbsVal, Node, Sym, TermId, TermStore};
+    use druzhba::core::value::truthy;
+    use druzhba::dgen::eval::{apply_binop, apply_unop};
+
+    /// Substitute a concrete packet and entry state into a symbolic
+    /// transfer function and require exact agreement with the concrete
+    /// backend, packet by packet, state snapshot by state snapshot.
+    fn check_substitution(
+        spec: &PipelineSpec,
+        mc: &MachineCode,
+        phvs: &[Phv],
+    ) -> Result<(), String> {
+        for level in OptLevel::ALL {
+            let mut store = TermStore::new();
+            let tr = symbolic_transfer(&mut store, spec, mc, level)
+                .ok_or_else(|| format!("{level:?}: symbolic executor bailed on a small spec"))?;
+            let mut pipeline =
+                Pipeline::generate(spec, mc, level).map_err(|e| format!("{level:?}: {e}"))?;
+            let mut state = pipeline.state_snapshot();
+            for (i, phv) in phvs.iter().enumerate() {
+                let entry = state.clone();
+                let valuation = move |sym: Sym| match sym {
+                    Sym::Phv(c) => phv.get(c as usize),
+                    Sym::State { stage, slot, var } => {
+                        entry[stage as usize][slot as usize][var as usize]
+                    }
+                    _ => 0,
+                };
+                let out = pipeline.process(phv);
+                for (c, &t) in tr.phv.iter().enumerate() {
+                    let got = store.eval(t, &valuation);
+                    if got != out.get(c) {
+                        return Err(format!(
+                            "{level:?} packet {i}: container[{c}] symbolic {got} != concrete {}",
+                            out.get(c)
+                        ));
+                    }
+                }
+                let next: Vec<Vec<Vec<u32>>> = tr
+                    .state
+                    .iter()
+                    .map(|slots| {
+                        slots
+                            .iter()
+                            .map(|vars| vars.iter().map(|&t| store.eval(t, &valuation)).collect())
+                            .collect()
+                    })
+                    .collect();
+                if next != pipeline.state_snapshot() {
+                    return Err(format!(
+                        "{level:?} packet {i}: symbolic state {next:?} != concrete {:?}",
+                        pipeline.state_snapshot()
+                    ));
+                }
+                state = next;
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Concrete substitution into the canonical transfer function
+        /// reproduces every backend exactly on random in-domain machine
+        /// code — the term DAG loses nothing the interpreters can see.
+        #[test]
+        fn symbolic_transfer_substitution_matches_every_backend(
+            mc in machine_code_strategy(&spec_for("if_else_raw", "stateless_arith", 2, 2)),
+            phvs in phv_stream(2, 4),
+        ) {
+            let spec = spec_for("if_else_raw", "stateless_arith", 2, 2);
+            if let Err(e) = check_substitution(&spec, &mc, &phvs) {
+                prop_assert!(false, "{e}");
+            }
+        }
+
+        /// Same property over a deeper pipe with the full stateless ALU.
+        #[test]
+        fn symbolic_transfer_substitution_matches_deeper_pipelines(
+            mc in machine_code_strategy(&spec_for("raw", "stateless_full", 3, 2)),
+            phvs in phv_stream(2, 3),
+        ) {
+            let spec = spec_for("raw", "stateless_full", 3, 2);
+            if let Err(e) = check_substitution(&spec, &mc, &phvs) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+
+    const BINOPS: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Gt,
+        BinOp::Le,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The rewrite engine terminates (bounded node growth), preserves
+        /// the total concrete semantics of every constructed term under
+        /// an in-domain valuation, and is idempotent: every interned node
+        /// is a fixed point of its own smart constructor.
+        #[test]
+        fn rewrite_engine_is_idempotent_terminating_and_sound(
+            pool in proptest::collection::vec(0u32..u32::MAX, 3),
+            ops in proptest::collection::vec((0usize..18, 0u32..0x1_0000), 60),
+        ) {
+            let mut store = TermStore::new();
+            // Leaves: two unconstrained symbols, one 8-bit symbol (its
+            // valuation masked in-domain — the known-bits rules may rely
+            // on the declared abstraction), two constants.
+            let narrow = pool[2] & 0xFF;
+            let (wide0, wide1) = (pool[0], pool[1]);
+            let valuation = move |sym: Sym| match sym {
+                Sym::Phv(0) => wide0,
+                Sym::Phv(1) => narrow,
+                Sym::State { .. } => wide1,
+                _ => 0,
+            };
+            let mut stack: Vec<(TermId, u32)> = vec![
+                (store.sym(Sym::Phv(0), AbsVal::top()), wide0),
+                (store.sym(Sym::Phv(1), AbsVal::bits(8)), narrow),
+                (
+                    store.sym(Sym::State { stage: 0, slot: 0, var: 0 }, AbsVal::top()),
+                    wide1,
+                ),
+                (store.konst(0), 0),
+                (store.konst(7), 7),
+            ];
+            for &(opcode, pick) in &ops {
+                let a = stack[(pick & 0xFF) as usize % stack.len()];
+                let b = stack[((pick >> 8) & 0xFF) as usize % stack.len()];
+                let (t, expect) = match opcode {
+                    0..=12 => {
+                        let op = BINOPS[opcode];
+                        (store.bin(op, a.0, b.0), apply_binop(op, a.1, b.1))
+                    }
+                    13 => (store.un(UnOp::Neg, a.0), apply_unop(UnOp::Neg, a.1)),
+                    14 => (store.un(UnOp::Not, a.0), apply_unop(UnOp::Not, a.1)),
+                    15 => (store.bit_and(a.0, b.0), a.1 & b.1),
+                    16 => {
+                        let shift = pick % 33;
+                        let v = if shift >= 32 { 0 } else { a.1 >> shift };
+                        (store.shr(a.0, shift), v)
+                    }
+                    _ => {
+                        let c = stack[((pick >> 4) & 0xFF) as usize % stack.len()];
+                        let v = if truthy(c.1) { a.1 } else { b.1 };
+                        (store.ite(c.0, a.0, b.0), v)
+                    }
+                };
+                let got = store.eval(t, &valuation);
+                prop_assert!(
+                    got == expect,
+                    "rewrite changed concrete semantics: got {} expect {} (node {:?})",
+                    got, expect, store.node(t)
+                );
+                stack.push((t, expect));
+            }
+            // Termination: node growth stays linear in the op count —
+            // no rule cascades into unbounded expansion.
+            prop_assert!(store.len() <= 5 + 40 * ops.len());
+            // Idempotence: rebuilding any interned node through its own
+            // smart constructor lands on the same id.
+            let n = store.len() as TermId;
+            for id in 0..n {
+                let again = match store.node(id) {
+                    Node::Const(v) => store.konst(v),
+                    Node::Sym(_) => id,
+                    Node::Bin(op, l, r) => store.bin(op, l, r),
+                    Node::Un(op, x) => store.un(op, x),
+                    Node::BitAnd(l, r) => store.bit_and(l, r),
+                    Node::Shr(x, s) => store.shr(x, s),
+                    Node::Ite(c, t, e) => store.ite(c, t, e),
+                };
+                prop_assert!(
+                    again == id,
+                    "{:?} is not a fixed point of its constructor",
+                    store.node(id)
+                );
+            }
+        }
+    }
+}
