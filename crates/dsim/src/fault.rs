@@ -98,6 +98,31 @@ impl Fault {
             | Fault::HostileTrap { name, .. } => name,
         }
     }
+
+    /// Re-apply this fault to (freshly compiled) machine code — the
+    /// program-level minimization loop recompiles reduced programs and
+    /// needs the *same* fault re-injected by pair name to decide whether
+    /// a reduction still reproduces. Returns `None` when the target pair
+    /// does not exist in `mc` (the reduction compiled the fault site
+    /// away), which callers treat as "does not reproduce".
+    pub fn apply(&self, mc: &MachineCode) -> Option<MachineCode> {
+        let mut out = mc.clone();
+        match self {
+            Fault::RemovedPair { name } => {
+                mc.try_get(name)?;
+                out.remove(name);
+            }
+            Fault::MutatedValue { name, new, .. } | Fault::OutOfRangeValue { name, new } => {
+                mc.try_get(name)?;
+                out.set(name.clone(), *new);
+            }
+            Fault::HostileTrap { name, .. } => {
+                mc.try_get(name)?;
+                out.set(name.clone(), druzhba_core::hostile::HOSTILE_TRAP_VALUE);
+            }
+        }
+        Some(out)
+    }
 }
 
 /// Deterministic generator of faulty machine-code variants.

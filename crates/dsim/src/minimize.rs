@@ -137,50 +137,29 @@ impl Minimizer<'_> {
         (v.class() == target).then_some(v)
     }
 
-    /// Classic ddmin over packet subsets (order-preserving complements).
+    /// Classic ddmin over packet subsets, delegated to the item-generic
+    /// engine ([`ddmin_items`]); the budget lives in [`Minimizer::check`],
+    /// so the engine itself runs uncapped here.
     fn ddmin(
         &mut self,
         mc: &MachineCode,
-        mut phvs: Vec<Phv>,
-        mut verdict: Verdict,
+        phvs: Vec<Phv>,
+        verdict: Verdict,
         target: VerdictClass,
     ) -> (Vec<Phv>, Verdict) {
-        let mut granularity = 2usize;
-        'outer: while phvs.len() >= 2 {
-            let chunk = phvs.len().div_ceil(granularity);
-            // Subsets first: a failing chunk alone is the biggest win.
-            for start in (0..phvs.len()).step_by(chunk) {
-                let subset: Vec<Phv> = phvs[start..(start + chunk).min(phvs.len())].to_vec();
-                if subset.len() < phvs.len() {
-                    if let Some(v) = self.reproduces(mc, &subset, target) {
-                        phvs = subset;
-                        verdict = v;
-                        granularity = 2;
-                        continue 'outer;
-                    }
+        let mut best = verdict;
+        let phvs = {
+            let best = &mut best;
+            let mut test = |cand: &[Phv]| match self.reproduces(mc, cand, target) {
+                Some(v) => {
+                    *best = v;
+                    true
                 }
-            }
-            // Complements: drop one chunk.
-            if granularity > 2 {
-                for start in (0..phvs.len()).step_by(chunk) {
-                    let mut complement = phvs[..start].to_vec();
-                    complement.extend_from_slice(&phvs[(start + chunk).min(phvs.len())..]);
-                    if complement.len() < phvs.len() {
-                        if let Some(v) = self.reproduces(mc, &complement, target) {
-                            phvs = complement;
-                            verdict = v;
-                            granularity = (granularity - 1).max(2);
-                            continue 'outer;
-                        }
-                    }
-                }
-            }
-            if granularity >= phvs.len() {
-                break;
-            }
-            granularity = (granularity * 2).min(phvs.len());
-        }
-        (phvs, verdict)
+                None => false,
+            };
+            ddmin_items(phvs, &mut test, usize::MAX).0
+        };
+        (phvs, best)
     }
 
     /// Shrink every container value toward zero while the divergence
@@ -310,6 +289,66 @@ impl Minimizer<'_> {
             }
         }
     }
+}
+
+/// Classic ddmin (Zeller's delta debugging) over an arbitrary item list:
+/// order-preserving subsets first (a reproducing chunk alone is the
+/// biggest win), then complements, doubling granularity when neither
+/// makes progress.
+///
+/// The engine is item-generic and oracle-generic — packets here, but
+/// also program statements, stages, or table entries (the program-level
+/// minimization in `progen` reduces generated Domino programs with the
+/// same loop). `test` returns `true` when a candidate still reproduces
+/// the failure; the reduction keeps exactly the candidates it accepted,
+/// so the result is never longer than the input and (when any reduction
+/// happened) has passed `test`.
+///
+/// `max_checks` caps `test` invocations; on exhaustion the best reduction
+/// so far is returned. Returns `(reduced, checks_spent)`.
+pub fn ddmin_items<T: Clone>(
+    mut items: Vec<T>,
+    test: &mut dyn FnMut(&[T]) -> bool,
+    max_checks: usize,
+) -> (Vec<T>, usize) {
+    let mut checks = 0usize;
+    let mut check = |cand: &[T], checks: &mut usize| {
+        if *checks >= max_checks {
+            return false;
+        }
+        *checks += 1;
+        test(cand)
+    };
+    let mut granularity = 2usize;
+    'outer: while items.len() >= 2 {
+        let chunk = items.len().div_ceil(granularity);
+        // Subsets first: a failing chunk alone is the biggest win.
+        for start in (0..items.len()).step_by(chunk) {
+            let subset: Vec<T> = items[start..(start + chunk).min(items.len())].to_vec();
+            if subset.len() < items.len() && check(&subset, &mut checks) {
+                items = subset;
+                granularity = 2;
+                continue 'outer;
+            }
+        }
+        // Complements: drop one chunk.
+        if granularity > 2 {
+            for start in (0..items.len()).step_by(chunk) {
+                let mut complement = items[..start].to_vec();
+                complement.extend_from_slice(&items[(start + chunk).min(items.len())..]);
+                if complement.len() < items.len() && check(&complement, &mut checks) {
+                    items = complement;
+                    granularity = (granularity - 1).max(2);
+                    continue 'outer;
+                }
+            }
+        }
+        if granularity >= items.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(items.len());
+    }
+    (items, checks)
 }
 
 /// Names on which `a` and `b` disagree (value differs, or the pair exists

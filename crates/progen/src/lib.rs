@@ -1,0 +1,35 @@
+//! # druzhba-progen
+//!
+//! Gauntlet-style random program generation: deterministic, seed-driven
+//! generators of well-typed [Domino](druzhba_domino) programs over the
+//! compiler's (depth, width, atom) grid space and of P4 programs with
+//! entry sets, so the differential campaigns fuzz the *compilers* over an
+//! unbounded program space instead of the 17-program fixed corpus.
+//!
+//! Generation is rejection sampling behind a static validity screen:
+//! every candidate is parsed, compiled, classified by the
+//! [`analysis::pipeline`](druzhba_analysis::pipeline) generator screen
+//! (only [`Screened::Interesting`](druzhba_analysis::Screened) programs
+//! survive — `Trivial` and `Hazardous` candidates are rejected before any
+//! packet runs), and cross-checked by the abstract and symbolic
+//! translation-validation passes. Program `k` of a base seed is a pure
+//! function of `(base_seed, k)`, so any generated program replays from
+//! the one-line recipe the reports print.
+//!
+//! The third piece is program-*level* minimization
+//! ([`minimize_program`]): when a generated program diverges, delta
+//! debugging over its statements, branch bodies, and state declarations
+//! (reusing [`dsim`](druzhba_dsim)'s oracle-generic
+//! [`ddmin_items`](druzhba_dsim::ddmin_items) engine) shrinks it to a
+//! minimal still-diverging reproducer.
+
+pub mod domino;
+pub mod p4gen;
+pub mod shrink;
+
+pub use domino::{
+    domino_candidate, generate_domino, generate_domino_at, render_program, DominoCandidate,
+    GenGrid, GeneratedDomino, Reject, RejectStats, DOMINO_SALT, MAX_ATTEMPTS,
+};
+pub use p4gen::{generate_p4, generate_p4_at, p4_candidate, GeneratedP4, P4Candidate, P4_SALT};
+pub use shrink::{minimize_program, program_size};

@@ -1,0 +1,223 @@
+//! Program-level counterexample minimization: delta debugging over
+//! Domino statements, branch bodies, and state declarations.
+//!
+//! Packet-level minimization answers "which inputs trip the bug"; this
+//! answers "which *program* is the smallest that still does". The same
+//! oracle-generic [`ddmin_items`] engine that reduces packet traces
+//! reduces statement lists here — the oracle recompiles each candidate
+//! program and replays the divergence, so invalid or non-compiling
+//! reductions simply test as non-reproducing.
+
+use druzhba_domino::ast::validate;
+use druzhba_domino::{DominoProgram, DominoStmt};
+use druzhba_dsim::ddmin_items;
+
+/// Statements in a program, counting into branch bodies.
+fn stmt_count(body: &[DominoStmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            DominoStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + stmt_count(then_body) + stmt_count(else_body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Total size of a program: statements plus state declarations. The
+/// minimizer's "never grows" guarantee is in this measure.
+pub fn program_size(p: &DominoProgram) -> usize {
+    p.state_vars.len() + stmt_count(&p.body)
+}
+
+/// Shrink a diverging program to a minimal reproducer.
+///
+/// `oracle` returns `true` when a candidate program still reproduces
+/// the failure (the caller's oracle typically recompiles the candidate,
+/// re-applies the fault under test, and replays the differential check
+/// — a candidate that no longer compiles or no longer contains the
+/// fault site reports `false`). Candidates that fail
+/// [`validate`] are rejected without consulting the
+/// oracle, so the oracle only ever sees well-formed programs.
+///
+/// Three reduction passes, in order: ddmin over the top-level statement
+/// list, ddmin inside each surviving conditional's branch bodies, then
+/// a linear pass dropping state declarations the reduction no longer
+/// needs. `max_checks` caps oracle consultations across all passes; on
+/// exhaustion the best reduction so far is returned.
+///
+/// Returns `None` when the original program does not reproduce (or
+/// `max_checks` is 0); otherwise `Some((reduced, checks_spent))` where
+/// `reduced` never exceeds the original in [`program_size`] and itself
+/// reproduces.
+pub fn minimize_program(
+    program: &DominoProgram,
+    oracle: &mut dyn FnMut(&DominoProgram) -> bool,
+    max_checks: usize,
+) -> Option<(DominoProgram, usize)> {
+    if max_checks == 0 {
+        return None;
+    }
+    let mut checks = 1usize;
+    if !oracle(program) {
+        return None;
+    }
+    let mut state_vars = program.state_vars.clone();
+
+    // Pass 1: top-level statement ddmin.
+    let (mut body, spent) = {
+        let sv = &state_vars;
+        ddmin_items(
+            program.body.clone(),
+            &mut |cand: &[DominoStmt]| {
+                let p = DominoProgram {
+                    state_vars: sv.clone(),
+                    body: cand.to_vec(),
+                };
+                validate(&p).is_ok() && oracle(&p)
+            },
+            max_checks - checks,
+        )
+    };
+    checks += spent;
+
+    // Pass 2: ddmin inside each surviving conditional's branches.
+    for i in 0..body.len() {
+        for keep_then in [true, false] {
+            if checks >= max_checks {
+                break;
+            }
+            let DominoStmt::If {
+                then_body,
+                else_body,
+                ..
+            } = &body[i]
+            else {
+                continue;
+            };
+            let items = if keep_then {
+                then_body.clone()
+            } else {
+                else_body.clone()
+            };
+            let (reduced, spent) = {
+                let (sv, outer) = (&state_vars, &body);
+                ddmin_items(
+                    items,
+                    &mut |cand: &[DominoStmt]| {
+                        let mut b = outer.clone();
+                        if let DominoStmt::If {
+                            then_body,
+                            else_body,
+                            ..
+                        } = &mut b[i]
+                        {
+                            if keep_then {
+                                *then_body = cand.to_vec();
+                            } else {
+                                *else_body = cand.to_vec();
+                            }
+                        }
+                        let p = DominoProgram {
+                            state_vars: sv.clone(),
+                            body: b,
+                        };
+                        validate(&p).is_ok() && oracle(&p)
+                    },
+                    max_checks - checks,
+                )
+            };
+            checks += spent;
+            if let DominoStmt::If {
+                then_body,
+                else_body,
+                ..
+            } = &mut body[i]
+            {
+                if keep_then {
+                    *then_body = reduced;
+                } else {
+                    *else_body = reduced;
+                }
+            }
+        }
+    }
+
+    // Pass 3: drop state declarations the reduction no longer needs.
+    let mut i = 0;
+    while i < state_vars.len() {
+        if checks >= max_checks {
+            break;
+        }
+        let mut cand = state_vars.clone();
+        cand.remove(i);
+        let p = DominoProgram {
+            state_vars: cand.clone(),
+            body: body.clone(),
+        };
+        if validate(&p).is_ok() {
+            checks += 1;
+            if oracle(&p) {
+                state_vars = cand;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    Some((DominoProgram { state_vars, body }, checks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domino::domino_candidate;
+    use druzhba_domino::parse_program;
+
+    /// Oracle: "reproduces" iff the program still writes pkt.out0 from
+    /// state. A pure-syntax oracle keeps these unit tests fast; the
+    /// compile-and-replay oracle is exercised in the integration suite.
+    fn writes_out0_from_state(p: &DominoProgram) -> bool {
+        p.body.iter().any(|s| {
+            matches!(s, DominoStmt::AssignField { field, value } if field == "out0" && !value.is_state_free())
+        })
+    }
+
+    #[test]
+    fn shrinks_and_never_grows() {
+        let src = "state int acc = 0;\n\
+                   state int unused = 0;\n\
+                   pkt.out0 = acc;\n\
+                   pkt.out1 = (pkt.b + 3);\n\
+                   acc = (acc + pkt.a);\n";
+        let program = parse_program(src).unwrap();
+        let before = program_size(&program);
+        let (reduced, checks) =
+            minimize_program(&program, &mut writes_out0_from_state, 100).unwrap();
+        assert!(program_size(&reduced) <= before);
+        assert!(checks <= 100);
+        assert!(writes_out0_from_state(&reduced));
+        // The irrelevant output and the unused state decl are gone.
+        assert_eq!(reduced.state_vars.len(), 1);
+        assert_eq!(reduced.body.len(), 1);
+    }
+
+    #[test]
+    fn non_reproducing_returns_none() {
+        let program = parse_program("state int s = 0;\npkt.o = 1;\n").unwrap();
+        assert!(minimize_program(&program, &mut |_| false, 50).is_none());
+        assert!(minimize_program(&program, &mut |_| true, 0).is_none());
+    }
+
+    #[test]
+    fn reduction_is_deterministic() {
+        let cand = domino_candidate(11);
+        let run = || {
+            minimize_program(&cand.program, &mut writes_out0_from_state, 200)
+                .map(|(p, c)| (crate::render_program(&p), c))
+        };
+        assert_eq!(run(), run());
+    }
+}

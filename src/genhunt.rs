@@ -1,0 +1,717 @@
+//! `druzhba hunt --generate N`: Gauntlet-style generated-program
+//! campaigns.
+//!
+//! Where [`hunt`](crate::hunt) mutates machine code under the fixed
+//! twelve-program corpus, this campaign generates *fresh programs* —
+//! [`druzhba_progen`]'s seed-driven, screen-vetted Domino generators —
+//! and differentially tests every backend on each one:
+//!
+//! 1. program `i` is generated index-addressably from the campaign seed
+//!    (any worker can produce program 733 without touching 0..732), so
+//!    the campaign is deterministic and byte-identical across `--jobs`
+//!    counts;
+//! 2. the *clean sweep*: every generated program runs seeded
+//!    differential fuzzing on every requested [`OptLevel`]. The programs
+//!    are freshly compiled and statically vetted, so any divergence here
+//!    is a genuine compiler bug (the expected count is zero, and CI
+//!    treats nonzero as failure);
+//! 3. optionally (`--faults N`), known faults are injected into each
+//!    generated program's machine code and hunted the usual way —
+//!    measuring detection power over an unbounded program space instead
+//!    of seventeen fixed inputs;
+//! 4. every injected-fault divergence is minimized at the *program*
+//!    level: [`minimize_program`] delta-debugs the generated source
+//!    (statements, branch bodies, state declarations), recompiling and
+//!    re-applying the fault per candidate, until the smallest program
+//!    that still diverges with the same [`VerdictClass`] remains.
+//!
+//! The campaign shares the crash-proof runtime of the corpus hunt:
+//! panic-isolated work stealing, per-program checkpoint records that
+//! `--resume` restores verbatim, wall-clock budgets that truncate at a
+//! clean per-program boundary.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use druzhba_chipmunk::{compile, CompiledSpec, CompilerConfig};
+use druzhba_dgen::OptLevel;
+use druzhba_domino::DominoProgram;
+use druzhba_dsim::fault::{Fault, FaultInjector, FaultKind};
+use druzhba_dsim::runtime::{catch_silent, run_stealing_observed, RuntimeOptions};
+use druzhba_dsim::snapshot;
+use druzhba_dsim::testing::{fuzz_test, shard_seed, FuzzConfig, VerdictClass};
+use druzhba_progen::{generate_domino_at, minimize_program, program_size, GeneratedDomino};
+
+/// Salt mixed into the campaign seed for per-program task seeds
+/// (`"GENH"`), keeping traffic seeds independent of the candidate-seed
+/// stream the generator itself consumes.
+const GENH_SALT: u64 = 0x4745_4E48;
+
+/// Configuration of a generated-program campaign.
+#[derive(Debug, Clone)]
+pub struct GenHuntConfig {
+    /// Programs to generate and sweep.
+    pub count: u64,
+    /// Campaign seed: program generation, fault injection, and traffic
+    /// seeds all derive from it.
+    pub seed: u64,
+    /// Backends each program is swept on.
+    pub levels: Vec<OptLevel>,
+    /// PHVs per differential fuzz run.
+    pub fuzz_phvs: usize,
+    /// Independently seeded fuzz runs per (program, level) in the clean
+    /// sweep.
+    pub fuzz_runs: usize,
+    /// Bit width of fuzzed container values.
+    pub input_bits: u32,
+    /// Faults injected per generated program (0 = clean sweep only).
+    pub faults_per_program: usize,
+    /// Oracle-consultation budget for program-level minimization of each
+    /// diverging fault.
+    pub minimize_checks: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Crash-resilience options (checkpoint/resume, wall-clock budget).
+    /// Excluded from the snapshot fingerprint.
+    pub runtime: RuntimeOptions,
+}
+
+impl Default for GenHuntConfig {
+    fn default() -> Self {
+        GenHuntConfig {
+            count: 1000,
+            seed: 0x000D_122B,
+            levels: OptLevel::ALL.to_vec(),
+            fuzz_phvs: 500,
+            fuzz_runs: 1,
+            input_bits: 10,
+            faults_per_program: 0,
+            minimize_checks: 200,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            runtime: RuntimeOptions::default(),
+        }
+    }
+}
+
+/// The checkpoint-stable projection of one swept program: the
+/// aggregate-relevant counters plus the fully-rendered `programs[]` JSON
+/// row, restored verbatim on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenRecord {
+    /// Program index under the campaign seed.
+    pub index: u64,
+    /// Generated program name (`gen_{seed:016x}_{index}`).
+    pub name: String,
+    /// Grid label (`depth x width : atom`).
+    pub grid: String,
+    /// Candidates the vet chain rejected before this program.
+    pub rejected: u32,
+    /// Alarming rejects: candidates thrown out because translation
+    /// validation mismatched or the symbolic pass *refuted* their fresh
+    /// compile. Unlike `Trivial`/`Hazardous` rejects these are compiler
+    /// bugs, and the campaign exit is nonzero when any occur.
+    pub alarming: u32,
+    /// Clean-sweep divergences (expected 0 — each is a compiler bug).
+    pub clean_divergences: usize,
+    /// Faults successfully injected.
+    pub faults_seeded: usize,
+    /// Injected faults detected by the sweep.
+    pub faults_detected: usize,
+    /// Detected faults whose program-level minimization succeeded.
+    pub minimized: usize,
+    /// The worker died evaluating this program (pool-level panic).
+    pub panicked: bool,
+    /// The rendered JSON row, carried verbatim through checkpoints.
+    pub json: String,
+}
+
+/// One checkpoint line: tab-separated counters, the JSON row last (the
+/// only field that may contain tabs, hence `splitn` on decode).
+fn record_line(r: &GenRecord) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        r.index,
+        r.name,
+        r.grid,
+        r.rejected,
+        r.alarming,
+        r.clean_divergences,
+        r.faults_seeded,
+        r.faults_detected,
+        r.minimized,
+        u8::from(r.panicked),
+        r.json
+    )
+}
+
+/// Inverse of [`record_line`]; `None` rejects malformed/foreign lines.
+fn parse_record_line(line: &str) -> Option<GenRecord> {
+    let mut parts = line.splitn(11, '\t');
+    let index = parts.next()?.parse().ok()?;
+    let name = parts.next()?.to_string();
+    let grid = parts.next()?.to_string();
+    let rejected = parts.next()?.parse().ok()?;
+    let alarming = parts.next()?.parse().ok()?;
+    let clean_divergences = parts.next()?.parse().ok()?;
+    let faults_seeded = parts.next()?.parse().ok()?;
+    let faults_detected = parts.next()?.parse().ok()?;
+    let minimized = parts.next()?.parse().ok()?;
+    let panicked = match parts.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let json = parts.next()?.to_string();
+    Some(GenRecord {
+        index,
+        name,
+        grid,
+        rejected,
+        alarming,
+        clean_divergences,
+        faults_seeded,
+        faults_detected,
+        minimized,
+        panicked,
+        json,
+    })
+}
+
+/// Aggregate result of a generated-program campaign.
+#[derive(Debug, Clone)]
+pub struct GenHuntReport {
+    /// One record per *completed* program sweep, in index order — the
+    /// canonical source for every aggregate and the JSON `programs[]`
+    /// array. Resumed campaigns restore records without re-sweeping.
+    pub records: Vec<GenRecord>,
+    /// Program sweeps skipped because the wall-clock budget expired.
+    pub truncated: usize,
+    /// The configuration that produced the report.
+    pub config: GenHuntConfig,
+}
+
+impl GenHuntReport {
+    /// Programs swept to completion.
+    pub fn programs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Candidates the vet chain rejected across all programs.
+    pub fn rejected_candidates(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.rejected)).sum()
+    }
+
+    /// Alarming rejects across all programs: fresh compiles the TV or
+    /// symbolic pass caught disagreeing with their source. Each is a
+    /// compiler bug; the expected count is zero.
+    pub fn alarming_rejects(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.alarming)).sum()
+    }
+
+    /// Clean-sweep divergences across all programs (each one is a real
+    /// compiler bug; the expected count is zero).
+    pub fn clean_divergences(&self) -> usize {
+        self.records.iter().map(|r| r.clean_divergences).sum()
+    }
+
+    /// Faults injected across all programs.
+    pub fn faults_seeded(&self) -> usize {
+        self.records.iter().map(|r| r.faults_seeded).sum()
+    }
+
+    /// Injected faults the sweep detected.
+    pub fn faults_detected(&self) -> usize {
+        self.records.iter().map(|r| r.faults_detected).sum()
+    }
+
+    /// Detected faults minimized to a program-level reproducer.
+    pub fn minimized(&self) -> usize {
+        self.records.iter().map(|r| r.minimized).sum()
+    }
+
+    /// Programs whose sweep died to a pool-level panic.
+    pub fn panics(&self) -> usize {
+        self.records.iter().filter(|r| r.panicked).count()
+    }
+
+    /// Detected fraction over injected faults (1.0 when none injected).
+    pub fn detection_rate(&self) -> f64 {
+        if self.faults_seeded() == 0 {
+            return 1.0;
+        }
+        self.faults_detected() as f64 / self.faults_seeded() as f64
+    }
+
+    /// Render the campaign as a JSON document (schema: DESIGN.md §13).
+    /// Hand-written — the vendored `serde` is a no-op stand-in.
+    pub fn to_json(&self) -> String {
+        let cfg = &self.config;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"config\": {{");
+        let _ = writeln!(s, "    \"seed\": {},", cfg.seed);
+        let _ = writeln!(s, "    \"count\": {},", cfg.count);
+        let levels: Vec<String> = cfg
+            .levels
+            .iter()
+            .map(|l| format!("\"{}\"", l.key()))
+            .collect();
+        let _ = writeln!(s, "    \"levels\": [{}],", levels.join(", "));
+        let _ = writeln!(s, "    \"fuzz_phvs\": {},", cfg.fuzz_phvs);
+        let _ = writeln!(s, "    \"fuzz_runs\": {},", cfg.fuzz_runs);
+        let _ = writeln!(s, "    \"input_bits\": {},", cfg.input_bits);
+        let _ = writeln!(s, "    \"faults_per_program\": {},", cfg.faults_per_program);
+        let _ = writeln!(s, "    \"minimize_checks\": {}", cfg.minimize_checks);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"summary\": {{");
+        let _ = writeln!(s, "    \"programs\": {},", self.programs());
+        let _ = writeln!(s, "    \"truncated\": {},", self.truncated);
+        let _ = writeln!(
+            s,
+            "    \"rejected_candidates\": {},",
+            self.rejected_candidates()
+        );
+        let _ = writeln!(s, "    \"alarming_rejects\": {},", self.alarming_rejects());
+        let _ = writeln!(
+            s,
+            "    \"clean_divergences\": {},",
+            self.clean_divergences()
+        );
+        let _ = writeln!(s, "    \"faults_seeded\": {},", self.faults_seeded());
+        let _ = writeln!(s, "    \"faults_detected\": {},", self.faults_detected());
+        let _ = writeln!(s, "    \"detection_rate\": {:.4},", self.detection_rate());
+        let _ = writeln!(s, "    \"minimized\": {},", self.minimized());
+        let _ = writeln!(s, "    \"panics\": {}", self.panics());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"programs\": [");
+        let rows: Vec<&str> = self.records.iter().map(|r| r.json.as_str()).collect();
+        let _ = writeln!(s, "{}", rows.join(",\n"));
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn esc(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Run a generated-program campaign. Deterministic: the report is a pure
+/// function of the configuration, independent of worker count.
+pub fn genhunt(cfg: &GenHuntConfig) -> Result<GenHuntReport, String> {
+    if cfg.levels.is_empty() {
+        return Err("hunt --generate needs at least one optimization level".into());
+    }
+    if cfg.count == 0 {
+        return Err("--generate needs a nonzero program count".into());
+    }
+
+    let total = cfg.count as usize;
+    let fingerprint = snapshot::fingerprint_of(&[
+        "genhunt".to_string(),
+        format!(
+            "{:?}",
+            GenHuntConfig {
+                runtime: RuntimeOptions::default(),
+                ..cfg.clone()
+            }
+        ),
+    ]);
+
+    // Resume: restore completed sweeps by program index.
+    let mut slots: Vec<Option<GenRecord>> = vec![None; total];
+    if cfg.runtime.resume {
+        if let Some(dir) = cfg.runtime.checkpoint_dir.as_deref() {
+            let loaded = snapshot::load_latest(dir, "genhunt", fingerprint);
+            for w in &loaded.warnings {
+                eprintln!("warning: {w}");
+            }
+            for line in loaded.lines.unwrap_or_default() {
+                match parse_record_line(&line) {
+                    Some(record) if (record.index as usize) < total => {
+                        let slot = record.index as usize;
+                        slots[slot] = Some(record);
+                    }
+                    _ => eprintln!("warning: ignoring malformed genhunt checkpoint line"),
+                }
+            }
+        }
+    }
+    let pending: Vec<u64> = (0..cfg.count)
+        .filter(|&i| slots[i as usize].is_none())
+        .collect();
+
+    let deadline = cfg.runtime.deadline(Instant::now());
+    let every = cfg.runtime.effective_every();
+    let ckpt_dir = cfg.runtime.checkpoint_dir.clone();
+
+    // A worker that dies at the pool level (generation or synthesis
+    // panicking past the per-case guards) still yields a row.
+    let death_record = |index: u64, payload: &str| -> GenRecord {
+        GenRecord {
+            index,
+            name: format!("gen_{:016x}_{index}", cfg.seed),
+            grid: "?".to_string(),
+            rejected: 0,
+            alarming: 0,
+            clean_divergences: 0,
+            faults_seeded: 0,
+            faults_detected: 0,
+            minimized: 0,
+            panicked: true,
+            json: format!(
+                "    {{\"name\": \"gen_{:016x}_{index}\", \"index\": {index}, \
+                 \"panic\": \"{}\"}}",
+                cfg.seed,
+                esc(payload)
+            ),
+        }
+    };
+
+    let mut since_save = 0usize;
+    let results = {
+        let slots = &mut slots;
+        run_stealing_observed(
+            pending.clone(),
+            cfg.workers,
+            deadline,
+            |_, index| sweep_program(cfg, index),
+            |i, result| {
+                let index = pending[i];
+                slots[index as usize] = Some(match result {
+                    Ok(record) => record.clone(),
+                    Err(p) => death_record(index, &p.payload),
+                });
+                since_save += 1;
+                if since_save >= every {
+                    since_save = 0;
+                    if let Some(dir) = ckpt_dir.as_deref() {
+                        save_records(dir, fingerprint, slots);
+                        let completed = slots.iter().flatten().count();
+                        snapshot::write_heartbeat(dir, "genhunt", completed, total, false);
+                    }
+                }
+            },
+        )
+    };
+
+    let truncated = results.iter().filter(|r| r.is_none()).count();
+    if let Some(dir) = ckpt_dir.as_deref() {
+        save_records(dir, fingerprint, &slots);
+        let completed = slots.iter().flatten().count();
+        snapshot::write_heartbeat(dir, "genhunt", completed, total, truncated > 0);
+    }
+
+    let records: Vec<GenRecord> = slots.into_iter().flatten().collect();
+    Ok(GenHuntReport {
+        records,
+        truncated,
+        config: cfg.clone(),
+    })
+}
+
+/// Write every completed record to the campaign snapshot.
+fn save_records(dir: &Path, fingerprint: u64, slots: &[Option<GenRecord>]) {
+    let lines: Vec<String> = slots.iter().flatten().map(record_line).collect();
+    if let Err(e) = snapshot::save(dir, "genhunt", fingerprint, &lines) {
+        eprintln!("warning: failed to write genhunt checkpoint: {e}");
+    }
+}
+
+/// One clean-sweep or fault-sweep divergence, for the JSON row.
+struct Divergence {
+    level: OptLevel,
+    seed: u64,
+    verdict: VerdictClass,
+}
+
+/// Generate program `index` and sweep it: clean differential runs on
+/// every level, then optional fault injection with program-level
+/// minimization of every diverging fault.
+fn sweep_program(cfg: &GenHuntConfig, index: u64) -> GenRecord {
+    let g = generate_domino_at(cfg.seed, index);
+    let task_seed = shard_seed(cfg.seed ^ GENH_SALT, index);
+
+    // Clean sweep: the program is freshly compiled and statically vetted,
+    // so any divergence is a genuine compiler bug.
+    let mut clean: Vec<Divergence> = Vec::new();
+    for (li, &level) in cfg.levels.iter().enumerate() {
+        for run in 0..cfg.fuzz_runs.max(1) {
+            let seed = shard_seed(task_seed, (li * cfg.fuzz_runs.max(1) + run) as u64);
+            let verdict = clean_run(cfg, &g, level, seed);
+            if verdict != VerdictClass::Pass {
+                clean.push(Divergence {
+                    level,
+                    seed,
+                    verdict,
+                });
+                break;
+            }
+        }
+    }
+
+    // Fault sweep: inject known faults into the generated machine code
+    // and hunt them, minimizing each divergence at the program level.
+    let mut faults: Vec<FaultRow> = Vec::new();
+    for f in 0..cfg.faults_per_program {
+        let kind = FaultKind::BEHAVIORAL[f % FaultKind::BEHAVIORAL.len()];
+        let mut injector = FaultInjector::new(shard_seed(task_seed, 0x4641 + f as u64));
+        let Some((bad_mc, fault)) =
+            injector.inject(&g.compiled.pipeline_spec, &g.compiled.machine_code, kind)
+        else {
+            continue;
+        };
+        faults.push(sweep_fault(cfg, &g, task_seed, f, fault, &bad_mc));
+    }
+
+    let faults_detected = faults.iter().filter(|f| f.divergence.is_some()).count();
+    let minimized = faults.iter().filter(|f| f.minimized.is_some()).count();
+    let json = program_json(&g, &clean, &faults);
+    GenRecord {
+        index,
+        name: g.name,
+        grid: g.grid.to_string(),
+        rejected: g.rejects.total(),
+        alarming: g.rejects.alarming(),
+        clean_divergences: clean.len(),
+        faults_seeded: faults.len(),
+        faults_detected,
+        minimized,
+        panicked: false,
+        json,
+    }
+}
+
+/// One differential fuzz run of the unmutated program.
+fn clean_run(cfg: &GenHuntConfig, g: &GeneratedDomino, level: OptLevel, seed: u64) -> VerdictClass {
+    let mut reference = g.interpreter_spec();
+    let fuzz_cfg = FuzzConfig {
+        num_phvs: cfg.fuzz_phvs,
+        seed,
+        input_bits: cfg.input_bits,
+        observable: Some(g.compiled.observable_containers()),
+        state_cells: g.compiled.state_cells.clone(),
+        minimize: false,
+    };
+    fuzz_test(
+        &g.compiled.pipeline_spec,
+        &g.compiled.machine_code,
+        level,
+        &mut reference,
+        &fuzz_cfg,
+    )
+    .verdict
+    .class()
+}
+
+/// One injected fault's sweep result.
+struct FaultRow {
+    fault: Fault,
+    /// First diverging (level, seed, class), `None` when undetected.
+    divergence: Option<Divergence>,
+    /// Program-level minimization result: `(reduced, sizes, checks)`.
+    minimized: Option<MinimizedProgram>,
+}
+
+struct MinimizedProgram {
+    source: String,
+    size_before: usize,
+    size_after: usize,
+    checks: usize,
+}
+
+/// Hunt one injected fault across the levels; on the first divergence,
+/// shrink the *program* to a minimal reproducer that still diverges with
+/// the same verdict class under the same fault and traffic seed.
+fn sweep_fault(
+    cfg: &GenHuntConfig,
+    g: &GeneratedDomino,
+    task_seed: u64,
+    slot: usize,
+    fault: Fault,
+    bad_mc: &druzhba_core::MachineCode,
+) -> FaultRow {
+    let mut divergence = None;
+    for (li, &level) in cfg.levels.iter().enumerate() {
+        let seed = shard_seed(task_seed, 0x4644 + (slot * cfg.levels.len() + li) as u64);
+        let mut reference = g.interpreter_spec();
+        let fuzz_cfg = FuzzConfig {
+            num_phvs: cfg.fuzz_phvs,
+            seed,
+            input_bits: cfg.input_bits,
+            observable: Some(g.compiled.observable_containers()),
+            state_cells: g.compiled.state_cells.clone(),
+            minimize: false,
+        };
+        let verdict = fuzz_test(
+            &g.compiled.pipeline_spec,
+            bad_mc,
+            level,
+            &mut reference,
+            &fuzz_cfg,
+        )
+        .verdict;
+        if verdict.class() != VerdictClass::Pass {
+            divergence = Some(Divergence {
+                level,
+                seed,
+                verdict: verdict.class(),
+            });
+            break;
+        }
+    }
+
+    let minimized = divergence.as_ref().and_then(|d| {
+        let mut oracle =
+            |p: &DominoProgram| catch_silent(|| reproduces(cfg, g, p, &fault, d)).unwrap_or(false);
+        minimize_program(&g.program, &mut oracle, cfg.minimize_checks).map(|(reduced, checks)| {
+            MinimizedProgram {
+                source: druzhba_progen::render_program(&reduced),
+                size_before: program_size(&g.program),
+                size_after: program_size(&reduced),
+                checks,
+            }
+        })
+    });
+
+    FaultRow {
+        fault,
+        divergence,
+        minimized,
+    }
+}
+
+/// The program-level minimization oracle: recompile the candidate on the
+/// generated program's grid, re-apply the fault by pair name (a
+/// reduction that compiles the fault site away does not reproduce), and
+/// replay the differential check under the original diverging traffic
+/// seed, demanding the same verdict class.
+fn reproduces(
+    cfg: &GenHuntConfig,
+    g: &GeneratedDomino,
+    candidate: &DominoProgram,
+    fault: &Fault,
+    d: &Divergence,
+) -> bool {
+    let compiler_cfg = CompilerConfig::new(g.grid.depth, g.grid.width, g.grid.atom);
+    let Ok(comp) = compile(candidate, &compiler_cfg) else {
+        return false;
+    };
+    let Some(bad_mc) = fault.apply(&comp.machine_code) else {
+        return false;
+    };
+    let mut reference = CompiledSpec::new(candidate.clone(), &comp);
+    let fuzz_cfg = FuzzConfig {
+        num_phvs: cfg.fuzz_phvs,
+        seed: d.seed,
+        input_bits: cfg.input_bits,
+        observable: Some(comp.observable_containers()),
+        state_cells: comp.state_cells.clone(),
+        minimize: false,
+    };
+    let verdict = fuzz_test(
+        &comp.pipeline_spec,
+        &bad_mc,
+        d.level,
+        &mut reference,
+        &fuzz_cfg,
+    )
+    .verdict;
+    verdict.class() == d.verdict
+}
+
+fn fault_json(fault: &Fault) -> String {
+    match fault {
+        Fault::RemovedPair { name } => {
+            format!(
+                "{{\"kind\": \"removed_pair\", \"name\": \"{}\"}}",
+                esc(name)
+            )
+        }
+        Fault::MutatedValue { name, old, new } => format!(
+            "{{\"kind\": \"mutated_value\", \"name\": \"{}\", \"old\": {old}, \"new\": {new}}}",
+            esc(name)
+        ),
+        Fault::OutOfRangeValue { name, new } => format!(
+            "{{\"kind\": \"out_of_range_value\", \"name\": \"{}\", \"new\": {new}}}",
+            esc(name)
+        ),
+        Fault::HostileTrap { name, old } => format!(
+            "{{\"kind\": \"hostile_trap\", \"name\": \"{}\", \"old\": {old}}}",
+            esc(name)
+        ),
+    }
+}
+
+/// Render one program's JSON row.
+fn program_json(g: &GeneratedDomino, clean: &[Divergence], faults: &[FaultRow]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\"name\": \"{}\", \"index\": {}, \"grid\": \"{}\", \"atom\": \"{}\", \
+         \"recipe\": \"{}\", \"rejected\": {}, ",
+        g.name,
+        g.index,
+        g.grid,
+        g.grid.atom,
+        esc(&g.recipe()),
+        g.rejects.total()
+    );
+    let clean_rows: Vec<String> = clean
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"level\": \"{}\", \"seed\": {}, \"verdict\": \"{}\"}}",
+                d.level.key(),
+                d.seed,
+                d.verdict.key()
+            )
+        })
+        .collect();
+    let _ = write!(s, "\"clean_divergences\": [{}], ", clean_rows.join(", "));
+    let fault_rows: Vec<String> = faults
+        .iter()
+        .map(|f| {
+            let mut row = format!("{{\"fault\": {}, ", fault_json(&f.fault));
+            match &f.divergence {
+                Some(d) => {
+                    let _ = write!(
+                        row,
+                        "\"detected\": true, \"level\": \"{}\", \"seed\": {}, \
+                         \"verdict\": \"{}\", ",
+                        d.level.key(),
+                        d.seed,
+                        d.verdict.key()
+                    );
+                }
+                None => {
+                    let _ = write!(row, "\"detected\": false, ");
+                }
+            }
+            match &f.minimized {
+                Some(m) => {
+                    let _ = write!(
+                        row,
+                        "\"minimized\": {{\"size_before\": {}, \"size_after\": {}, \
+                         \"checks\": {}, \"source\": \"{}\"}}}}",
+                        m.size_before,
+                        m.size_after,
+                        m.checks,
+                        esc(&m.source)
+                    );
+                }
+                None => {
+                    let _ = write!(row, "\"minimized\": null}}");
+                }
+            }
+            row
+        })
+        .collect();
+    let _ = write!(s, "\"faults\": [{}]}}", fault_rows.join(", "));
+    s
+}

@@ -12,11 +12,15 @@
 //! druzhba emit    <file.p4> [--entries FILE] [--level 0|1|2|3]
 //! druzhba hunt    [--programs a,b,c] [--mutants N] [--seed S] [--level L|all]
 //!                 [--phvs N] [--bits B] [--runs R] [--jobs J] [--out FILE]
+//! druzhba hunt    --generate N [--faults F] [--minimize-checks C] [--seed S]
+//!                 [--level L|all] [--phvs N] [--bits B] [--jobs J] [--out FILE]
+//! druzhba generate [--count N] [--seed S] [--index K] [--p4] [--json] [--out FILE]
 //! druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
 //!                 [--depth D --width W --atom NAME] [--entries FILE]
 //! druzhba p4-fuzz [<file.p4>|<p4-program>] [--entries FILE] [--lint] [--phvs N] [--bits B]
 //!                 [--seed S] [--level L|all] [--runs R] [--jobs J] [--mutants N]
 //!                 [--stages N] [--tables-per-stage T] [--cross-model on|off] [--out FILE]
+//! druzhba p4-fuzz --generate N [...same flags...]
 //! druzhba atoms
 //! druzhba programs
 //! ```
@@ -43,10 +47,12 @@ use druzhba::dsim::runtime::RuntimeOptions;
 use druzhba::dsim::snapshot;
 use druzhba::dsim::testing::{fuzz_campaign_with_runtime, fuzz_test, CampaignConfig, FuzzConfig};
 use druzhba::dsim::verify::{verify_bounded, VerifyConfig, VerifyOutcome};
+use druzhba::genhunt::{genhunt, GenHuntConfig};
 use druzhba::hunt::{hunt, HuntConfig};
 use druzhba::p4::deps::build_dag;
 use druzhba::p4::lower::RmtConfig;
 use druzhba::p4hunt::{cross_model_check, p4_hunt_workloads, P4HuntConfig};
+use druzhba::progen::{generate_domino_at, generate_p4, generate_p4_at};
 use druzhba::programs::{p4_by_name, P4_PROGRAMS};
 
 fn main() -> ExitCode {
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "emit" => cmd_emit(&args[1..]),
         "hunt" => cmd_hunt(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
         "analyze" => match cmd_analyze(&args[1..]) {
             Ok(code) => return code,
             Err(e) => Err(e),
@@ -110,6 +117,19 @@ USAGE:
                   [--case-budget N]  (cap differential batches per evaluation)
                   mutation campaign over the Table 1 corpus (JSON report;
                   every mutant also carries its static-analysis flag)
+  druzhba hunt    --generate N [--faults F] [--minimize-checks C] [--seed S]
+                  [--level 0|1|2|3|all] [--phvs N] [--bits B] [--runs R]
+                  [--jobs J] [--out FILE]
+                  Gauntlet-style campaign over N freshly *generated*,
+                  screen-vetted Domino programs: a clean differential sweep
+                  on every backend (any divergence is a compiler bug and the
+                  exit is nonzero), plus optional fault injection (--faults F
+                  per program) with program-level ddmin of every divergence
+  druzhba generate [--count N] [--seed S] [--index K] [--p4] [--json] [--out FILE]
+                  emit generated programs without running packets; program K
+                  of a seed is a pure function of (seed, K), so
+                  `--seed S --index K` replays exactly the program a
+                  hunt --generate report names in its replay recipe
   druzhba analyze [<file.domino>|<file.p4>|<program>] [--json] [--out FILE]
                   [--depth D --width W --atom NAME] [--entries FILE] [--symbolic]
                   abstract-interpretation static analysis: translation
@@ -131,6 +151,10 @@ USAGE:
   druzhba p4-fuzz --mutants N [...same flags...] [--out FILE]
                   table/action-fault mutation campaign (JSON report; nonzero
                   exit if any injected fault survives)
+  druzhba p4-fuzz --generate N [...same flags...]
+                  swap the corpus for N freshly generated, TV-vetted P4
+                  workloads; --lint, --runs, --mutants, --greybox, and the
+                  cross-model check all compose with the generated targets
   druzhba atoms      list the ALU DSL atom library
   druzhba programs   list the Table 1 benchmark programs and the P4 corpus
 
@@ -156,7 +180,7 @@ impl Args {
         let mut file = None;
         let mut flags = Vec::new();
         // Flags that take no value (presence is the signal).
-        const BOOLEAN_FLAGS: &[&str] = &["json", "lint", "symbolic"];
+        const BOOLEAN_FLAGS: &[&str] = &["json", "lint", "symbolic", "p4"];
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
@@ -593,7 +617,31 @@ fn cmd_compile_p4(args: &Args, file: &str) -> Result<(), String> {
 
 fn cmd_p4_fuzz(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
-    let targets = load_p4_targets(&args)?;
+    // `--generate N` swaps the corpus/file targets for N freshly
+    // generated, TV-vetted P4 workloads; every downstream mode (--lint,
+    // plain runs, --mutants, --greybox, cross-model) composes unchanged.
+    let generate = args.get_usize("generate", 0)?;
+    let targets = if generate > 0 {
+        if args.file.is_some() {
+            return Err(
+                "--generate replaces the corpus/file targets; drop the positional argument".into(),
+            );
+        }
+        let base = args.get_seed("seed", P4FuzzConfig::default().seed)?;
+        let generated = generate_p4(base, generate as u64);
+        let rejected: u64 = generated.iter().map(|g| u64::from(g.rejects.total())).sum();
+        eprintln!(
+            "p4-fuzz --generate: {} workload(s) generated from seed {base:#x} \
+             ({rejected} candidate(s) rejected by the validity screen)",
+            generated.len()
+        );
+        generated
+            .into_iter()
+            .map(|g| (g.name, g.workload))
+            .collect()
+    } else {
+        load_p4_targets(&args)?
+    };
     if args.get("lint").is_some() {
         // Static pre-pass: lint every target and translation-validate the
         // lowered program before spending any fuzz budget.
@@ -1075,6 +1123,211 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `druzhba generate`: emit generated programs without running any
+/// packets — the inspection/replay face of the Gauntlet-style campaign.
+/// Program `k` of a seed is a pure function of `(seed, k)`, so the
+/// `--index` flag replays exactly the program a hunt report names.
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    if let Some(file) = &args.file {
+        return Err(format!(
+            "generate takes no positional argument (got `{file}`); \
+             programs are addressed by --seed and --index"
+        ));
+    }
+    let seed = args.get_seed("seed", GenHuntConfig::default().seed)?;
+    let start = args.get_usize("index", 0)? as u64;
+    let count = args.get_usize("count", 1)? as u64;
+    if count == 0 {
+        return Err("--count needs a nonzero program count".into());
+    }
+    let json = args.get("json").is_some();
+    let mut out = String::new();
+    let rejected: u64;
+    if args.get("p4").is_some() {
+        let programs: Vec<_> = (start..start + count)
+            .map(|i| generate_p4_at(seed, i))
+            .collect();
+        rejected = programs.iter().map(|g| u64::from(g.rejects.total())).sum();
+        if json {
+            out.push_str("{\n  \"kind\": \"p4\",\n  \"programs\": [\n");
+            let rows: Vec<String> = programs
+                .iter()
+                .map(|g| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"index\": {}, \"rejected\": {}, \
+                         \"recipe\": \"{}\", \"source\": \"{}\", \"entries\": \"{}\"}}",
+                        g.name,
+                        g.index,
+                        g.rejects.total(),
+                        json_escape(&g.recipe()),
+                        json_escape(&g.source),
+                        json_escape(&g.entries)
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(",\n"));
+            out.push_str("\n  ]\n}\n");
+        } else {
+            for g in &programs {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "// {} (replay: {})", g.name, g.recipe());
+                out.push_str(&g.source);
+                let _ = writeln!(out, "// entries for {}:", g.name);
+                for line in g.entries.lines() {
+                    let _ = writeln!(out, "//   {line}");
+                }
+            }
+        }
+    } else {
+        let programs: Vec<_> = (start..start + count)
+            .map(|i| generate_domino_at(seed, i))
+            .collect();
+        rejected = programs.iter().map(|g| u64::from(g.rejects.total())).sum();
+        if json {
+            out.push_str("{\n  \"kind\": \"domino\",\n  \"programs\": [\n");
+            let rows: Vec<String> = programs
+                .iter()
+                .map(|g| {
+                    format!(
+                        "    {{\"name\": \"{}\", \"index\": {}, \"grid\": \"{}\", \
+                         \"atom\": \"{}\", \"rejected\": {}, \"recipe\": \"{}\", \
+                         \"source\": \"{}\"}}",
+                        g.name,
+                        g.index,
+                        g.grid,
+                        g.grid.atom,
+                        g.rejects.total(),
+                        json_escape(&g.recipe()),
+                        json_escape(&g.source)
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(",\n"));
+            out.push_str("\n  ]\n}\n");
+        } else {
+            for g in &programs {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "// {}: --depth {} --width {} --atom {} (replay: {})",
+                    g.name,
+                    g.grid.depth,
+                    g.grid.width,
+                    g.grid.atom,
+                    g.recipe()
+                );
+                out.push_str(&g.source);
+            }
+        }
+    }
+    eprintln!(
+        "generate: {count} {} program(s) from seed {seed:#x} starting at index {start} \
+         ({rejected} candidate(s) rejected by the validity screen)",
+        if args.get("p4").is_some() {
+            "p4"
+        } else {
+            "domino"
+        }
+    );
+    match args.get("out") {
+        Some(path) => {
+            atomic_write(path, &out)?;
+            eprintln!("generated program(s) written to {path}");
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+/// JSON string escaping for the hand-written `generate --json` rows.
+fn json_escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `druzhba hunt --generate N`: the Gauntlet-style generated-program
+/// campaign (clean differential sweep, optional fault injection with
+/// program-level minimization).
+fn cmd_genhunt(args: &Args, count: u64) -> Result<(), String> {
+    if args.get("programs").is_some() || args.get("mutants").is_some() {
+        return Err(
+            "--generate sweeps freshly generated programs; --programs/--mutants \
+             belong to the corpus hunt (drop --generate to use them)"
+                .into(),
+        );
+    }
+    let defaults = GenHuntConfig::default();
+    let cfg = GenHuntConfig {
+        count,
+        seed: args.get_seed("seed", defaults.seed)?,
+        levels: args.get_levels("level", &defaults.levels)?,
+        fuzz_phvs: args.get_usize("phvs", defaults.fuzz_phvs)?,
+        fuzz_runs: args.get_usize("runs", defaults.fuzz_runs)?,
+        input_bits: args.get_u32("bits", defaults.input_bits)?,
+        faults_per_program: args.get_usize("faults", defaults.faults_per_program)?,
+        minimize_checks: args.get_usize("minimize-checks", defaults.minimize_checks)?,
+        workers: match args.get_usize("jobs", 0)? {
+            0 => defaults.workers,
+            jobs => jobs,
+        },
+        runtime: runtime_options(args)?,
+    };
+    let report = genhunt(&cfg)?;
+
+    eprintln!(
+        "hunt --generate: {} program(s) swept over {} backend(s), {} candidate(s) \
+         rejected by the validity screen, {} clean divergence(s)",
+        report.programs(),
+        cfg.levels.len(),
+        report.rejected_candidates(),
+        report.clean_divergences()
+    );
+    if report.faults_seeded() > 0 {
+        eprintln!(
+            "hunt --generate: {}/{} injected fault(s) detected ({:.1}%), {} minimized \
+             to program-level reproducers",
+            report.faults_detected(),
+            report.faults_seeded(),
+            report.detection_rate() * 100.0,
+            report.minimized()
+        );
+    }
+    warn_truncated("hunt --generate", report.truncated);
+    let json = report.to_json();
+    match args.get("out") {
+        Some(path) => {
+            atomic_write(path, &json)?;
+            eprintln!("hunt --generate report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if report.panics() > 0 {
+        return Err(format!(
+            "hunt --generate: {} program sweep(s) died to a worker panic",
+            report.panics()
+        ));
+    }
+    if report.clean_divergences() > 0 {
+        return Err(format!(
+            "hunt --generate: {} clean-sweep divergence(s) on freshly generated, \
+             statically vetted programs — each one is a genuine compiler bug \
+             (replay recipes are in the report's programs[] rows)",
+            report.clean_divergences()
+        ));
+    }
+    if report.alarming_rejects() > 0 {
+        return Err(format!(
+            "hunt --generate: {} candidate(s) rejected because translation validation \
+             mismatched or the symbolic pass refuted their fresh compile — each one \
+             is a genuine compiler bug",
+            report.alarming_rejects()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_hunt(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
     if let Some(file) = &args.file {
@@ -1082,6 +1335,10 @@ fn cmd_hunt(rest: &[String]) -> Result<(), String> {
             "hunt runs over the built-in corpus (unexpected argument `{file}`); \
              select programs with --programs a,b,c"
         ));
+    }
+    let generate = args.get_usize("generate", 0)?;
+    if generate > 0 {
+        return cmd_genhunt(&args, generate as u64);
     }
     let defaults = HuntConfig::default();
     let cfg = HuntConfig {

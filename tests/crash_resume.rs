@@ -113,6 +113,134 @@ fn killed_hunt_resumes_to_a_byte_identical_report() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The same SIGKILL-and-resume guarantee for the generated-program
+/// campaign: `hunt --generate` checkpoints per program index, and a
+/// resumed campaign's report is byte-identical to an uninterrupted
+/// run's.
+#[test]
+fn killed_genhunt_resumes_to_a_byte_identical_report() {
+    let bin = env!("CARGO_BIN_EXE_druzhba");
+    let dir = std::env::temp_dir().join(format!("druzhba-genhunt-resume-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.json");
+    let resumed = dir.join("resumed.json");
+    let ckpt = dir.join("ckpt");
+    let base = [
+        "hunt",
+        "--generate",
+        "6",
+        "--phvs",
+        "150",
+        "--faults",
+        "1",
+        "--jobs",
+        "2",
+        "--seed",
+        "7",
+    ];
+
+    let status = Command::new(bin)
+        .args(base)
+        .args(["--out", clean.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn clean genhunt");
+    assert!(status.success(), "clean genhunt failed");
+
+    let mut child = Command::new(bin)
+        .args(base)
+        .args([
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--every",
+            "1",
+            "--out",
+            dir.join("dead.json").to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointed genhunt");
+    let snap = ckpt.join("genhunt.snapshot");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if snap.exists() {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared before the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(snap.exists(), "victim died without writing a snapshot");
+
+    let status = Command::new(bin)
+        .args(base)
+        .args([
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--out",
+            resumed.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn resumed genhunt");
+    assert!(status.success(), "resumed genhunt failed");
+
+    let clean_bytes = fs::read(&clean).expect("clean report");
+    let resumed_bytes = fs::read(&resumed).expect("resumed report");
+    assert!(!clean_bytes.is_empty());
+    assert_eq!(
+        clean_bytes, resumed_bytes,
+        "resumed genhunt report is not byte-identical to the uninterrupted run"
+    );
+    let status_json = fs::read_to_string(ckpt.join("status.json")).expect("heartbeat");
+    assert!(
+        status_json.contains("\"kind\": \"genhunt\""),
+        "{status_json}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Budget truncation is graceful for the generated-program campaign
+/// too: exit 0, loud warning, report marked truncated.
+#[test]
+fn budgeted_genhunt_exits_zero_with_a_truncation_warning() {
+    let bin = env!("CARGO_BIN_EXE_druzhba");
+    let out = Command::new(bin)
+        .args([
+            "hunt",
+            "--generate",
+            "4",
+            "--phvs",
+            "150",
+            "--jobs",
+            "2",
+            "--budget-secs",
+            "0",
+        ])
+        .output()
+        .expect("spawn budgeted genhunt");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget expired"), "stderr: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"truncated\": 4"), "stdout: {stdout}");
+}
+
 #[test]
 fn budgeted_hunt_exits_zero_with_a_truncation_warning() {
     let bin = env!("CARGO_BIN_EXE_druzhba");
