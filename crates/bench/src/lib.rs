@@ -20,8 +20,8 @@
 use std::time::{Duration, Instant};
 
 use druzhba_chipmunk::CompiledProgram;
-use druzhba_core::{MachineCode, Result};
-use druzhba_dgen::{OptLevel, Pipeline, PipelineSpec};
+use druzhba_core::{Error, MachineCode, Phv, Result};
+use druzhba_dgen::{LanePipeline, OptLevel, Pipeline, PipelineSpec};
 use druzhba_dsim::{Simulator, TrafficGenerator};
 use druzhba_programs::ProgramDef;
 
@@ -80,6 +80,64 @@ pub fn time_batch(
     // Keep the output alive so the run cannot be optimized away.
     assert_eq!(batch.len(), num_phvs);
     Ok(elapsed)
+}
+
+/// Build the fused pipeline, lower it into the SoA lane engine, and time
+/// pushing `num_phvs` random PHVs through it in lane-parallel sweeps of
+/// `width` PHVs per instruction stream ([`druzhba_dgen::LaneSweep`]).
+///
+/// Each lane is an *independent* execution from reset state — the
+/// configuration lane-swept bounded verification runs — so the column this
+/// feeds (`fused_lanes` in `BENCH_scaling.json`) measures the SIMD
+/// engine's verification throughput against the scalar fused baseline.
+/// Per-PHV instruction work is identical to [`time_batch`] at
+/// [`OptLevel::Fused`]; only the state chaining differs (zeroed per lane
+/// instead of threaded across the batch).
+pub fn time_batch_lanes(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    num_phvs: usize,
+    seed: u64,
+    width: usize,
+) -> Result<Duration> {
+    let pipeline = Pipeline::generate(spec, mc, OptLevel::Fused)?;
+    let fused = pipeline.fused_program().expect("fused level");
+    let lowered = LanePipeline::lower(fused).ok_or_else(|| Error::Other {
+        message: "fused program is not lane-lowerable (non-forward jump)".to_string(),
+    })?;
+    let mut sweep = lowered.sweep(width).ok_or_else(|| Error::Other {
+        message: format!("unsupported lane width {width}"),
+    })?;
+    let phv_len = spec.config.phv_length;
+    let mut traffic = TrafficGenerator::new(seed, phv_len, 10);
+    let mut batch = traffic.trace(num_phvs).phvs;
+    let start = Instant::now();
+    sweep_batch(&mut sweep, phv_len, &mut batch);
+    let elapsed = start.elapsed();
+    // Keep the output alive so the run cannot be optimized away.
+    assert_eq!(batch.len(), num_phvs);
+    Ok(elapsed)
+}
+
+/// Process a batch through a lane sweep, `width` PHVs per instruction
+/// stream, each from reset state (the loop [`time_batch_lanes`] times).
+fn sweep_batch(sweep: &mut druzhba_dgen::LaneSweep<'_>, phv_len: usize, batch: &mut [Phv]) {
+    let width = sweep.width();
+    for chunk in batch.chunks_mut(width) {
+        sweep.reset();
+        sweep.clear_phv();
+        for (lane, phv) in chunk.iter().enumerate() {
+            for c in 0..phv_len {
+                sweep.set_input(lane, c, phv.get(c));
+            }
+        }
+        sweep.step(chunk.len());
+        for (lane, phv) in chunk.iter_mut().enumerate() {
+            for c in 0..phv_len {
+                phv.set(c, sweep.output(lane, c));
+            }
+        }
+    }
 }
 
 /// One row of Table 1, extended with the beyond-paper fused backend.
@@ -214,6 +272,90 @@ mod tests {
         let v = compile_variant(def, 1, 1).unwrap();
         assert_eq!(v.pipeline_spec.config.depth, def.depth + 1);
         assert_eq!(v.pipeline_spec.config.width, def.width + 1);
+    }
+
+    /// The lane-sweep loop [`time_batch_lanes`] times must compute exactly
+    /// what a scalar fused pipeline computes when reset before every PHV —
+    /// otherwise the `fused_lanes` column measures a different workload.
+    #[test]
+    fn lane_sweep_batch_matches_scalar_reset_per_phv() {
+        let def = druzhba_programs::by_name("sampling").unwrap();
+        let compiled = def.compile_cached().unwrap();
+        let spec = &compiled.pipeline_spec;
+        let mc = &compiled.machine_code;
+        let phv_len = spec.config.phv_length;
+        let mut traffic = TrafficGenerator::new(BENCH_SEED, phv_len, 10);
+        let inputs = traffic.trace(37).phvs; // partial final chunk at every width
+        let mut scalar = Pipeline::generate(spec, mc, OptLevel::Fused).unwrap();
+        let expected: Vec<Phv> = inputs
+            .iter()
+            .map(|phv| {
+                scalar.reset();
+                let mut x = phv.clone();
+                scalar.process_in_place(&mut x);
+                x
+            })
+            .collect();
+        let pipeline = Pipeline::generate(spec, mc, OptLevel::Fused).unwrap();
+        let fused = pipeline.fused_program().unwrap();
+        let lowered = LanePipeline::lower(fused).unwrap();
+        for width in [1usize, 8, 64] {
+            let mut sweep = lowered.sweep(width).unwrap();
+            let mut batch = inputs.clone();
+            sweep_batch(&mut sweep, phv_len, &mut batch);
+            assert_eq!(batch, expected, "width {width}");
+        }
+    }
+
+    /// `time_batch_lanes` end to end: nonzero timing on a grid spec with
+    /// zeroed machine code (the scaling binary's exact workload).
+    #[test]
+    fn lane_timing_harness_runs() {
+        use druzhba_alu_dsl::atoms::atom;
+        use druzhba_core::PipelineConfig;
+        use druzhba_dgen::expected_machine_code;
+        let spec = PipelineSpec::new(
+            PipelineConfig::new(2, 2),
+            atom("pred_raw").unwrap(),
+            atom("stateless_full").unwrap(),
+        )
+        .unwrap();
+        let mc = MachineCode::from_pairs(
+            expected_machine_code(&spec)
+                .into_iter()
+                .map(|(n, _)| (n, 0)),
+        );
+        let d = time_batch_lanes(&spec, &mc, 2_000, BENCH_SEED, 32).unwrap();
+        assert!(d > Duration::ZERO);
+        assert!(time_batch_lanes(&spec, &mc, 100, BENCH_SEED, 7).is_err());
+    }
+
+    /// The committed `BENCH_scaling.json` must carry the `fused_lanes`
+    /// column and a lanes-over-fused geomean at or above the CI floor —
+    /// the regression gate's committed counterpart. Regenerate with
+    /// `cargo run --release -p druzhba-bench --bin scaling` after any
+    /// lane-engine change.
+    #[test]
+    fn committed_scaling_json_has_lane_column_above_floor() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_scaling.json");
+        assert!(
+            json.contains("\"fused_lanes\""),
+            "BENCH_scaling.json lacks the fused_lanes column; regenerate it"
+        );
+        let key = "\"fused_lanes_over_fused_geomean\": ";
+        let at = json
+            .find(key)
+            .expect("BENCH_scaling.json lacks fused_lanes_over_fused_geomean");
+        let rest = &json[at + key.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let geomean: f64 = rest[..end].parse().expect("geomean parses");
+        assert!(
+            geomean >= 4.0,
+            "committed lanes-over-fused geomean {geomean} fell below the 4x floor"
+        );
     }
 
     #[test]

@@ -259,6 +259,21 @@ impl FusedPipeline {
         &self.state_regs
     }
 
+    /// The full state window `(base, len)` within the frame: registers
+    /// `[base, base + len)` hold every stateful ALU's state, contiguously.
+    pub fn state_window(&self) -> (usize, usize) {
+        self.state_window
+    }
+
+    /// Mutable view of the live state window. The lane engine executes
+    /// its serial regions directly against this slice so that scalar and
+    /// lane-batched execution share one state store (and therefore one
+    /// [`FusedPipeline::state_snapshot`] / [`FusedPipeline::reset`]).
+    pub(crate) fn state_mut(&mut self) -> &mut [Value] {
+        let (base, len) = self.state_window;
+        &mut self.frame[base..base + len]
+    }
+
     /// Push one PHV through every stage, in place and allocation-free.
     pub fn process_in_place(&mut self, phv: &mut Phv) {
         self.process_in_place_cov(phv, None);

@@ -35,12 +35,14 @@ pub mod bytecode;
 pub mod emit;
 pub mod eval;
 pub mod fused;
+pub mod lanes;
 pub mod mat;
 pub mod opt;
 pub mod pipeline;
 
 pub use bytecode::BytecodeProgram;
 pub use fused::{FusedInstr, FusedPipeline};
+pub use lanes::{LanePipeline, LaneSweep, LANE_WIDTHS, MAX_LANES};
 pub use mat::{emit_mat_pipeline, MatInstr, MatPipeline};
 pub use opt::specialize;
 pub use pipeline::{expected_machine_code, AluUnit, Pipeline, PipelineSpec, Stage};

@@ -926,6 +926,7 @@ fn hunt_verify_config(cfg: &HuntConfig, comp: &CompiledProgram) -> VerifyConfig 
         observable: Some(comp.observable_containers()),
         state_cells: comp.state_cells.clone(),
         max_cases: 1 << 16,
+        lanes: 0,
     }
 }
 

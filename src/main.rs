@@ -105,9 +105,14 @@ USAGE:
                   [--greybox E]         (coverage-guided campaign with an E-execution
                                          budget; tune with --gb-packets P
                                          --gb-max-packets N --corpus N --merge-every M
-                                         --jobs J; see docs/FUZZING.md)
+                                         --jobs J --lanes 0|1|8|16|32|64;
+                                         see docs/FUZZING.md)
   druzhba verify  <file.domino> --depth D --width W --atom NAME [--bits B] [--packets N]
                   [--level 0|1|2|3|all]  (default: all backends)
+                  [--max-cases N] [--lanes 1|8|16|32|64]
+                  (--lanes sweeps the fused backend's SIMD lane engine, 64
+                   inputs per instruction stream; raises the exhaustive wall
+                   to 32-bit inputs under the --max-cases budget)
   druzhba emit    <file.domino> --depth D --width W --atom NAME [--level 0|1|2|3]
   druzhba emit    <file.p4> [--entries FILE] [--level 0|1|2|3] [--stages N]
                   (render the lowered match-action pipeline at that backend)
@@ -394,6 +399,13 @@ fn greybox_config(
     bits: u32,
 ) -> Result<GreyboxConfig, String> {
     let defaults = GreyboxConfig::default();
+    let lanes = args.get_usize("lanes", defaults.lanes)?;
+    if lanes != 0 && !druzhba::dgen::lanes::supported_width(lanes) {
+        return Err(format!(
+            "--lanes {lanes} is not a supported width; pick one of 1, 8, 16, 32, 64 \
+             (or 0 for the scalar oracle)"
+        ));
+    }
     Ok(GreyboxConfig {
         executions,
         packets: args.get_usize("gb-packets", defaults.packets)?,
@@ -408,6 +420,7 @@ fn greybox_config(
         merge_every: args.get_usize("merge-every", defaults.merge_every)?,
         initial_seeds: defaults.initial_seeds,
         minimize: true,
+        lanes,
         runtime: runtime_options(args)?,
     })
 }
@@ -456,8 +469,13 @@ fn greybox_replay(cfg: &GreyboxConfig, mode: &str) -> String {
     } else {
         format!(" --gb-max-packets {}", cfg.max_packets)
     };
+    let lanes = if cfg.lanes == 0 {
+        String::new()
+    } else {
+        format!(" --lanes {}", cfg.lanes)
+    };
     format!(
-        "--greybox {} --seed {:#x} --jobs {} --gb-packets {} --corpus {} --merge-every {}{cap}{mode}",
+        "--greybox {} --seed {:#x} --jobs {} --gb-packets {} --corpus {} --merge-every {}{cap}{lanes}{mode}",
         cfg.executions, cfg.seed, cfg.workers, cfg.packets, cfg.corpus_max, cfg.merge_every
     )
 }
@@ -1073,9 +1091,31 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
     report(&compiled);
     let bits = args.get_u32("bits", 2)?;
     let packets = args.get_usize("packets", 3)?;
+    let max_cases = args.get_usize("max-cases", 10_000_000)? as u64;
+    let lanes = args.get_usize("lanes", 0)?;
+    if lanes != 0 && !druzhba::dgen::lanes::supported_width(lanes) {
+        return Err(format!(
+            "--lanes {lanes} is not a supported width; pick one of 1, 8, 16, 32, 64 \
+             (or 0 to enumerate with the scalar backend)"
+        ));
+    }
     // Default: cover every backend — a divergence between levels is
-    // exactly the compiler-testing signal this tool exists for.
-    let levels = args.get_levels("level", &OptLevel::ALL)?;
+    // exactly the compiler-testing signal this tool exists for. Lane
+    // sweeping lowers the fused register program, so --lanes narrows the
+    // default to the fused level (and rejects an explicit conflict).
+    let default_levels: &[OptLevel] = if lanes > 0 {
+        &[OptLevel::Fused]
+    } else {
+        &OptLevel::ALL
+    };
+    let levels = args.get_levels("level", default_levels)?;
+    if lanes > 0 && levels.iter().any(|&l| l != OptLevel::Fused) {
+        return Err(
+            "--lanes sweeps the fused backend's lane engine; combine it only with \
+             --level fused (or 3)"
+                .into(),
+        );
+    }
     for &level in &levels {
         let mut spec = CompiledSpec::new(program.clone(), &compiled);
         let outcome = verify_bounded(
@@ -1089,15 +1129,21 @@ fn cmd_verify(rest: &[String]) -> Result<(), String> {
                 relevant_containers: (0..compiled.input_fields.len()).collect(),
                 observable: Some(compiled.observable_containers()),
                 state_cells: compiled.state_cells.clone(),
-                max_cases: 10_000_000,
+                max_cases,
+                lanes,
             },
         )
         .map_err(|e| e.to_string())?;
         match outcome {
             VerifyOutcome::Verified { cases } => {
+                let mode = if lanes > 0 {
+                    format!(" ({lanes}-lane sweep)")
+                } else {
+                    String::new()
+                };
                 println!(
                     "verified[{}]: all {cases} input trace(s) of {packets} packet(s) at \
-                     {bits}-bit inputs agree with the specification",
+                     {bits}-bit inputs agree with the specification{mode}",
                     level.key()
                 );
             }

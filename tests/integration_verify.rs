@@ -24,6 +24,7 @@ fn verify_program(name: &str, bits: u32, packets: usize) -> VerifyOutcome {
             observable: Some(compiled.observable_containers()),
             state_cells: compiled.state_cells.clone(),
             max_cases: 100_000,
+            lanes: 0,
         },
     )
     .unwrap()
@@ -109,6 +110,7 @@ fn verification_produces_concrete_counterexample() {
             observable: Some(compiled.observable_containers()),
             state_cells: compiled.state_cells.clone(),
             max_cases: 100_000,
+            lanes: 0,
         },
     )
     .unwrap();

@@ -1,0 +1,263 @@
+//! Differential lane-vs-scalar properties for the SoA lane engine
+//! (`dgen::lanes`): for any in-domain machine code and any PHV batch,
+//! [`Pipeline::process_batch_lanes`] must be *bit-identical* to the scalar
+//! fused [`Pipeline::process_batch`] — outputs, threaded state, coverage
+//! bytes, and (under injected faults) the divergence a differential oracle
+//! reports. Partial final batches and the empty/single-PHV edge cases are
+//! pinned explicitly.
+
+use proptest::prelude::*;
+
+use druzhba::alu_dsl::atoms::atom;
+use druzhba::alu_dsl::HoleDomain;
+use druzhba::core::{MachineCode, Phv, PipelineConfig, Trace};
+use druzhba::dgen::{expected_machine_code, OptLevel, Pipeline, PipelineSpec};
+use druzhba::dsim::fault::FaultInjector;
+
+/// The widths the differential harness sweeps (the engine also supports
+/// 16; {1, 8, 32, 64} covers the degenerate, narrow, and widest shapes).
+const WIDTHS: [usize; 4] = [1, 8, 32, 64];
+
+fn spec_for(stateful: &str, stateless: &str, depth: usize, width: usize) -> PipelineSpec {
+    PipelineSpec::new(
+        PipelineConfig::new(depth, width),
+        atom(stateful).unwrap(),
+        atom(stateless).unwrap(),
+    )
+    .unwrap()
+}
+
+/// Strategy: an arbitrary in-domain machine code for the spec.
+fn machine_code_strategy(spec: &PipelineSpec) -> impl Strategy<Value = MachineCode> {
+    let expected = expected_machine_code(spec);
+    let fields: Vec<(String, u32)> = expected
+        .into_iter()
+        .map(|(name, domain)| {
+            let bound = match domain {
+                HoleDomain::Choice(n) => n,
+                HoleDomain::Bits(b) => 1u32 << b.min(8),
+            };
+            (name, bound)
+        })
+        .collect();
+    let values: Vec<BoxedStrategy<u32>> = fields
+        .iter()
+        .map(|(_, bound)| (0..*bound).boxed())
+        .collect();
+    let names: Vec<String> = fields.into_iter().map(|(n, _)| n).collect();
+    values.prop_map(move |vs| MachineCode::from_pairs(names.iter().cloned().zip(vs)))
+}
+
+/// The vendored proptest only generates fixed-length vecs; batch-size
+/// variation (partial final chunks, empty batches) comes from pairing the
+/// full-size stream with a random truncation length.
+fn phv_stream(len: usize, count: usize) -> impl Strategy<Value = Vec<Phv>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..1024, len).prop_map(Phv::new),
+        count,
+    )
+}
+
+/// Run a batch through the scalar fused path and return everything a
+/// differential check can observe: outputs, final state, coverage bytes.
+fn scalar_run(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    batch: &[Phv],
+) -> (Vec<Phv>, Vec<Vec<Vec<u32>>>, Vec<u8>) {
+    let mut p = Pipeline::generate(spec, mc, OptLevel::Fused).unwrap();
+    p.enable_coverage();
+    let mut out = batch.to_vec();
+    p.process_batch(&mut out);
+    let cov = p.coverage().unwrap().as_bytes().to_vec();
+    (out, p.state_snapshot(), cov)
+}
+
+/// Same observation through the lane engine at `width`.
+fn lane_run(
+    spec: &PipelineSpec,
+    mc: &MachineCode,
+    batch: &[Phv],
+    width: usize,
+) -> (Vec<Phv>, Vec<Vec<Vec<u32>>>, Vec<u8>) {
+    let mut p = Pipeline::generate(spec, mc, OptLevel::Fused).unwrap();
+    p.enable_coverage();
+    let mut out = batch.to_vec();
+    p.process_batch_lanes(&mut out, width);
+    let cov = p.coverage().unwrap().as_bytes().to_vec();
+    (out, p.state_snapshot(), cov)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any machine code, any batch (including sizes that leave a partial
+    /// final chunk at every width): outputs, the cross-PHV state chain,
+    /// and coverage bytes are identical at every lane width.
+    #[test]
+    fn lane_batches_bit_identical_to_scalar_fused(
+        mc in machine_code_strategy(&spec_for("if_else_raw", "stateless_full", 2, 2)),
+        batch in phv_stream(2, 70),
+        size in 0usize..71,
+    ) {
+        let spec = spec_for("if_else_raw", "stateless_full", 2, 2);
+        let batch = &batch[..size];
+        let scalar = scalar_run(&spec, &mc, batch);
+        for width in WIDTHS {
+            let lane = lane_run(&spec, &mc, batch, width);
+            prop_assert_eq!(&lane.0, &scalar.0);
+            prop_assert_eq!(&lane.1, &scalar.1);
+            prop_assert_eq!(&lane.2, &scalar.2);
+        }
+    }
+
+    /// Same property over a stateful two-variable atom on a deeper grid —
+    /// the shape that exercises serial (state-chained) regions hardest.
+    #[test]
+    fn lane_batches_bit_identical_for_pair_atom(
+        mc in machine_code_strategy(&spec_for("pair", "stateless_arith", 3, 1)),
+        batch in phv_stream(1, 40),
+        size in 1usize..41,
+    ) {
+        let spec = spec_for("pair", "stateless_arith", 3, 1);
+        let batch = &batch[..size];
+        let scalar = scalar_run(&spec, &mc, batch);
+        for width in WIDTHS {
+            let lane = lane_run(&spec, &mc, batch, width);
+            prop_assert_eq!(&lane.0, &scalar.0);
+            prop_assert_eq!(&lane.1, &scalar.1);
+            prop_assert_eq!(&lane.2, &scalar.2);
+        }
+    }
+
+    /// Divergence-detection parity under injected faults: a differential
+    /// oracle that swaps the scalar fused backend for the lane engine
+    /// reports exactly the same first mismatch against the specification,
+    /// at every width. (The accumulator's correct behaviour is computed
+    /// inline; the fault injector corrupts the machine code.)
+    #[test]
+    fn fault_divergences_detected_identically(
+        fault_seed in 0u64..10_000,
+        batch in phv_stream(2, 50),
+        size in 1usize..51,
+    ) {
+        let spec = PipelineSpec::new(
+            PipelineConfig::with_phv_length(1, 1, 2),
+            atom("raw").unwrap(),
+            atom("stateless_mux").unwrap(),
+        )
+        .unwrap();
+        let mut mc = MachineCode::from_pairs(
+            expected_machine_code(&spec).into_iter().map(|(n, _)| (n, 0)),
+        );
+        mc.set("output_mux_phv_0_1", 2);
+        let Some((bad, _fault)) = FaultInjector::new(fault_seed).mutate_random_value(&spec, &mc)
+        else {
+            return Ok(());
+        };
+        // The specification: state += container 0, old state -> container 1.
+        let batch = &batch[..size];
+        let mut state = 0u32;
+        let expected: Vec<Phv> = batch
+            .iter()
+            .map(|p| {
+                let old = state;
+                state = state.wrapping_add(p.get(0));
+                Phv::new(vec![p.get(0), old])
+            })
+            .collect();
+        let expected = Trace::from_phvs(expected);
+        let scalar = scalar_run(&spec, &bad, batch);
+        let scalar_verdict = expected.first_mismatch(&Trace::from_phvs(scalar.0.clone()), None);
+        for width in WIDTHS {
+            let lane = lane_run(&spec, &bad, batch, width);
+            prop_assert_eq!(&lane.0, &scalar.0);
+            prop_assert_eq!(&lane.1, &scalar.1);
+            let lane_verdict = expected.first_mismatch(&Trace::from_phvs(lane.0), None);
+            prop_assert_eq!(&lane_verdict, &scalar_verdict);
+        }
+    }
+}
+
+/// Empty batches and single-PHV batches run through the lane engine
+/// without touching uninitialized lanes: state, outputs, and coverage
+/// match scalar exactly, including when the engine's caches are warm from
+/// a prior full-width batch.
+#[test]
+fn empty_and_single_phv_batches_are_exact() {
+    let spec = spec_for("pred_raw", "stateless_full", 2, 1);
+    let mc = MachineCode::from_pairs(
+        expected_machine_code(&spec)
+            .into_iter()
+            .map(|(n, _)| (n, 0)),
+    );
+    let phv_len = spec.config.phv_length;
+    let warm: Vec<Phv> = (0..64)
+        .map(|i| Phv::new((0..phv_len).map(|c| (i * 7 + c as u32 * 3) % 100).collect()))
+        .collect();
+    let single = vec![Phv::new((0..phv_len).map(|c| 41 + c as u32).collect())];
+
+    let mut scalar = Pipeline::generate(&spec, &mc, OptLevel::Fused).unwrap();
+    scalar.enable_coverage();
+    let mut lanes = Pipeline::generate(&spec, &mc, OptLevel::Fused).unwrap();
+    lanes.enable_coverage();
+
+    // Warm both engines with a full-width batch (poisons lane scratch),
+    // then push a single-PHV batch and an empty batch through each.
+    let (mut a, mut b) = (warm.clone(), warm);
+    scalar.process_batch(&mut a);
+    lanes.process_batch_lanes(&mut b, 64);
+    assert_eq!(a, b, "warm batch");
+
+    let (mut a, mut b) = (single.clone(), single);
+    scalar.process_batch(&mut a);
+    lanes.process_batch_lanes(&mut b, 64);
+    assert_eq!(a, b, "single-PHV batch");
+    assert_eq!(
+        scalar.state_snapshot(),
+        lanes.state_snapshot(),
+        "state after single"
+    );
+
+    let mut empty: Vec<Phv> = Vec::new();
+    lanes.process_batch_lanes(&mut empty, 64);
+    assert!(empty.is_empty());
+    assert_eq!(
+        scalar.state_snapshot(),
+        lanes.state_snapshot(),
+        "state after empty"
+    );
+    assert_eq!(
+        scalar.coverage().unwrap().as_bytes(),
+        lanes.coverage().unwrap().as_bytes(),
+        "coverage after warm + single + empty"
+    );
+}
+
+/// Unsupported widths and non-fused levels fall back to the scalar batch
+/// path instead of panicking or corrupting the run.
+#[test]
+fn unsupported_width_and_level_fall_back_to_scalar() {
+    let spec = spec_for("raw", "stateless_mux", 1, 1);
+    let mc = MachineCode::from_pairs(
+        expected_machine_code(&spec)
+            .into_iter()
+            .map(|(n, _)| (n, 0)),
+    );
+    let phv_len = spec.config.phv_length;
+    let batch: Vec<Phv> = (0..9u32)
+        .map(|i| Phv::new((0..phv_len as u32).map(|c| i * 2 + c).collect()))
+        .collect();
+    for (opt, width) in [
+        (OptLevel::Fused, 7),     // unsupported width
+        (OptLevel::SccInline, 8), // no fused program to lower
+    ] {
+        let mut reference = Pipeline::generate(&spec, &mc, opt).unwrap();
+        let mut fallback = Pipeline::generate(&spec, &mc, opt).unwrap();
+        let (mut a, mut b) = (batch.clone(), batch.clone());
+        reference.process_batch(&mut a);
+        fallback.process_batch_lanes(&mut b, width);
+        assert_eq!(a, b, "{opt:?} width {width}");
+        assert_eq!(reference.state_snapshot(), fallback.state_snapshot());
+    }
+}
